@@ -1,0 +1,90 @@
+"""Ablation: fingerprint size m (the design constant the paper fixes at 10).
+
+Two effects trade off against each other:
+
+* **cost** — every parameter point pays m simulation rounds whether or not
+  it reuses, so sweep cost grows ~linearly in m once reuse dominates;
+* **accuracy / discrimination** — larger m separates near-miss
+  distributions (boolean outputs resolve probabilities to ~1/m) and, for
+  Markov jumps, reduces the chance that all observed instances miss a
+  discontinuity (error decays geometrically in m).
+
+DESIGN.md calls this out as the reproduction's main tunable; the paper's
+§6.2 accuracy remark ("a fingerprint length of 10 is sufficient for the
+models we consider") is exactly a point on this curve.
+"""
+
+import pytest
+
+from repro.bench.workloads import capacity_workload
+from repro.blackbox.markov_step import MarkovStepModel
+from repro.core.explorer import ParameterExplorer
+from repro.core.markov import MarkovJumpRunner, NaiveMarkovRunner
+from repro.core.seeds import SeedBank
+
+SAMPLES = 60
+FINGERPRINT_SIZES = (5, 10, 20)
+
+
+@pytest.mark.parametrize("m", FINGERPRINT_SIZES, ids=lambda m: f"m={m}")
+def test_sweep_cost_vs_m(benchmark, m):
+    workload = capacity_workload(weeks=12, purchase_step=6)
+
+    def run():
+        explorer = ParameterExplorer(
+            workload.simulation(),
+            samples_per_point=SAMPLES,
+            fingerprint_size=m,
+        )
+        return explorer.run(workload.points)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["bases"] = result.stats.bases_created
+    benchmark.extra_info["samples"] = result.stats.samples_drawn
+
+
+@pytest.mark.parametrize("m", FINGERPRINT_SIZES, ids=lambda m: f"m={m}")
+def test_markov_jump_cost_vs_m(benchmark, m):
+    def run():
+        model = MarkovStepModel(release_threshold=20.0)
+        runner = MarkovJumpRunner(
+            model, instance_count=120, fingerprint_size=m
+        )
+        return runner.run(60)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_sweep_cost_grows_with_m():
+    """Once reuse dominates, per-sweep sample count is ~linear in m."""
+    workload = capacity_workload(weeks=12, purchase_step=6)
+    samples_by_m = {}
+    for m in (5, 20):
+        explorer = ParameterExplorer(
+            workload.simulation(),
+            samples_per_point=SAMPLES,
+            fingerprint_size=m,
+        )
+        samples_by_m[m] = explorer.run(workload.points).stats.samples_drawn
+    assert samples_by_m[20] > samples_by_m[5]
+
+
+def test_markov_accuracy_improves_with_m():
+    """The geometric-in-m error decay measured on the MarkovStep chain."""
+    bank = SeedBank(6)
+    naive = NaiveMarkovRunner(
+        MarkovStepModel(release_threshold=20.0),
+        instance_count=120,
+        seed_bank=bank,
+    ).run(60)
+    errors = {}
+    for m in (5, 25):
+        jump = MarkovJumpRunner(
+            MarkovStepModel(release_threshold=20.0),
+            instance_count=120,
+            fingerprint_size=m,
+            seed_bank=bank,
+        ).run(60)
+        errors[m] = abs(jump.states.mean() - naive.states.mean())
+    assert errors[25] <= errors[5] + 1e-9
+    assert errors[25] < 1.0

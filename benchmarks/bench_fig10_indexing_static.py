@@ -1,0 +1,57 @@
+"""Figure 10: indexing strategies in a static parameter space.
+
+Paper shape: past ~50 basis distributions the Array scan's per-lookup cost
+dominates and both hash indexes (Normalization, Sorted SID) win, approaching
+an asymptotic ~10% total saving once sample generation dominates.
+"""
+
+import pytest
+
+from repro.bench.workloads import synth_basis_workload
+from repro.core.explorer import ParameterExplorer
+
+SAMPLES = 30
+POINTS = 400
+BASIS_COUNTS = (10, 100)
+STRATEGIES = ("array", "normalization", "sorted_sid")
+
+
+@pytest.mark.parametrize("basis_count", BASIS_COUNTS, ids=str)
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=str)
+def test_static_space(benchmark, basis_count, strategy):
+    workload = synth_basis_workload(basis_count, POINTS)
+
+    def run():
+        explorer = ParameterExplorer(
+            workload.simulation(),
+            samples_per_point=SAMPLES,
+            fingerprint_size=10,
+            index_strategy=strategy,
+        )
+        return explorer.run(workload.points)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.bases_created == basis_count
+
+
+def test_fig10_shape():
+    """Work-count shape check: with B bases, the array index tests O(B)
+    candidates per lookup while the hash indexes test O(1)."""
+    basis_count = 60
+    workload = synth_basis_workload(basis_count, POINTS)
+
+    def candidates_tested(strategy):
+        explorer = ParameterExplorer(
+            workload.simulation(),
+            samples_per_point=SAMPLES,
+            fingerprint_size=10,
+            index_strategy=strategy,
+        )
+        explorer.run(workload.points)
+        return explorer.store.stats.candidates_tested
+
+    array_tests = candidates_tested("array")
+    normalization_tests = candidates_tested("normalization")
+    sid_tests = candidates_tested("sorted_sid")
+    assert normalization_tests < array_tests / 5
+    assert sid_tests < array_tests / 5

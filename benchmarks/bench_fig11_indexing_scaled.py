@@ -1,0 +1,60 @@
+"""Figure 11: indexing with the parameter space grown with the basis count.
+
+Paper shape: with the basis held at 10% of the parameter space, per-point
+cost under the Array scan grows linearly in the basis count while the hash
+indexes grow sub-linearly.
+"""
+
+import pytest
+
+from repro.bench.workloads import synth_basis_workload
+from repro.core.explorer import ParameterExplorer
+
+SAMPLES = 30
+BASIS_COUNTS = (20, 80)
+STRATEGIES = ("array", "normalization", "sorted_sid")
+
+
+@pytest.mark.parametrize("basis_count", BASIS_COUNTS, ids=str)
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=str)
+def test_scaled_space(benchmark, basis_count, strategy):
+    workload = synth_basis_workload(basis_count, basis_count * 10)
+
+    def run():
+        explorer = ParameterExplorer(
+            workload.simulation(),
+            samples_per_point=SAMPLES,
+            fingerprint_size=10,
+            index_strategy=strategy,
+        )
+        return explorer.run(workload.points)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.bases_created == basis_count
+
+
+def test_fig11_shape():
+    """Array candidate tests grow ~quadratically with the basis count
+    (linear per lookup x linear lookups); hash indexes stay ~linear."""
+
+    def candidates_tested(basis_count, strategy):
+        workload = synth_basis_workload(basis_count, basis_count * 10)
+        explorer = ParameterExplorer(
+            workload.simulation(),
+            samples_per_point=SAMPLES,
+            fingerprint_size=10,
+            index_strategy=strategy,
+        )
+        explorer.run(workload.points)
+        return explorer.store.stats.candidates_tested
+
+    small, large = BASIS_COUNTS
+    growth = large / small
+    array_growth = candidates_tested(large, "array") / candidates_tested(
+        small, "array"
+    )
+    hash_growth = candidates_tested(
+        large, "normalization"
+    ) / candidates_tested(small, "normalization")
+    assert array_growth > growth * 1.5  # super-linear
+    assert hash_growth < array_growth / 2  # clearly flatter

@@ -1,0 +1,58 @@
+"""Figure 12: Markov process performance vs branching factor.
+
+Paper shape: at low branching the jump evaluator is an order of magnitude
+faster per step (the chain advances at fingerprint cost, m of n instances);
+the advantage shrinks as the branching factor grows toward ~1/20 per step.
+"""
+
+import pytest
+
+from repro.bench.workloads import markov_branch_model
+from repro.core.markov import MarkovJumpRunner, NaiveMarkovRunner
+
+STEPS = 128
+INSTANCES = 200
+BRANCHINGS = (1e-4, 1e-2, 1e-1)
+
+
+@pytest.mark.parametrize("branching", BRANCHINGS, ids=lambda b: f"{b:g}")
+def test_naive(benchmark, branching):
+    def run():
+        model = markov_branch_model(branching)
+        return NaiveMarkovRunner(model, instance_count=INSTANCES).run(STEPS)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("branching", BRANCHINGS, ids=lambda b: f"{b:g}")
+def test_jigsaw(benchmark, branching):
+    def run():
+        model = markov_branch_model(branching)
+        return MarkovJumpRunner(
+            model, instance_count=INSTANCES, fingerprint_size=10
+        ).run(STEPS)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["jumps"] = len(result.jumps)
+    benchmark.extra_info["full_steps"] = result.full_steps
+
+
+def test_fig12_shape():
+    """Invocation-count shape: the jump advantage decays with branching."""
+
+    def invocation_ratio(branching):
+        naive_model = markov_branch_model(branching)
+        naive = NaiveMarkovRunner(
+            naive_model, instance_count=INSTANCES
+        ).run(STEPS)
+        jump_model = markov_branch_model(branching)
+        jump = MarkovJumpRunner(
+            jump_model, instance_count=INSTANCES, fingerprint_size=10
+        ).run(STEPS)
+        return naive.step_invocations / jump.step_invocations
+
+    low = invocation_ratio(1e-4)
+    mid = invocation_ratio(1e-2)
+    high = invocation_ratio(1e-1)
+    assert low > 5.0
+    assert low > mid > high

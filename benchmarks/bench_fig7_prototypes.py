@@ -1,0 +1,93 @@
+"""Figure 7 (table): wrapper (C#+SQL analogue) vs core (Ruby analogue).
+
+Paper shape: the wrapper is one to three orders of magnitude slower per
+parameter combination on compute-light models (Demand, Capacity, Overload)
+because per-invocation query interpretation and marshalling dominate, but
+*faster* on the data-heavy UserSelect model, where set-oriented bulk
+evaluation beats the core engine's per-row Python loop.
+"""
+
+import pytest
+
+from repro.bench.engines import CoreEngine, WrapperEngine, default_query_for
+from repro.bench.workloads import (
+    capacity_workload,
+    demand_workload,
+    user_selection_workload,
+)
+
+SAMPLES = 25
+
+DEMAND = demand_workload(weeks=8, features=(4.0,))
+CAPACITY = capacity_workload(weeks=8, purchase_step=4)
+USERS = user_selection_workload(weeks=2, user_count=400)
+
+
+def _point(workload):
+    return workload.points[len(workload.points) // 2]
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [DEMAND, CAPACITY, USERS],
+    ids=lambda w: w.name,
+)
+def test_core_engine(benchmark, workload):
+    engine = CoreEngine(workload.box, samples_per_point=SAMPLES)
+    result = benchmark.pedantic(
+        engine.evaluate_point, args=(_point(workload),), rounds=3, iterations=1
+    )
+    assert result.samples_drawn == SAMPLES
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [DEMAND, CAPACITY, USERS],
+    ids=lambda w: w.name,
+)
+def test_wrapper_engine(benchmark, workload):
+    engine = WrapperEngine(
+        workload.box,
+        default_query_for(workload.box),
+        samples_per_point=SAMPLES,
+    )
+    result = benchmark.pedantic(
+        engine.evaluate_point, args=(_point(workload),), rounds=3, iterations=1
+    )
+    assert result.samples_drawn == SAMPLES
+
+
+def test_fig7_shape():
+    """Non-timing shape check: wrapper loses on Demand, wins on UserSelect."""
+    import time
+
+    def seconds(engine, workload):
+        point = _point(workload)
+        start = time.perf_counter()
+        engine.evaluate_point(point)
+        return time.perf_counter() - start
+
+    demand_core = seconds(
+        CoreEngine(DEMAND.box, samples_per_point=SAMPLES), DEMAND
+    )
+    demand_wrapper = seconds(
+        WrapperEngine(
+            DEMAND.box,
+            default_query_for(DEMAND.box),
+            samples_per_point=SAMPLES,
+        ),
+        DEMAND,
+    )
+    users_core = seconds(
+        CoreEngine(USERS.box, samples_per_point=SAMPLES), USERS
+    )
+    users_wrapper = seconds(
+        WrapperEngine(
+            USERS.box,
+            default_query_for(USERS.box),
+            samples_per_point=SAMPLES,
+        ),
+        USERS,
+    )
+    assert demand_wrapper > demand_core
+    assert users_wrapper < users_core

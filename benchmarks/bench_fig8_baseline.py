@@ -1,0 +1,90 @@
+"""Figure 8: Jigsaw vs fully exploring the parameter space.
+
+Paper shape: fingerprint reuse wins by one to two orders of magnitude on the
+continuous models (a handful of bases cover thousands of points), by much
+less on boolean Overload (no remapping), and the Markov-jump evaluator
+skips most steps of MarkovStep.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    capacity_workload,
+    markov_step_model,
+    overload_workload,
+    user_selection_workload,
+)
+from repro.core.basis import BasisStore
+from repro.core.explorer import NaiveExplorer, ParameterExplorer
+from repro.core.mapping import IdentityMappingFamily, LinearMappingFamily
+from repro.core.markov import MarkovJumpRunner, NaiveMarkovRunner
+
+SAMPLES = 80
+
+USAGE = user_selection_workload(weeks=3, user_count=40)
+CAPACITY = capacity_workload(weeks=12, purchase_step=6)
+OVERLOAD = overload_workload(weeks=12, purchase_step=6)
+
+WORKLOADS = {
+    "Usage": (USAGE, LinearMappingFamily),
+    "Capacity": (CAPACITY, LinearMappingFamily),
+    "Overload": (OVERLOAD, IdentityMappingFamily),
+}
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS), ids=str)
+def test_full_evaluation(benchmark, name):
+    workload, _ = WORKLOADS[name]
+    explorer = NaiveExplorer(
+        workload.simulation(), samples_per_point=SAMPLES
+    )
+    benchmark.pedantic(
+        explorer.run, args=(workload.points,), rounds=2, iterations=1
+    )
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS), ids=str)
+def test_jigsaw(benchmark, name):
+    workload, family = WORKLOADS[name]
+
+    def run():
+        explorer = ParameterExplorer(
+            workload.simulation(),
+            samples_per_point=SAMPLES,
+            fingerprint_size=10,
+            basis_store=BasisStore(mapping_family=family()),
+        )
+        return explorer.run(workload.points)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.points_reused > 0
+
+
+def test_markov_step_naive(benchmark):
+    model = markov_step_model()
+    runner = NaiveMarkovRunner(model, instance_count=100)
+    benchmark.pedantic(runner.run, args=(100,), rounds=2, iterations=1)
+
+
+def test_markov_step_jigsaw(benchmark):
+    def run():
+        model = markov_step_model()
+        runner = MarkovJumpRunner(
+            model, instance_count=100, fingerprint_size=10
+        )
+        return runner.run(100)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.jumped_steps > 0
+
+
+def test_fig8_shape():
+    """Invocation-count shape check, immune to timer noise: Jigsaw draws
+    far fewer samples than the naive sweep on continuous models."""
+    workload, _ = WORKLOADS["Capacity"]
+    explorer = ParameterExplorer(
+        workload.simulation(), samples_per_point=SAMPLES
+    )
+    result = explorer.run(workload.points)
+    naive_samples = len(workload.points) * SAMPLES
+    assert result.stats.samples_drawn < naive_samples / 3

@@ -1,0 +1,57 @@
+"""Figure 9: computation time vs structure size (Capacity model).
+
+Paper shape: wider purchase transients ("structures") create more basis
+distributions — sub-linearly — so per-point cost rises with structure size,
+and indexed matching (Normalization / Sorted SID) stays at or below the
+Array scan as the basis count grows.
+"""
+
+import pytest
+
+from repro.bench.workloads import capacity_workload
+from repro.core.explorer import ParameterExplorer
+
+SAMPLES = 50
+STRUCTURE_SIZES = (2.0, 10.0)
+STRATEGIES = ("array", "normalization", "sorted_sid")
+
+
+@pytest.mark.parametrize("structure_size", STRUCTURE_SIZES, ids=str)
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=str)
+def test_capacity_sweep(benchmark, structure_size, strategy):
+    workload = capacity_workload(
+        weeks=16, purchase_step=8, structure_size=structure_size
+    )
+
+    def run():
+        explorer = ParameterExplorer(
+            workload.simulation(),
+            samples_per_point=SAMPLES,
+            fingerprint_size=10,
+            index_strategy=strategy,
+        )
+        return explorer.run(workload.points)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["bases"] = result.stats.bases_created
+
+
+def test_fig9_shape():
+    """Basis count grows with structure size, sub-linearly."""
+    bases = {}
+    for structure_size in (0.0, 4.0, 16.0):
+        workload = capacity_workload(
+            weeks=16, purchase_step=8, structure_size=structure_size
+        )
+        explorer = ParameterExplorer(
+            workload.simulation(),
+            samples_per_point=SAMPLES,
+            fingerprint_size=10,
+        )
+        bases[structure_size] = explorer.run(
+            workload.points
+        ).stats.bases_created
+    assert bases[0.0] <= bases[4.0] <= bases[16.0]
+    assert bases[4.0] > bases[0.0]
+    # Sub-linear: quadrupling the structure size does not quadruple bases.
+    assert bases[16.0] < 4 * max(bases[4.0], 1)

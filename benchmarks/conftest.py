@@ -1,0 +1,17 @@
+"""Shared benchmark configuration.
+
+Benchmarks mirror the paper's evaluation (section 6) at a laptop-friendly
+scale: the *ratios* between variants are the reproduced quantity, so sizes
+are chosen to keep each benchmark's work well above timer noise while the
+whole suite stays in minutes.  ``benchmarks/run_all.py`` regenerates the
+full paper-style tables and series.
+"""
+
+import pytest
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["note"] = (
+        "Jigsaw reproduction; compare ratios across variants, not absolute "
+        "times"
+    )

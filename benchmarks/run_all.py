@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation as text.
+
+Usage::
+
+    python benchmarks/run_all.py [--scale quick|paper] [--out results.txt]
+
+``quick`` (default) runs laptop-sized sweeps in a few minutes; ``paper``
+runs the paper-sized configurations (1000 samples/point over the full
+parameter spaces) and can take an hour or more in pure Python.  Either way
+the *shapes* — who wins, by roughly what factor, where crossovers fall —
+are the reproduced quantity; absolute times depend on the host.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import (
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="workload sizes: quick (minutes) or paper (hour+)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="run a single experiment, e.g. --only fig9",
+    )
+    args = parser.parse_args(argv)
+
+    runners = {
+        "fig7": lambda: run_fig7(args.scale),
+        "fig8": lambda: run_fig8(args.scale).to_text(),
+        "fig9": lambda: run_fig9(args.scale).to_text(),
+        "fig10": lambda: run_fig10(args.scale).to_text(),
+        "fig11": lambda: run_fig11(args.scale).to_text(),
+        "fig12": lambda: run_fig12(args.scale).to_text(),
+    }
+    if args.only is not None:
+        if args.only not in runners:
+            parser.error(
+                f"unknown experiment {args.only!r}; choose from "
+                f"{sorted(runners)}"
+            )
+        runners = {args.only: runners[args.only]}
+
+    sections = []
+    for name, runner in runners.items():
+        started = time.perf_counter()
+        print(f"running {name} ({args.scale} scale)...", file=sys.stderr)
+        text = runner()
+        elapsed = time.perf_counter() - started
+        sections.append(f"{text}\n  [regenerated in {elapsed:.1f}s]")
+
+    report = ("\n\n" + "=" * 76 + "\n\n").join(sections)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"\nwritten to {args.out}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Capacity as an event table: the paper's section 2.2 SUM formulation.
+
+"Each event is produced by a separate model, so the database engine itself
+can compute the cumulative effect of the events with a simple SQL SUM
+aggregate."  Instead of a monolithic CapacityModel black box, this example
+stores one row per purchase event in a *random table* whose VG column draws
+each purchase's stochastic coming-online delay, and lets the query engine
+aggregate:
+
+    SELECT SUM(CASE WHEN purchase_week + delay <= @current_week
+               THEN cores ELSE 0 END) AS capacity
+    FROM purchases;
+
+Fingerprint reuse applies unchanged — the whole query (table instantiation
+included) is the stochastic function F being fingerprinted — and the weekly
+expectation curve shows the same post-purchase "structures" the monolithic
+model produces.
+
+Run:  python examples/capacity_event_table.py
+"""
+
+from repro import ParameterExplorer, compile_query
+from repro.blackbox import BlackBoxRegistry, FunctionBlackBox
+from repro.blackbox.rng import DeterministicRng
+from repro.interactive.plotting import ascii_chart
+from repro.probdb import RandomRelation, Relation, Schema, VGColumn
+
+WEEKS = 26
+
+#: The purchase plan under study: one row per ordered hardware batch.
+PURCHASE_EVENTS = [
+    # (purchase_week, cores)
+    (3.0, 24.0),
+    (10.0, 32.0),
+    (18.0, 20.0),
+]
+
+QUERY = f"""
+DECLARE PARAMETER @current_week AS RANGE 0 TO {WEEKS} STEP BY 1;
+SELECT SUM(CASE WHEN purchase_week + delay <= @current_week
+           THEN cores ELSE 0 END) AS capacity
+FROM purchases
+INTO results;
+"""
+
+
+def build_purchases_table() -> RandomRelation:
+    base = Relation(
+        Schema.of("purchase_week", "cores"),
+        PURCHASE_EVENTS,
+    )
+    delay_model = FunctionBlackBox(
+        lambda params, seed: DeterministicRng(seed).exponential(2.0),
+        name="OnlineDelay",
+        parameter_names=("purchase_week",),
+    )
+    return RandomRelation(
+        base,
+        [
+            VGColumn(
+                name="delay",
+                box=delay_model,
+                parameter_names=("purchase_week",),
+                argument_columns=("purchase_week",),
+            )
+        ],
+        name="purchases",
+    )
+
+
+def main():
+    purchases = build_purchases_table()
+    bound = compile_query(
+        QUERY, BlackBoxRegistry(), tables={"purchases": purchases}
+    )
+    print(
+        f"event table: {len(PURCHASE_EVENTS)} purchases, query aggregates "
+        "their stochastic online dates with SQL SUM"
+    )
+
+    explorer = ParameterExplorer(
+        bound.scenario.column_simulation("capacity"),
+        samples_per_point=300,
+        fingerprint_size=10,
+    )
+    points = [{"current_week": float(w)} for w in range(WEEKS + 1)]
+    result = explorer.run(points)
+    print(
+        f"explored {result.stats.points_total} weeks with "
+        f"{result.stats.samples_drawn} simulation rounds "
+        f"({result.stats.bases_created} bases, "
+        f"reuse {result.stats.reuse_fraction:.0%}) — weeks far from any "
+        "purchase share a basis, weeks inside a coming-online transient "
+        "each get their own"
+    )
+
+    weeks = [p["current_week"] for p in points]
+    expectations = [result.metrics(p).expectation for p in points]
+    spreads = [result.metrics(p).stddev for p in points]
+    print()
+    print(
+        ascii_chart(
+            weeks,
+            {"E[capacity]": expectations, "stddev": spreads},
+            width=64,
+            height=14,
+            title="cumulative capacity from the purchases event table",
+        )
+    )
+    print(
+        "\nnote the three ramps after weeks 3, 10, 18: each purchase's "
+        "exponential online delay produces the 'structure' Figure 9 sweeps."
+    )
+
+
+if __name__ == "__main__":
+    main()

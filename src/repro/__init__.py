@@ -1,0 +1,81 @@
+"""Jigsaw: efficient optimization over uncertain enterprise data.
+
+A from-scratch Python reproduction of Kennedy & Nath, SIGMOD 2011.  The
+library provides:
+
+* :mod:`repro.core` — fingerprints of stochastic black-box functions, mapping
+  families, basis-distribution reuse, indexed matching, Markovian jumps, and
+  the OPTIMIZE selector;
+* :mod:`repro.blackbox` — the stochastic black-box protocol and the paper's
+  Figure 6 model library;
+* :mod:`repro.probdb` — an MCDB-style Monte Carlo probabilistic database
+  substrate;
+* :mod:`repro.lang` — the Jigsaw SQL dialect (DECLARE PARAMETER / SELECT /
+  OPTIMIZE / GRAPH);
+* :mod:`repro.scenario` — parameter spaces and batch scenario runners;
+* :mod:`repro.interactive` — the online what-if engine (Fuzzy Prophet);
+* :mod:`repro.bench` — reproduction runners for every evaluation figure.
+
+Quickstart::
+
+    from repro import compile_query, ScenarioRunner
+    from repro.blackbox import default_registry
+
+    bound = compile_query(QUERY_TEXT, default_registry())
+    runner = ScenarioRunner(bound.scenario, samples_per_point=200)
+    result = runner.run()
+    answer = result.optimize(bound.selector)
+"""
+
+from repro.core import (
+    AffineMapping,
+    BasisStore,
+    Constraint,
+    Estimator,
+    Fingerprint,
+    LinearMappingFamily,
+    MarkovJumpRunner,
+    MetricSet,
+    NaiveExplorer,
+    NaiveMarkovRunner,
+    Objective,
+    ParameterExplorer,
+    SeedBank,
+    Selector,
+)
+from repro.lang import compile_query
+from repro.scenario import (
+    ChainParameter,
+    ParameterSpace,
+    RangeParameter,
+    Scenario,
+    ScenarioRunner,
+    SetParameter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineMapping",
+    "BasisStore",
+    "Constraint",
+    "Estimator",
+    "Fingerprint",
+    "LinearMappingFamily",
+    "MarkovJumpRunner",
+    "MetricSet",
+    "NaiveExplorer",
+    "NaiveMarkovRunner",
+    "Objective",
+    "ParameterExplorer",
+    "SeedBank",
+    "Selector",
+    "compile_query",
+    "ChainParameter",
+    "ParameterSpace",
+    "RangeParameter",
+    "Scenario",
+    "ScenarioRunner",
+    "SetParameter",
+    "__version__",
+]

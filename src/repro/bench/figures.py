@@ -1,0 +1,411 @@
+"""Reproduction runners for every table and figure in paper section 6.
+
+Each ``run_figN`` function regenerates the corresponding experiment and
+returns a :class:`~repro.bench.harness.FigureResult` (or a text table for
+Figure 7) whose series mirror the paper's plot.  Sizes default to a
+laptop-friendly scale; pass ``scale="paper"`` for the paper-sized sweeps
+(1000 samples/point over the full spaces — minutes of wall clock in pure
+Python).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.engines import CoreEngine, WrapperEngine, default_query_for
+from repro.bench.harness import FigureResult, Series
+from repro.bench.workloads import (
+    PAPER_FINGERPRINT_SIZE,
+    capacity_workload,
+    demand_workload,
+    markov_branch_model,
+    markov_step_model,
+    overload_workload,
+    synth_basis_workload,
+    user_selection_workload,
+    SweepWorkload,
+)
+from repro.core.basis import BasisStore
+from repro.core.explorer import NaiveExplorer, ParameterExplorer
+from repro.core.mapping import IdentityMappingFamily, LinearMappingFamily
+from repro.core.markov import MarkovJumpRunner, NaiveMarkovRunner
+from repro.util.tables import format_table
+
+
+def _paper_scale(scale: str) -> bool:
+    if scale not in ("quick", "paper"):
+        raise ValueError("scale must be 'quick' or 'paper'")
+    return scale == "paper"
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 (table): wrapper vs core engine, seconds per parameter combination
+
+
+def run_fig7(scale: str = "quick") -> str:
+    """User-interface wrapper vs core engine timing comparison."""
+    paper = _paper_scale(scale)
+    samples = 1000 if paper else 40
+    point_budget = 5 if paper else 3
+
+    workloads = [
+        demand_workload(weeks=10, features=(5.0,)),
+        capacity_workload(weeks=10, purchase_step=5),
+        overload_workload(weeks=10, purchase_step=5),
+        user_selection_workload(
+            weeks=4, user_count=2000 if paper else 400
+        ),
+    ]
+    rows: List[List[object]] = []
+    for workload in workloads:
+        points = workload.points[:point_budget]
+        wrapper = WrapperEngine(
+            workload.box,
+            default_query_for(workload.box),
+            samples_per_point=samples,
+        )
+        core = CoreEngine(workload.box, samples_per_point=samples)
+        start = time.perf_counter()
+        for point in points:
+            wrapper.evaluate_point(point)
+        wrapper_seconds = (time.perf_counter() - start) / len(points)
+        start = time.perf_counter()
+        for point in points:
+            core.evaluate_point(point)
+        core_seconds = (time.perf_counter() - start) / len(points)
+        rows.append(
+            [
+                workload.name,
+                wrapper_seconds,
+                core_seconds,
+                wrapper_seconds / core_seconds,
+            ]
+        )
+    return format_table(
+        ["Model", "Online s/pc", "Offline s/pc", "Online/Offline"],
+        rows,
+        title=(
+            "Figure 7: User Interface Wrapper vs Core Engine Simulator "
+            "(time per parameter combination)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: Jigsaw vs fully exploring the parameter space
+
+
+def _explore_pair(
+    workload: SweepWorkload,
+    mapping_family=None,
+) -> Tuple[float, float, Dict[str, float]]:
+    """(naive seconds, jigsaw seconds, extras) for one sweep workload."""
+    simulation = workload.simulation()
+
+    start = time.perf_counter()
+    naive = NaiveExplorer(
+        simulation, samples_per_point=workload.samples_per_point
+    )
+    naive.run(workload.points)
+    naive_seconds = time.perf_counter() - start
+
+    store = BasisStore(
+        mapping_family=mapping_family or LinearMappingFamily()
+    )
+    explorer = ParameterExplorer(
+        simulation,
+        samples_per_point=workload.samples_per_point,
+        fingerprint_size=workload.fingerprint_size,
+        basis_store=store,
+    )
+    start = time.perf_counter()
+    result = explorer.run(workload.points)
+    jigsaw_seconds = time.perf_counter() - start
+    extras = {
+        "bases": float(result.stats.bases_created),
+        "reuse_fraction": result.stats.reuse_fraction,
+    }
+    return naive_seconds, jigsaw_seconds, extras
+
+
+def run_fig8(scale: str = "quick") -> FigureResult:
+    """Jigsaw vs full evaluation on Usage, Capacity, Overload, MarkovStep."""
+    paper = _paper_scale(scale)
+    samples = 1000 if paper else 150
+    result = FigureResult(
+        figure="Figure 8",
+        caption="Jigsaw vs fully exploring the parameter space",
+        x_label="workload",
+        y_label="computation time (s)",
+    )
+    full_series = Series("Full Evaluation")
+    jigsaw_series = Series("Jigsaw")
+
+    workloads = [
+        (
+            "Usage",
+            user_selection_workload(
+                weeks=8 if paper else 4,
+                user_count=500 if paper else 60,
+            ),
+            LinearMappingFamily(),
+        ),
+        (
+            "Capacity",
+            capacity_workload(
+                weeks=52 if paper else 16,
+                purchase_step=4 if paper else 8,
+            ),
+            LinearMappingFamily(),
+        ),
+        (
+            "Overload",
+            overload_workload(
+                weeks=52 if paper else 20,
+                purchase_step=4 if paper else 8,
+            ),
+            IdentityMappingFamily(),
+        ),
+    ]
+    for label_index, (label, workload, family) in enumerate(workloads):
+        workload.samples_per_point = samples
+        naive_seconds, jigsaw_seconds, extras = _explore_pair(
+            workload, mapping_family=family
+        )
+        full_series.add(float(label_index), naive_seconds)
+        jigsaw_series.add(float(label_index), jigsaw_seconds)
+        result.notes.append(
+            f"{label}: {len(workload.points)} points, "
+            f"{int(extras['bases'])} bases, "
+            f"reuse {extras['reuse_fraction']:.1%}, "
+            f"speedup {naive_seconds / jigsaw_seconds:.1f}x"
+        )
+
+    # MarkovStep: chain evaluation, naive vs jump.
+    steps = 2500 if paper else 160
+    instances = 1000 if paper else 150
+    model = markov_step_model()
+    naive_runner = NaiveMarkovRunner(model, instance_count=instances)
+    start = time.perf_counter()
+    naive_runner.run(steps)
+    naive_seconds = time.perf_counter() - start
+    model.reset_invocations()
+    jump_runner = MarkovJumpRunner(
+        model,
+        instance_count=instances,
+        fingerprint_size=PAPER_FINGERPRINT_SIZE,
+    )
+    start = time.perf_counter()
+    jump_result = jump_runner.run(steps)
+    jigsaw_seconds = time.perf_counter() - start
+    index = float(len(workloads))
+    full_series.add(index, naive_seconds)
+    jigsaw_series.add(index, jigsaw_seconds)
+    result.notes.append(
+        f"MarkovStep: {steps} steps, {len(jump_result.jumps)} jumps, "
+        f"{jump_result.full_steps} full steps, "
+        f"speedup {naive_seconds / jigsaw_seconds:.1f}x"
+    )
+    result.notes.append(
+        "x axis order: 0=Usage 1=Capacity 2=Overload 3=MarkovStep"
+    )
+    result.series = [full_series, jigsaw_series]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: computation time vs structure size (Capacity model)
+
+
+def run_fig9(
+    scale: str = "quick",
+    structure_sizes: Optional[Tuple[float, ...]] = None,
+) -> FigureResult:
+    paper = _paper_scale(scale)
+    if structure_sizes is None:
+        structure_sizes = (
+            tuple(range(0, 21, 2)) if paper else (0.0, 2.0, 5.0, 10.0, 16.0)
+        )
+    samples = 1000 if paper else 120
+    weeks = 52 if paper else 26
+    result = FigureResult(
+        figure="Figure 9",
+        caption="Computation time versus structure size (Capacity model)",
+        x_label="structure size",
+        y_label="time (ms/point)",
+    )
+    strategies = ("array", "normalization", "sorted_sid")
+    series = {name: Series(_strategy_label(name)) for name in strategies}
+    for structure_size in structure_sizes:
+        workload = capacity_workload(
+            weeks=weeks, purchase_step=8, structure_size=float(structure_size)
+        )
+        workload.samples_per_point = samples
+        for strategy in strategies:
+            explorer = ParameterExplorer(
+                workload.simulation(),
+                samples_per_point=samples,
+                fingerprint_size=workload.fingerprint_size,
+                index_strategy=strategy,
+            )
+            start = time.perf_counter()
+            run = explorer.run(workload.points)
+            elapsed = time.perf_counter() - start
+            series[strategy].add(
+                float(structure_size),
+                1000.0 * elapsed / len(workload.points),
+            )
+            if strategy == "array":
+                result.notes.append(
+                    f"structure={structure_size}: "
+                    f"{run.stats.bases_created} bases over "
+                    f"{len(workload.points)} points"
+                )
+    result.series = [series[s] for s in strategies]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 10 and 11: indexing strategies vs number of basis distributions
+
+
+def run_fig10(
+    scale: str = "quick",
+    basis_counts: Optional[Tuple[int, ...]] = None,
+) -> FigureResult:
+    """Static parameter space: time relative to the Array scan."""
+    paper = _paper_scale(scale)
+    if basis_counts is None:
+        basis_counts = (10, 25, 50, 100, 200) if paper else (10, 50, 150)
+    point_count = 1000 if paper else 600
+    samples = 1000 if paper else 60
+    result = FigureResult(
+        figure="Figure 10",
+        caption="Indexing in a static parameter space",
+        x_label="# basis distributions",
+        y_label="time relative to Array",
+    )
+    strategies = ("array", "normalization", "sorted_sid")
+    series = {name: Series(_strategy_label(name)) for name in strategies}
+    for basis_count in basis_counts:
+        timings: Dict[str, float] = {}
+        for strategy in strategies:
+            workload = synth_basis_workload(basis_count, point_count)
+            workload.samples_per_point = samples
+            explorer = ParameterExplorer(
+                workload.simulation(),
+                samples_per_point=samples,
+                fingerprint_size=workload.fingerprint_size,
+                index_strategy=strategy,
+            )
+            start = time.perf_counter()
+            explorer.run(workload.points)
+            timings[strategy] = time.perf_counter() - start
+        for strategy in strategies:
+            series[strategy].add(
+                float(basis_count), timings[strategy] / timings["array"]
+            )
+    result.series = [series[s] for s in strategies]
+    return result
+
+
+def run_fig11(
+    scale: str = "quick",
+    basis_counts: Optional[Tuple[int, ...]] = None,
+) -> FigureResult:
+    """Parameter space grown with basis size (basis = 10% of the space)."""
+    paper = _paper_scale(scale)
+    if basis_counts is None:
+        basis_counts = (
+            (50, 100, 200, 300, 400, 500) if paper else (25, 75, 150)
+        )
+    samples = 1000 if paper else 60
+    result = FigureResult(
+        figure="Figure 11",
+        caption="Indexing, growing the parameter space with basis size",
+        x_label="# basis distributions",
+        y_label="time (s/point)",
+    )
+    strategies = ("array", "normalization", "sorted_sid")
+    series = {name: Series(_strategy_label(name)) for name in strategies}
+    for basis_count in basis_counts:
+        point_count = basis_count * 10
+        for strategy in strategies:
+            workload = synth_basis_workload(basis_count, point_count)
+            workload.samples_per_point = samples
+            explorer = ParameterExplorer(
+                workload.simulation(),
+                samples_per_point=samples,
+                fingerprint_size=workload.fingerprint_size,
+                index_strategy=strategy,
+            )
+            start = time.perf_counter()
+            explorer.run(workload.points)
+            elapsed = time.perf_counter() - start
+            series[strategy].add(
+                float(basis_count), elapsed / point_count
+            )
+    result.series = [series[s] for s in strategies]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: Markov process performance vs branching factor
+
+
+def run_fig12(
+    scale: str = "quick",
+    branchings: Optional[Tuple[float, ...]] = None,
+) -> FigureResult:
+    paper = _paper_scale(scale)
+    if branchings is None:
+        branchings = (
+            (1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1)
+            if paper
+            else (1e-4, 1e-3, 1e-2, 0.1)
+        )
+    steps = 128
+    instances = 1000 if paper else 250
+    result = FigureResult(
+        figure="Figure 12",
+        caption="Performance for a Markov process",
+        x_label="branching factor",
+        y_label="time (ms/step)",
+    )
+    naive_series = Series("Naive")
+    jigsaw_series = Series("Jigsaw")
+    for branching in branchings:
+        model = markov_branch_model(branching)
+        naive_runner = NaiveMarkovRunner(model, instance_count=instances)
+        start = time.perf_counter()
+        naive_runner.run(steps)
+        naive_ms = 1000.0 * (time.perf_counter() - start) / steps
+
+        model = markov_branch_model(branching)
+        jump_runner = MarkovJumpRunner(
+            model,
+            instance_count=instances,
+            fingerprint_size=PAPER_FINGERPRINT_SIZE,
+        )
+        start = time.perf_counter()
+        jump_result = jump_runner.run(steps)
+        jigsaw_ms = 1000.0 * (time.perf_counter() - start) / steps
+
+        naive_series.add(branching, naive_ms)
+        jigsaw_series.add(branching, jigsaw_ms)
+        result.notes.append(
+            f"branching={branching:g}: {len(jump_result.jumps)} jumps, "
+            f"{jump_result.full_steps} full steps, "
+            f"naive/jigsaw = {naive_ms / jigsaw_ms:.2f}x"
+        )
+    result.series = [naive_series, jigsaw_series]
+    return result
+
+
+def _strategy_label(strategy: str) -> str:
+    return {
+        "array": "Array",
+        "normalization": "Normalization",
+        "sorted_sid": "Sorted SID",
+    }[strategy]

@@ -1,0 +1,93 @@
+"""Timing harness shared by the figure runners and the pytest benchmarks.
+
+Reports both wall-clock time and black-box invocation counts; the paper's
+claims are about relative cost (Jigsaw vs. naive, index vs. scan), so the
+machine-independent invocation ratio is printed next to every timing ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.util.tables import format_table
+
+
+@dataclass
+class Measurement:
+    """One timed run: seconds elapsed plus arbitrary work counters."""
+
+    label: str
+    seconds: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def per(self, unit_count: int) -> float:
+        """Seconds per unit (per point, per step, ...)."""
+        if unit_count <= 0:
+            raise ValueError("unit_count must be positive")
+        return self.seconds / unit_count
+
+
+def timed(label: str, func: Callable[[], Dict[str, int]]) -> Measurement:
+    """Run ``func`` once; it returns its work counters."""
+    start = time.perf_counter()
+    counters = func() or {}
+    elapsed = time.perf_counter() - start
+    return Measurement(label=label, seconds=elapsed, counters=counters)
+
+
+@dataclass
+class Series:
+    """One plotted line: (x, y) pairs with a name."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+
+@dataclass
+class FigureResult:
+    """Everything a figure reproduction produced, printable as text."""
+
+    figure: str
+    caption: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def series_named(self, name: str) -> Series:
+        for candidate in self.series:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no series named {name!r} in {self.figure}")
+
+    def to_text(self) -> str:
+        xs = sorted({x for s in self.series for x in s.xs})
+        headers = [self.x_label] + [s.name for s in self.series]
+        lookup = {
+            s.name: dict(s.points) for s in self.series
+        }
+        rows = []
+        for x in xs:
+            row: List[object] = [x]
+            for s in self.series:
+                value = lookup[s.name].get(x)
+                row.append("-" if value is None else value)
+            rows.append(row)
+        title = f"{self.figure}: {self.caption}  (y = {self.y_label})"
+        body = format_table(headers, rows, title=title)
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body

@@ -1,0 +1,161 @@
+"""Stochastic black-box function protocol (paper sections 2.1 and 3.1).
+
+A *black box* (the paper's simplified notion of an MCDB VG-Function) is a
+stochastic function of a parameter point that produces one scalar sample per
+invocation.  Jigsaw only ever interacts with black boxes by sampling, and it
+makes them deterministic by supplying the pseudorandom seed explicitly:
+``sample(params, seed)`` must be a pure function of ``(params, seed)``.
+
+Markov-process models (section 4) additionally carry per-instance state; they
+implement :class:`MarkovModel`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+Params = Mapping[str, float]
+ParamKey = Tuple[Tuple[str, float], ...]
+
+Number = Union[int, float]
+
+
+def param_key(params: Params) -> ParamKey:
+    """Canonical hashable form of a parameter point (sorted name/value pairs)."""
+    return tuple(sorted((str(k), float(v)) for k, v in params.items()))
+
+
+class BlackBox(ABC):
+    """A parameterized stochastic black-box function.
+
+    Subclasses implement :meth:`_sample`; the public :meth:`sample` wrapper
+    validates required parameters and counts invocations so benchmark
+    harnesses can report machine-independent work.
+    """
+
+    #: Human-readable model name, e.g. ``"Demand"``.
+    name: str = "BlackBox"
+
+    #: Names of parameters the model requires in each ``params`` mapping.
+    parameter_names: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self._invocations = 0
+
+    @property
+    def invocations(self) -> int:
+        """Total number of samples drawn from this box since construction."""
+        return self._invocations
+
+    def reset_invocations(self) -> None:
+        self._invocations = 0
+
+    def sample(self, params: Params, seed: int) -> float:
+        """Draw one sample at parameter point ``params`` using ``seed``.
+
+        Deterministic: identical ``(params, seed)`` always yields the same
+        value.  Raises ``KeyError`` if a required parameter is missing.
+        """
+        for name in self.parameter_names:
+            if name not in params:
+                raise KeyError(
+                    f"{self.name} requires parameter {name!r}; "
+                    f"got {sorted(params)}"
+                )
+        self._invocations += 1
+        return float(self._sample(params, seed))
+
+    @abstractmethod
+    def _sample(self, params: Params, seed: int) -> float:
+        """Model-specific sampling logic."""
+
+    def __call__(self, params: Params, seed: int) -> float:
+        return self.sample(params, seed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FunctionBlackBox(BlackBox):
+    """Adapter turning a plain ``f(params, seed) -> float`` into a BlackBox."""
+
+    def __init__(self, func, name: str = "", parameter_names: Tuple[str, ...] = ()):
+        super().__init__()
+        self._func = func
+        self.name = name or getattr(func, "__name__", "FunctionBlackBox")
+        self.parameter_names = parameter_names
+
+    def _sample(self, params: Params, seed: int) -> float:
+        return self._func(params, seed)
+
+
+class MarkovModel(ABC):
+    """A per-instance Markov process (paper section 4).
+
+    The process evolves scalar per-instance state through discrete steps; the
+    chain's randomness at (instance, step) comes from an externally supplied
+    seed, keeping every trajectory reproducible.  ``output`` projects a state
+    to the observable value that fingerprints compare.
+    """
+
+    name: str = "MarkovModel"
+
+    def __init__(self) -> None:
+        self._step_invocations = 0
+
+    @property
+    def step_invocations(self) -> int:
+        """Number of single-instance step evaluations performed."""
+        return self._step_invocations
+
+    def reset_invocations(self) -> None:
+        self._step_invocations = 0
+
+    @abstractmethod
+    def initial_state(self) -> float:
+        """State every instance starts from at step 0."""
+
+    def step(self, state: float, step_index: int, seed: int) -> float:
+        """Advance one instance one step; deterministic in all arguments."""
+        self._step_invocations += 1
+        return float(self._step(state, step_index, seed))
+
+    @abstractmethod
+    def _step(self, state: float, step_index: int, seed: int) -> float:
+        """Model-specific transition logic."""
+
+    def output(self, state: float, step_index: int) -> float:
+        """Observable value of a state (defaults to the state itself)."""
+        return state
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BlackBoxRegistry:
+    """Name → black box lookup used by the query-language binder."""
+
+    def __init__(self) -> None:
+        self._boxes: Dict[str, BlackBox] = {}
+
+    def register(self, box: BlackBox, name: Optional[str] = None) -> None:
+        key = (name or box.name).lower()
+        if key in self._boxes:
+            raise ValueError(f"black box {key!r} already registered")
+        self._boxes[key] = box
+
+    def lookup(self, name: str) -> BlackBox:
+        try:
+            return self._boxes[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._boxes)) or "(none)"
+            raise KeyError(
+                f"unknown black box {name!r}; registered: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._boxes
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._boxes))

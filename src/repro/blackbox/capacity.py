@@ -1,0 +1,79 @@
+"""The Capacity black box (paper Figure 6, sections 2.2 and 6.2).
+
+"Simulates a series of purchases.  Each purchase increases the capacity of
+the server cluster after an exponentially distributed delay."
+
+The expectation plotted over time is a step function with a *structure*
+around each purchase date: for a short window after a purchase, only an
+(exponentially shrinking) fraction of sampled worlds have the hardware
+online.  Far from any purchase the week-to-week output distributions are
+identical up to a constant shift, so Jigsaw collapses the ~8000-point
+parameter space into a handful of basis distributions; inside a structure,
+each distinct (week − purchase) offset yields its own basis.  Figure 9
+sweeps ``structure_size`` (the mean coming-online delay, in weeks) and
+observes sub-linear basis growth.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.blackbox.base import BlackBox, Params
+from repro.blackbox.rng import DeterministicRng
+
+
+class CapacityModel(BlackBox):
+    """Stochastic CPU-core availability for a given future week.
+
+    Parameters (per sample): ``current_week``, ``purchase1``, ``purchase2``
+    — the week being estimated and two candidate purchase weeks.
+    """
+
+    name = "Capacity"
+    parameter_names: Tuple[str, ...] = (
+        "current_week",
+        "purchase1",
+        "purchase2",
+    )
+
+    def __init__(
+        self,
+        base_capacity: float = 40.0,
+        purchase_volume: float = 30.0,
+        structure_size: float = 2.0,
+        noise_stddev: float = 1.0,
+        weekly_failure_rate: float = 0.0,
+    ):
+        super().__init__()
+        if structure_size < 0:
+            raise ValueError("structure_size must be non-negative")
+        if noise_stddev < 0:
+            raise ValueError("noise_stddev must be non-negative")
+        if not 0.0 <= weekly_failure_rate < 1.0:
+            raise ValueError("weekly_failure_rate must lie in [0, 1)")
+        self.base_capacity = base_capacity
+        self.purchase_volume = purchase_volume
+        self.structure_size = structure_size
+        self.noise_stddev = noise_stddev
+        self.weekly_failure_rate = weekly_failure_rate
+
+    def _sample(self, params: Params, seed: int) -> float:
+        week = float(params["current_week"])
+        purchases = (float(params["purchase1"]), float(params["purchase2"]))
+        rng = DeterministicRng(seed)
+        # Fleet attrition shrinks the pre-existing capacity geometrically.
+        surviving = self.base_capacity * (
+            (1.0 - self.weekly_failure_rate) ** max(week, 0.0)
+        )
+        capacity = surviving + rng.normal(0.0, self.noise_stddev)
+        for purchase_week in purchases:
+            # The delay draw happens unconditionally so that the seed stream
+            # stays aligned across parameter points (same code path => same
+            # draws), which is what makes cross-week fingerprints mappable.
+            if self.structure_size > 0:
+                online_delay = rng.exponential(self.structure_size)
+            else:
+                online_delay = 0.0
+            if week >= purchase_week + online_delay:
+                capacity += self.purchase_volume
+        return capacity

@@ -1,0 +1,51 @@
+"""The MarkovBranch black box (paper Figure 6 and section 6.4).
+
+"A synthetic black box where at each step, a state counter is incremented by
+one with a predefined probability.  The states diverge at some specified
+rate."
+
+``branching`` is the paper's *branching factor*: the per-step probability
+that an instance's counter increments.  At low branching, trajectories stay
+flat for long stretches and a frozen-state estimator remains valid, letting
+the Markov-jump evaluator skip nearly all full-population work; as branching
+approaches ~0.05 (one step in twenty), jumps stop paying off (Figure 12).
+"""
+
+from __future__ import annotations
+
+from repro.blackbox.base import MarkovModel
+from repro.blackbox.rng import DeterministicRng
+
+
+class MarkovBranchModel(MarkovModel):
+    """Counter chain that increments with probability ``branching`` per step."""
+
+    name = "MarkovBranch"
+
+    def __init__(
+        self,
+        branching: float = 0.01,
+        increment: float = 1.0,
+        work_per_step: int = 1,
+    ):
+        super().__init__()
+        if not 0.0 <= branching <= 1.0:
+            raise ValueError("branching must lie in [0, 1]")
+        if work_per_step < 1:
+            raise ValueError("work_per_step must be positive")
+        self.branching = branching
+        self.increment = increment
+        self.work_per_step = work_per_step
+
+    def initial_state(self) -> float:
+        return 0.0
+
+    def _step(self, state: float, step_index: int, seed: int) -> float:
+        rng = DeterministicRng(seed)
+        branched = rng.bernoulli(self.branching)
+        # Busy-work knob emulating a costlier transition function.
+        for _ in range(self.work_per_step - 1):
+            rng.uniform()
+        if branched:
+            return state + self.increment
+        return state

@@ -1,0 +1,82 @@
+"""The MarkovStep black box (paper Figure 6 and section 4).
+
+"A simple Markovian process simulating the behavior of Demand with a
+Markovian dependency introduced between feature release and the prior date's
+demand."
+
+The chain's per-instance state is the feature release week (initially in the
+future / "not yet released", encoded as the sentinel ``pending_release``).
+At each step (week), demand is drawn from the Demand model conditioned on the
+current release state; if demand crosses ``release_threshold`` while the
+feature is unreleased, management releases it at that week.  Markovian
+dependencies are therefore *infrequent*: exactly one discontinuity per
+trajectory, surrounded by long regions where a state-frozen estimator is
+valid — the structure the Markov-jump algorithm (Algorithm 4) exploits.
+"""
+
+from __future__ import annotations
+
+from repro.blackbox.base import MarkovModel
+from repro.blackbox.demand import DemandModel
+
+
+class MarkovStepModel(MarkovModel):
+    """Demand process whose feature-release week depends on past demand.
+
+    State encoding: the release week if released, else ``pending_release``
+    (a large sentinel meaning "not released yet").  The observable output is
+    the demand drawn for the step.
+    """
+
+    name = "MarkovStep"
+
+    def __init__(
+        self,
+        release_threshold: float = 30.0,
+        pending_release: float = 1.0e9,
+        demand: DemandModel = None,
+    ):
+        super().__init__()
+        self.release_threshold = release_threshold
+        self.pending_release = pending_release
+        self.demand = demand if demand is not None else DemandModel()
+
+    def initial_state(self) -> float:
+        return self.pending_release
+
+    def demand_at(self, state: float, step_index: int, seed: int) -> float:
+        """Demand for the step given the current release state."""
+        return self.demand.sample(
+            {"current_week": float(step_index), "feature_release": state},
+            seed,
+        )
+
+    def _step(self, state: float, step_index: int, seed: int) -> float:
+        demand_value = self.demand_at(state, step_index, seed)
+        released = state < self.pending_release
+        if not released and demand_value > self.release_threshold:
+            return float(step_index)
+        return state
+
+    def output(self, state: float, step_index: int) -> float:
+        """Observable: the release week driving downstream demand.
+
+        The jump evaluator compares outputs via fingerprints; observing the
+        state directly (rather than the noisy demand draw) mirrors the
+        paper's release-week chain in Figure 5.
+        """
+        return state
+
+
+class DemandObservedMarkovStep(MarkovStepModel):
+    """MarkovStep variant whose observable is the demand draw itself.
+
+    Exercises the harder case where the fingerprinted quantity is stochastic
+    at every step (demand), not just at discontinuities; the demand for a
+    step is re-derived deterministically from (state, step, seed).
+    """
+
+    name = "MarkovStepDemand"
+
+    def observed_demand(self, state: float, step_index: int, seed: int) -> float:
+        return self.demand_at(state, step_index, seed)

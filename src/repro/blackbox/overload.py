@@ -1,0 +1,67 @@
+"""The Overload black box (paper Figure 6 and section 6.2).
+
+"A black box synthesized from Capacity and Demand.  Demand's feature release
+is ignored, and this black box returns 1 if Demand is greater than Capacity,
+and 0 otherwise."
+
+The boolean output destroys the affine structure fingerprint mapping relies
+on: a 0/1 fingerprint carries no information about *how far* demand exceeded
+capacity, so distinct distributions can only be reused under the identity
+mapping.  The paper reports this as the case where Jigsaw achieves only ~2x
+(rather than orders of magnitude) and motivates symbolic execution
+(implemented separately in :mod:`repro.core.symbolic`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.blackbox.base import BlackBox, Params
+from repro.blackbox.capacity import CapacityModel
+from repro.blackbox.demand import DemandModel
+from repro.core.seeds import derive_seed
+
+
+class OverloadModel(BlackBox):
+    """Indicator that stochastic demand exceeds stochastic capacity."""
+
+    name = "Overload"
+    parameter_names: Tuple[str, ...] = (
+        "current_week",
+        "purchase1",
+        "purchase2",
+    )
+
+    def __init__(
+        self,
+        demand: Optional[DemandModel] = None,
+        capacity: Optional[CapacityModel] = None,
+        ignored_feature_release: float = 1.0e9,
+    ):
+        super().__init__()
+        self.demand = demand if demand is not None else DemandModel()
+        self.capacity = capacity if capacity is not None else CapacityModel()
+        # Per the paper, Demand's feature release is ignored; pushing it past
+        # any reachable week keeps Demand on its no-release code path.
+        self.ignored_feature_release = ignored_feature_release
+
+    def _sample(self, params: Params, seed: int) -> float:
+        week = float(params["current_week"])
+        demand_value = self.demand.sample(
+            {
+                "current_week": week,
+                "feature_release": self.ignored_feature_release,
+            },
+            # Distinct substreams per component so the two models do not
+            # consume correlated draws from one stream.
+            derive_seed(seed, 1),
+        )
+        capacity_value = self.capacity.sample(
+            {
+                "current_week": week,
+                "purchase1": float(params["purchase1"]),
+                "purchase2": float(params["purchase2"]),
+            },
+            derive_seed(seed, 2),
+        )
+        return 1.0 if demand_value > capacity_value else 0.0

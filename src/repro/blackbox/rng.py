@@ -1,0 +1,93 @@
+"""Deterministic per-seed random variate generation.
+
+The paper (section 3.1) requires every source of randomness inside a
+stochastic black box to be replaced by a pseudorandom generator seeded by the
+externally supplied σ.  :class:`DeterministicRng` is that generator.  Two
+invocations of a black box with the same seed draw the *same* underlying
+uniform/normal stream, which is exactly what makes fingerprints of different
+parameter values comparable: ``Normal(µ1, s1)`` and ``Normal(µ2, s2)`` sampled
+from a shared standard-normal draw ``z`` are related by the affine map
+``x -> (s2/s1)(x - µ1) + µ2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.seeds import derive_seed
+
+
+class DeterministicRng:
+    """A seeded random stream with the standard variate constructors.
+
+    Variates are built from standard draws (uniform / normal / exponential)
+    by explicit location-scale transforms, so outputs are affine in their
+    location and scale parameters for a fixed seed — the property Jigsaw's
+    linear mapping family exploits.
+    """
+
+    def __init__(self, seed: int):
+        self._seed = seed
+        self._generator = np.random.Generator(
+            np.random.PCG64(derive_seed(seed))
+        )
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Uniform draw on ``[low, high)`` via location-scale."""
+        if high < low:
+            raise ValueError("uniform requires high >= low")
+        return low + (high - low) * float(self._generator.random())
+
+    def normal(self, mean: float = 0.0, stddev: float = 1.0) -> float:
+        """Gaussian draw via ``mean + stddev * z``."""
+        if stddev < 0:
+            raise ValueError("normal requires stddev >= 0")
+        return mean + stddev * float(self._generator.standard_normal())
+
+    def normal_from_variance(self, mean: float, variance: float) -> float:
+        """Gaussian draw parameterized by variance, as in paper Algorithm 1."""
+        if variance < 0:
+            raise ValueError("variance must be non-negative")
+        return self.normal(mean, math.sqrt(variance))
+
+    def exponential(self, mean: float = 1.0) -> float:
+        """Exponential draw with the given mean via scale transform."""
+        if mean <= 0:
+            raise ValueError("exponential requires mean > 0")
+        return mean * float(self._generator.standard_exponential())
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability (threshold on a uniform draw)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        return float(self._generator.random()) < probability
+
+    def poisson(self, mean: float) -> int:
+        """Poisson draw (used by data-heavy user-population models)."""
+        if mean < 0:
+            raise ValueError("poisson requires mean >= 0")
+        return int(self._generator.poisson(mean))
+
+    def choice(self, count: int) -> int:
+        """Uniform integer draw on ``[0, count)``."""
+        if count <= 0:
+            raise ValueError("choice requires count > 0")
+        return int(self._generator.integers(0, count))
+
+    def standard_normals(self, count: int) -> np.ndarray:
+        """Vector of standard normal draws (bulk path for vectorized models)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self._generator.standard_normal(count)
+
+    def uniforms(self, count: int) -> np.ndarray:
+        """Vector of standard uniform draws."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self._generator.random(count)

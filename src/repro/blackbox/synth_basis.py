@@ -1,0 +1,65 @@
+"""The SynthBasis black box (paper Figure 6, sections 6.3).
+
+"A synthetic black box based on Demand, but with a deterministic number of
+basis distributions."  The indexing experiments (Figures 10 and 11) need
+precise control over how many distinct basis distributions a parameter sweep
+produces; SynthBasis partitions its parameter domain into ``basis_count``
+residue classes such that
+
+* points in the same class are exact affine images of one another (one basis
+  per class under the linear mapping family), and
+* points in different classes are *not* affine-related (each class really is
+  a separate basis).
+
+Non-relatedness across classes is achieved by mixing two independent normal
+draws with a class-dependent nonlinear blend; no single affine map can align
+all fingerprint entries of different blends.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.blackbox.base import BlackBox, Params
+from repro.blackbox.rng import DeterministicRng
+
+
+class SynthBasisModel(BlackBox):
+    """Synthetic model producing exactly ``basis_count`` basis distributions."""
+
+    name = "SynthBasis"
+    parameter_names: Tuple[str, ...] = ("point",)
+
+    def __init__(
+        self,
+        basis_count: int = 10,
+        work_per_sample: int = 1,
+        scale_step: float = 0.01,
+    ):
+        super().__init__()
+        if basis_count < 1:
+            raise ValueError("basis_count must be positive")
+        if work_per_sample < 1:
+            raise ValueError("work_per_sample must be positive")
+        self.basis_count = basis_count
+        self.work_per_sample = work_per_sample
+        self.scale_step = scale_step
+
+    def _sample(self, params: Params, seed: int) -> float:
+        point = int(params["point"])
+        if point < 0:
+            raise ValueError("point must be non-negative")
+        residue = point % self.basis_count
+        rng = DeterministicRng(seed)
+        first = rng.normal()
+        second = rng.normal()
+        # Busy-work knob: emulate a more expensive model without changing
+        # its distribution (the extra draws are discarded).
+        for _ in range(self.work_per_sample - 1):
+            rng.normal()
+        # Class-dependent nonlinear blend: affine within a class (via the
+        # point-dependent scale below), non-affine across classes.
+        blend = first + (residue + 1) * first * second
+        class_index = point // self.basis_count
+        scale = 1.0 + self.scale_step * class_index
+        return scale * blend + 0.5 * class_index

@@ -1,0 +1,163 @@
+"""The UserSelection black box (paper Figure 6 and section 6.1).
+
+"The UserSim black box simulates the per-user requirements of each of a set
+of users."  This is the *data-dependent* model of the evaluation: one sample
+touches a row per user, so its cost is dominated by bulk data handling rather
+than model logic.  The paper uses it to show where the DBMS-backed prototype
+beats the lightweight engine (Figure 7's last row); our wrapper engine takes
+the vectorized bulk path while the core engine loops per user in Python,
+preserving that crossover.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.blackbox.base import BlackBox, Params
+from repro.blackbox.rng import DeterministicRng
+
+
+class UserSelectionModel(BlackBox):
+    """Aggregate stochastic requirement of a population of users.
+
+    Each user has a lognormal-ish base requirement that grows with the
+    current date and is active with a per-user probability; one sample sums
+    the active users' requirements.
+    """
+
+    name = "UserSelect"
+    parameter_names: Tuple[str, ...] = ("current_week",)
+
+    def __init__(
+        self,
+        user_count: int = 5000,
+        mean_requirement: float = 2.0,
+        requirement_spread: float = 0.5,
+        activity_probability: float = 0.8,
+        weekly_growth: float = 0.01,
+    ):
+        super().__init__()
+        if user_count <= 0:
+            raise ValueError("user_count must be positive")
+        if not 0.0 <= activity_probability <= 1.0:
+            raise ValueError("activity_probability must lie in [0, 1]")
+        if requirement_spread < 0:
+            raise ValueError("requirement_spread must be non-negative")
+        self.user_count = user_count
+        self.mean_requirement = mean_requirement
+        self.requirement_spread = requirement_spread
+        self.activity_probability = activity_probability
+        self.weekly_growth = weekly_growth
+
+    def _growth_factor(self, week: float) -> float:
+        return 1.0 + self.weekly_growth * max(week, 0.0)
+
+    def _sample(self, params: Params, seed: int) -> float:
+        """Row-at-a-time evaluation: one Python-level loop over users.
+
+        Uses the same (uniform, uniform) draws per user as the bulk path,
+        pushing the second through the normal quantile function, so the two
+        paths produce bit-identical samples for a given seed.
+        """
+        week = float(params["current_week"])
+        rng = DeterministicRng(seed)
+        growth = self._growth_factor(week)
+        total = 0.0
+        for _ in range(self.user_count):
+            activity_draw = rng.uniform()
+            requirement_draw = rng.uniform()
+            active = activity_draw < self.activity_probability
+            requirement = self.mean_requirement + (
+                self.requirement_spread
+                * float(_normal_ppf(np.array([requirement_draw]))[0])
+            )
+            if active:
+                total += max(requirement, 0.0) * growth
+        return total
+
+    def sample_vectorized(self, params: Params, seed: int) -> float:
+        """Set-at-a-time evaluation: the bulk path a DBMS engine would take.
+
+        Draws the same variates as :meth:`sample` (activity first, then
+        requirement, per user, from one stream) so row and bulk paths agree
+        exactly for a given seed.
+        """
+        week = float(params["current_week"])
+        rng = DeterministicRng(seed)
+        growth = self._growth_factor(week)
+        draws = rng.uniforms(2 * self.user_count).reshape(self.user_count, 2)
+        active = draws[:, 0] < self.activity_probability
+        # Invert the uniform draw through the normal quantile function so the
+        # per-user requirement matches the scalar path's normal() draw.
+        requirement = (
+            self.mean_requirement
+            + self.requirement_spread * _normal_ppf(draws[:, 1])
+        )
+        self._invocations += 1
+        contributions = np.where(active, np.maximum(requirement, 0.0), 0.0)
+        return float(contributions.sum() * growth)
+
+
+def _normal_ppf(u: np.ndarray) -> np.ndarray:
+    """Acklam-style rational approximation of the standard normal quantile.
+
+    Accurate to ~1e-9, sufficient for the bulk path, and dependency-free.
+    """
+    a = (
+        -3.969683028665376e01,
+        2.209460984245205e02,
+        -2.759285104469687e02,
+        1.383577518672690e02,
+        -3.066479806614716e01,
+        2.506628277459239e00,
+    )
+    b = (
+        -5.447609879822406e01,
+        1.615858368580409e02,
+        -1.556989798598866e02,
+        6.680131188771972e01,
+        -1.328068155288572e01,
+    )
+    c = (
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e00,
+        -2.549732539343734e00,
+        4.374664141464968e00,
+        2.938163982698783e00,
+    )
+    d = (
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e00,
+        3.754408661907416e00,
+    )
+    u = np.clip(u, 1e-300, 1.0 - 1e-16)
+    result = np.empty_like(u)
+
+    low = u < 0.02425
+    high = u > 1.0 - 0.02425
+    mid = ~(low | high)
+
+    if np.any(mid):
+        q = u[mid] - 0.5
+        r = q * q
+        num = ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+        den = ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        result[mid] = num * q / den
+
+    if np.any(low):
+        q = np.sqrt(-2.0 * np.log(u[low]))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        result[low] = num / den
+
+    if np.any(high):
+        q = np.sqrt(-2.0 * np.log(1.0 - u[high]))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        result[high] = -num / den
+
+    return result

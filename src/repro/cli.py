@@ -1,0 +1,170 @@
+"""Command-line interface: run Jigsaw query files from a shell.
+
+Usage::
+
+    python -m repro run scenario.sql [--samples N] [--fingerprint M]
+    python -m repro graph scenario.sql [--samples N]
+    python -m repro explain scenario.sql
+
+``run`` executes the batch pipeline (explore + OPTIMIZE) and prints the
+answer; ``graph`` renders the query's GRAPH clause as an ASCII chart over
+its x parameter; ``explain`` parses and binds the query, reporting the
+scenario structure without simulating.  Models are resolved against
+:func:`repro.blackbox.default_registry`; applications embedding the library
+register their own boxes and call the same functions programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.blackbox import BlackBoxRegistry, default_registry
+from repro.errors import JigsawError
+from repro.interactive.plotting import render_graph
+from repro.lang.binder import BoundQuery, compile_query
+from repro.scenario import ScenarioRunner
+from repro.util.tables import format_table
+
+
+def _load(path: str, registry: Optional[BlackBoxRegistry]) -> BoundQuery:
+    with open(path) as handle:
+        source = handle.read()
+    return compile_query(source, registry or default_registry())
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    bound = _load(args.query, None)
+    scenario = bound.scenario
+    rows = []
+    for spec in scenario.parameters:
+        if spec.is_chain:
+            rows.append([f"@{spec.name}", "CHAIN", "(evolved)"])
+        else:
+            values = spec.values()
+            preview = ", ".join(f"{v:g}" for v in values[:6])
+            if len(values) > 6:
+                preview += ", ..."
+            rows.append([f"@{spec.name}", type(spec).__name__, preview])
+    print(format_table(["parameter", "kind", "values"], rows))
+    print(f"\noutput columns : {', '.join(scenario.output_columns)}")
+    print(f"parameter space: {scenario.space.size()} points")
+    print(f"optimize clause: {'yes' if bound.selector else 'no'}")
+    print(f"graph clause   : {'yes' if bound.graph else 'no'}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    bound = _load(args.query, None)
+    runner = ScenarioRunner(
+        bound.scenario,
+        samples_per_point=args.samples,
+        fingerprint_size=args.fingerprint,
+    )
+    result = runner.run()
+    stats = result.stats
+    print(
+        f"explored {stats.points_total} points | "
+        f"{stats.rounds_executed} rounds "
+        f"(reuse {stats.reuse_fraction:.0%}, {stats.bases_created} bases)"
+    )
+    if bound.selector is None:
+        print("query has no OPTIMIZE clause; printing per-point expectations")
+        rows = []
+        for key, columns in sorted(result.metrics.items()):
+            label = ", ".join(f"{n}={v:g}" for n, v in key)
+            rows.append(
+                [label]
+                + [columns[c].expectation for c in bound.scenario.output_columns]
+            )
+        print(
+            format_table(
+                ["point"] + list(bound.scenario.output_columns), rows
+            )
+        )
+        return 0
+    answer = result.optimize(bound.selector)
+    print(
+        f"feasible groups: {len(answer.feasible_groups)} / "
+        f"{len(answer.groups)}"
+    )
+    if answer.best is None:
+        print("no feasible group satisfies the constraints")
+        return 1
+    best = answer.best_parameters()
+    print(
+        "best: " + ", ".join(f"@{name}={value:g}" for name, value in best.items())
+    )
+    return 0
+
+
+def _command_graph(args: argparse.Namespace) -> int:
+    bound = _load(args.query, None)
+    if bound.graph is None:
+        print("query has no GRAPH clause", file=sys.stderr)
+        return 2
+    runner = ScenarioRunner(
+        bound.scenario,
+        samples_per_point=args.samples,
+        fingerprint_size=args.fingerprint,
+    )
+    result = runner.run()
+    x_parameter = bound.graph.x_parameter
+    x_values = sorted(
+        {params[x_parameter] for params in result.points.values()}
+    )
+    series = {}
+    for metric, column, _ in bound.graph.series:
+        points = []
+        for x in x_values:
+            matching = [
+                result.metrics[key]
+                for key, params in result.points.items()
+                if params[x_parameter] == x
+            ]
+            values = [
+                columns[column].expectation
+                if metric == "expect"
+                else columns[column].stddev
+                for columns in matching
+            ]
+            points.append(sum(values) / len(values))
+        series[f"{metric} {column}"] = points
+    print(render_graph(x_parameter, x_values, series))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Jigsaw query runner"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, handler in (
+        ("run", _command_run),
+        ("graph", _command_graph),
+        ("explain", _command_explain),
+    ):
+        sub = subparsers.add_parser(name)
+        sub.add_argument("query", help="path to a Jigsaw query file")
+        sub.add_argument("--samples", type=int, default=200)
+        sub.add_argument("--fingerprint", type=int, default=10)
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except JigsawError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

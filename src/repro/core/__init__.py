@@ -1,0 +1,114 @@
+"""Jigsaw's core contribution: fingerprints, mappings, reuse, and jumps."""
+
+from repro.core.basis import BasisDistribution, BasisStore, StoreStats
+from repro.core.estimator import (
+    Estimator,
+    Histogram,
+    MetricSet,
+    merge_metric_sets,
+)
+from repro.core.explorer import (
+    ExplorationResult,
+    ExplorerStats,
+    NaiveExplorer,
+    ParameterExplorer,
+    PointResult,
+)
+from repro.core.fingerprint import (
+    Fingerprint,
+    compute_fingerprint,
+    fingerprint_from_values,
+)
+from repro.core.index import (
+    ArrayIndex,
+    FingerprintIndex,
+    NormalizationIndex,
+    SortedSIDIndex,
+    make_index,
+)
+from repro.core.mapping import (
+    AffineMapping,
+    IdentityMappingFamily,
+    LinearMappingFamily,
+    Mapping,
+    MappingFamily,
+    MonotoneMappingFamily,
+    PiecewiseLinearMapping,
+    ScaleMappingFamily,
+    ShiftMappingFamily,
+    find_linear_mapping,
+)
+from repro.core.markov import (
+    FrozenStateEstimator,
+    JumpRecord,
+    MarkovJumpRunner,
+    MarkovRunResult,
+    NaiveMarkovRunner,
+)
+from repro.core.search import (
+    ExhaustiveSearch,
+    HillClimbSearch,
+    SearchResult,
+    SearchTrace,
+)
+from repro.core.optimizer import (
+    Constraint,
+    GroupOutcome,
+    Objective,
+    OptimizeAnswer,
+    Selector,
+)
+from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank, derive_seed
+from repro.core.symbolic import MappedVariable, SampleVariable
+
+__all__ = [
+    "BasisDistribution",
+    "BasisStore",
+    "StoreStats",
+    "Estimator",
+    "Histogram",
+    "MetricSet",
+    "ExhaustiveSearch",
+    "HillClimbSearch",
+    "SearchResult",
+    "SearchTrace",
+    "merge_metric_sets",
+    "ExplorationResult",
+    "ExplorerStats",
+    "NaiveExplorer",
+    "ParameterExplorer",
+    "PointResult",
+    "Fingerprint",
+    "compute_fingerprint",
+    "fingerprint_from_values",
+    "ArrayIndex",
+    "FingerprintIndex",
+    "NormalizationIndex",
+    "SortedSIDIndex",
+    "make_index",
+    "AffineMapping",
+    "IdentityMappingFamily",
+    "LinearMappingFamily",
+    "Mapping",
+    "MappingFamily",
+    "MonotoneMappingFamily",
+    "PiecewiseLinearMapping",
+    "ScaleMappingFamily",
+    "ShiftMappingFamily",
+    "find_linear_mapping",
+    "FrozenStateEstimator",
+    "JumpRecord",
+    "MarkovJumpRunner",
+    "MarkovRunResult",
+    "NaiveMarkovRunner",
+    "Constraint",
+    "GroupOutcome",
+    "Objective",
+    "OptimizeAnswer",
+    "Selector",
+    "DEFAULT_SEED_BANK",
+    "SeedBank",
+    "derive_seed",
+    "MappedVariable",
+    "SampleVariable",
+]

@@ -1,0 +1,180 @@
+"""Basis distributions and the FindMatch store (paper section 3.1, Alg 3).
+
+During execution Jigsaw incrementally maintains a set of *basis
+distributions* — (fingerprint, output metrics) pairs for parameter points
+that were fully simulated.  A new point first computes its fingerprint; if a
+stored basis maps onto it, the expensive remaining Monte Carlo rounds are
+skipped and the basis's metrics are remapped instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.estimator import Estimator, MetricSet
+from repro.core.fingerprint import (
+    DEFAULT_ABS_TOL,
+    DEFAULT_REL_TOL,
+    Fingerprint,
+)
+from repro.core.index import FingerprintIndex, make_index
+from repro.core.mapping import (
+    AffineMapping,
+    LinearMappingFamily,
+    Mapping,
+    MappingFamily,
+)
+
+
+@dataclass
+class BasisDistribution:
+    """A fully simulated distribution available for reuse.
+
+    ``samples`` holds the raw Monte Carlo outputs (fingerprint rounds first),
+    enabling sample-level reuse under non-affine mappings and sample
+    recycling in the interactive engine.
+    """
+
+    basis_id: int
+    fingerprint: Fingerprint
+    samples: np.ndarray
+    metrics: MetricSet
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=float)
+
+
+@dataclass
+class StoreStats:
+    """Work counters for basis matching (benchmarks read these)."""
+
+    lookups: int = 0
+    candidates_tested: int = 0
+    matches: int = 0
+    bases_created: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "lookups": self.lookups,
+            "candidates_tested": self.candidates_tested,
+            "matches": self.matches,
+            "bases_created": self.bases_created,
+        }
+
+
+class BasisStore:
+    """The set of basis distributions plus its fingerprint index.
+
+    Implements the matching half of paper Algorithm 3 (FindMatch): probe the
+    index for candidates, run the family's FindMapping on each, and return
+    the first basis with a valid mapping.
+    """
+
+    def __init__(
+        self,
+        mapping_family: Optional[MappingFamily] = None,
+        index: Optional[FingerprintIndex] = None,
+        index_strategy: str = "normalization",
+        estimator: Optional[Estimator] = None,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ):
+        self.mapping_family = mapping_family or LinearMappingFamily()
+        if index is None:
+            if (
+                index_strategy == "normalization"
+                and not self.mapping_family.supports_normal_form
+            ):
+                # Normalization is meaningless for families without a normal
+                # form; fall back to the always-correct scan.
+                index_strategy = "array"
+            index = make_index(index_strategy)
+        self.index = index
+        self.estimator = estimator or Estimator()
+        self.rel_tol = rel_tol
+        self.abs_tol = abs_tol
+        self.stats = StoreStats()
+        self._bases: Dict[int, BasisDistribution] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._bases)
+
+    @property
+    def bases(self) -> Tuple[BasisDistribution, ...]:
+        return tuple(self._bases[i] for i in sorted(self._bases))
+
+    def get(self, basis_id: int) -> BasisDistribution:
+        return self._bases[basis_id]
+
+    def match(
+        self, fingerprint: Fingerprint
+    ) -> Optional[Tuple[BasisDistribution, Mapping]]:
+        """Find a stored basis and mapping M with M(basis.fp) == fingerprint.
+
+        The mapping direction follows the reuse direction: applying M to the
+        basis's samples/metrics yields the probe point's.
+        """
+        self.stats.lookups += 1
+        for basis_id in self.index.candidates(fingerprint):
+            basis = self._bases[basis_id]
+            self.stats.candidates_tested += 1
+            mapping = self.mapping_family.find(
+                basis.fingerprint,
+                fingerprint,
+                rel_tol=self.rel_tol,
+                abs_tol=self.abs_tol,
+            )
+            if mapping is not None:
+                self.stats.matches += 1
+                return basis, mapping
+        return None
+
+    def add(
+        self,
+        fingerprint: Fingerprint,
+        samples: np.ndarray,
+        metrics: Optional[MetricSet] = None,
+    ) -> BasisDistribution:
+        """Store a fully simulated distribution as a new basis."""
+        if metrics is None:
+            metrics = self.estimator.estimate(samples)
+        basis = BasisDistribution(
+            basis_id=self._next_id,
+            fingerprint=fingerprint,
+            samples=np.asarray(samples, dtype=float),
+            metrics=metrics,
+        )
+        self._bases[basis.basis_id] = basis
+        self.index.insert(fingerprint, basis.basis_id)
+        self._next_id += 1
+        self.stats.bases_created += 1
+        return basis
+
+    def extend_basis(
+        self, basis_id: int, new_samples: np.ndarray
+    ) -> BasisDistribution:
+        """Append refinement samples to a basis and refresh its metrics.
+
+        Used by the interactive engine (section 5): new samples generated for
+        a point of interest are recycled into its basis through M⁻¹, making
+        every correlated point's estimate more accurate at once.
+        """
+        basis = self._bases[basis_id]
+        basis.samples = np.concatenate(
+            [basis.samples, np.asarray(new_samples, dtype=float)]
+        )
+        basis.metrics = self.estimator.estimate(basis.samples)
+        return basis
+
+    def metrics_for(
+        self, basis: BasisDistribution, mapping: Mapping
+    ) -> MetricSet:
+        """Metrics of the mapped distribution: Mest in closed form when the
+        mapping is affine, else recomputed from mapped samples."""
+        if isinstance(mapping, AffineMapping):
+            return basis.metrics.remap(mapping)
+        return self.estimator.estimate(mapping.apply_array(basis.samples))

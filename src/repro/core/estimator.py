@@ -1,0 +1,257 @@
+"""The Estimator component (paper Figure 3): samples → output metrics.
+
+The PDB subsystem hands the estimator a set of i.i.d. samples of the query
+result distribution; the estimator reduces them to the characteristics of
+interest (expectation, standard deviation, quantiles, histogram).  For
+Jigsaw's reuse path, a :class:`MetricSet` computed for one basis distribution
+can be *remapped* through an affine mapping — ``Mest`` in the paper — instead
+of being recomputed, which is the entire point of fingerprinting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mapping import AffineMapping, Mapping
+from repro.errors import EstimatorError
+
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.05, 0.25, 0.5, 0.75, 0.95)
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-width sample histogram (the PDB's binned answer representation)."""
+
+    counts: Tuple[int, ...]
+    edges: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.counts) + 1:
+            raise EstimatorError(
+                f"histogram needs {len(self.counts) + 1} edges, got "
+                f"{len(self.edges)}"
+            )
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def density(self) -> Tuple[float, ...]:
+        """Per-bin probability mass."""
+        total = self.total or 1
+        return tuple(c / total for c in self.counts)
+
+    def remap(self, mapping: "AffineMapping") -> "Histogram":
+        """Map bin edges through M; a negative α reverses the bin order.
+
+        Exact up to boundary semantics: numpy bins are half-open on the
+        left, so a sample sitting exactly on an interior edge can land in
+        the adjacent bin when a histogram is recomputed after a
+        negative-α map (the bin *edges* always agree exactly).
+        """
+        edges = [mapping.apply(e) for e in self.edges]
+        counts = list(self.counts)
+        if mapping.alpha < 0:
+            edges.reverse()
+            counts.reverse()
+        return Histogram(tuple(counts), tuple(edges))
+
+    def probability_above(self, threshold: float) -> float:
+        """P(X > threshold) estimated from bin mass (linear within bins)."""
+        total = self.total
+        if total == 0:
+            raise EstimatorError("empty histogram")
+        mass = 0.0
+        for count, lo, hi in zip(self.counts, self.edges, self.edges[1:]):
+            if lo >= threshold:
+                mass += count
+            elif hi > threshold and hi > lo:
+                mass += count * (hi - threshold) / (hi - lo)
+        return mass / total
+
+
+@dataclass(frozen=True)
+class MetricSet:
+    """Summary metrics of one output distribution.
+
+    ``expectation`` is the Monte Carlo mean; ``quantiles`` pairs each
+    requested probability with its sample quantile; ``histogram`` is the
+    optional binned representation (paper section 2.1 lists it among the
+    answer forms a PDB reports).
+    """
+
+    count: int
+    expectation: float
+    stddev: float
+    minimum: float
+    maximum: float
+    quantiles: Tuple[Tuple[float, float], ...] = ()
+    histogram: Optional[Histogram] = None
+
+    def quantile(self, probability: float) -> float:
+        for p, value in self.quantiles:
+            if p == probability:
+                return value
+        raise EstimatorError(
+            f"quantile {probability} was not computed; available: "
+            f"{[p for p, _ in self.quantiles]}"
+        )
+
+    def remap(self, mapping: Mapping) -> "MetricSet":
+        """Apply ``Mest`` — derive this distribution's metrics for a mapped one.
+
+        Affine maps transform every metric in closed form: the expectation
+        maps through M, the standard deviation scales by |α|, extrema swap
+        when α < 0, and each quantile p maps to M(quantile) at probability p
+        (or 1-p when α < 0 reverses orientation).
+        """
+        if not isinstance(mapping, AffineMapping):
+            raise EstimatorError(
+                "closed-form metric remapping requires an affine mapping; "
+                "remap samples instead for general mappings"
+            )
+        alpha, _ = mapping.alpha, mapping.beta
+        lo = mapping.apply(self.minimum)
+        hi = mapping.apply(self.maximum)
+        if alpha < 0:
+            lo, hi = hi, lo
+        mapped_quantiles = tuple(
+            sorted(
+                (
+                    (p if alpha >= 0 else 1.0 - p),
+                    mapping.apply(value),
+                )
+                for p, value in self.quantiles
+            )
+        )
+        return replace(
+            self,
+            expectation=mapping.apply(self.expectation),
+            stddev=abs(alpha) * self.stddev,
+            minimum=lo,
+            maximum=hi,
+            quantiles=mapped_quantiles,
+            histogram=(
+                self.histogram.remap(mapping)
+                if self.histogram is not None
+                else None
+            ),
+        )
+
+    def approx_equals(self, other: "MetricSet", rel_tol: float = 1e-9) -> bool:
+        """Tolerant comparison of every metric (tests and validation)."""
+        scale = max(abs(self.expectation), abs(other.expectation), 1.0)
+        tol = rel_tol * scale
+        if abs(self.expectation - other.expectation) > tol:
+            return False
+        if abs(self.stddev - other.stddev) > tol:
+            return False
+        if abs(self.minimum - other.minimum) > tol:
+            return False
+        if abs(self.maximum - other.maximum) > tol:
+            return False
+        if len(self.quantiles) != len(other.quantiles):
+            return False
+        return all(
+            a[0] == b[0] and abs(a[1] - b[1]) <= tol
+            for a, b in zip(self.quantiles, other.quantiles)
+        )
+
+
+class Estimator:
+    """Aggregates i.i.d. Monte Carlo samples into a :class:`MetricSet`.
+
+    ``histogram_bins`` enables the binned answer representation; it stays
+    off by default since most callers only need moments and quantiles.
+    """
+
+    def __init__(
+        self,
+        quantile_probabilities: Sequence[float] = DEFAULT_QUANTILES,
+        histogram_bins: int = 0,
+    ):
+        for p in quantile_probabilities:
+            if not 0.0 <= p <= 1.0:
+                raise EstimatorError(f"quantile probability {p} not in [0,1]")
+        if histogram_bins < 0:
+            raise EstimatorError("histogram_bins must be non-negative")
+        self.quantile_probabilities = tuple(quantile_probabilities)
+        self.histogram_bins = histogram_bins
+
+    def estimate(self, samples: Sequence[float]) -> MetricSet:
+        array = np.asarray(samples, dtype=float)
+        if array.size == 0:
+            raise EstimatorError("cannot estimate metrics from zero samples")
+        if self.quantile_probabilities:
+            quantile_values = np.quantile(array, self.quantile_probabilities)
+            quantiles = tuple(
+                (float(p), float(v))
+                for p, v in zip(self.quantile_probabilities, quantile_values)
+            )
+        else:
+            quantiles = ()
+        histogram = None
+        if self.histogram_bins:
+            counts, edges = np.histogram(array, bins=self.histogram_bins)
+            histogram = Histogram(
+                tuple(int(c) for c in counts),
+                tuple(float(e) for e in edges),
+            )
+        return MetricSet(
+            count=int(array.size),
+            expectation=float(array.mean()),
+            # Population std: metrics describe the sampled worlds directly.
+            stddev=float(array.std()),
+            minimum=float(array.min()),
+            maximum=float(array.max()),
+            quantiles=quantiles,
+            histogram=histogram,
+        )
+
+    def probability(
+        self, samples: Sequence[float], threshold: float = 0.5
+    ) -> float:
+        """Fraction of samples exceeding ``threshold`` (P(X > t) estimate)."""
+        array = np.asarray(samples, dtype=float)
+        if array.size == 0:
+            raise EstimatorError("cannot estimate probability of no samples")
+        return float((array > threshold).mean())
+
+
+def remap_samples(samples: np.ndarray, mapping: Mapping) -> np.ndarray:
+    """Map a basis's raw samples through M (general-mapping reuse path)."""
+    return mapping.apply_array(np.asarray(samples, dtype=float))
+
+
+def merge_metric_sets(
+    first: MetricSet, second: MetricSet, estimator: Optional[Estimator] = None
+) -> MetricSet:
+    """Combine two metric sets over disjoint sample batches.
+
+    Exact for count/mean/variance/extrema; quantiles are dropped unless the
+    caller recomputes them from retained samples (the interactive engine's
+    progressive refinement keeps samples and recomputes instead).
+    """
+    total = first.count + second.count
+    if total == 0:
+        raise EstimatorError("cannot merge two empty metric sets")
+    weight_first = first.count / total
+    weight_second = second.count / total
+    mean = weight_first * first.expectation + weight_second * second.expectation
+    delta = second.expectation - first.expectation
+    variance = (
+        weight_first * first.stddev**2
+        + weight_second * second.stddev**2
+        + weight_first * weight_second * delta * delta
+    )
+    return MetricSet(
+        count=total,
+        expectation=mean,
+        stddev=float(np.sqrt(variance)),
+        minimum=min(first.minimum, second.minimum),
+        maximum=max(first.maximum, second.maximum),
+        quantiles=(),
+    )

@@ -1,0 +1,168 @@
+"""Fingerprints of stochastic black-box functions (paper section 3.1).
+
+    fingerprint({σk}, F(Pi)) = {θk = F(Pi, σk) | 0 ≤ k < m}
+
+A fingerprint is the vector of a stochastic function's outputs under the
+fixed global seed sequence.  Because the seeds are shared, two parameter
+points whose output distributions are related by a mapping function produce
+fingerprints related *entrywise* by that same mapping — turning a hard
+distribution-matching problem into a cheap vector comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.core.seeds import SeedBank
+from repro.errors import FingerprintError
+
+#: Relative tolerance used when two fingerprint entries are compared; IEEE
+#: arithmetic noise in exact affine relationships sits around 1e-12, so 1e-9
+#: accepts true matches while rejecting genuinely different distributions.
+DEFAULT_REL_TOL = 1e-9
+DEFAULT_ABS_TOL = 1e-12
+
+#: Decimal places normalized entries are rounded to when used as hash keys.
+#: Normal forms are O(1) by construction, so absolute rounding is safe.
+NORMAL_FORM_DECIMALS = 6
+
+
+def values_close(
+    a: float,
+    b: float,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """Tolerant equality used throughout fingerprint validation."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """An immutable m-entry output vector under the global seed set."""
+
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) == 0:
+            raise FingerprintError("a fingerprint needs at least one entry")
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> float:
+        return self.values[index]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def scale(self) -> float:
+        """Characteristic magnitude used to set relative comparison scales."""
+        return max(abs(v) for v in self.values) or 1.0
+
+    def is_constant(self, rel_tol: float = DEFAULT_REL_TOL) -> bool:
+        """True when every entry equals the first (up to tolerance)."""
+        first = self.values[0]
+        tol_scale = max(self.scale(), 1.0)
+        return all(
+            abs(v - first) <= rel_tol * tol_scale for v in self.values
+        )
+
+    def first_distinct_pair(
+        self, rel_tol: float = DEFAULT_REL_TOL
+    ) -> Optional[Tuple[int, int]]:
+        """Indices of the first two meaningfully different entries.
+
+        Algorithm 2 anchors the candidate linear map on two distinct values;
+        returns ``None`` for constant fingerprints (no such pair exists).
+        """
+        tol_scale = max(self.scale(), 1.0)
+        first = self.values[0]
+        for j in range(1, len(self.values)):
+            if abs(self.values[j] - first) > rel_tol * tol_scale:
+                return (0, j)
+        return None
+
+    def normal_form(
+        self, rel_tol: float = DEFAULT_REL_TOL
+    ) -> Tuple[float, ...]:
+        """Canonical affine-invariant form (paper section 3.2, Normalization).
+
+        The paper suggests mapping "the first two distinct sample values" to
+        two constants; anchoring on the *minimum and maximum* instead keeps
+        every normalized entry inside [0, 1], so the fixed-precision
+        rounding that makes the tuple a hash key is uniformly conditioned
+        (first-two anchoring can scale entries arbitrarily and destabilize
+        the key).  A negative-α image reflects the form (x -> 1 - x), so the
+        lexicographically smaller of the form and its reflection is chosen,
+        making the key invariant under *any* non-degenerate affine map.
+        Constant fingerprints normalize to all zeros.
+        """
+        if self.first_distinct_pair(rel_tol) is None:
+            return tuple(0.0 for _ in self.values)
+        lowest = min(self.values)
+        highest = max(self.values)
+        span = highest - lowest
+        forward = tuple(
+            _stable_round((v - lowest) / span) for v in self.values
+        )
+        reflected = tuple(_stable_round(1.0 - v) for v in forward)
+        return min(forward, reflected)
+
+    def sid_order(self, descending: bool = False) -> Tuple[int, ...]:
+        """Sample-identifier order (paper section 3.2, Sorted SID).
+
+        The sequence of entry indices after sorting entries by value (ties
+        broken by ascending index, making the key deterministic).
+        Monotonically increasing mappings preserve this order exactly; a
+        decreasing mapping turns a source's ascending order into its image's
+        ``descending`` order.  Ties must break by ascending index in *both*
+        orders — a mapping sends equal entries to equal entries, so the tie
+        order is never reversed (plain list reversal would get this wrong).
+        """
+        if descending:
+            indexed = sorted(
+                range(len(self.values)),
+                key=lambda k: (-self.values[k], k),
+            )
+        else:
+            indexed = sorted(
+                range(len(self.values)),
+                key=lambda k: (self.values[k], k),
+            )
+        return tuple(indexed)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{v:.4g}" for v in self.values[:4])
+        suffix = ", ..." if len(self.values) > 4 else ""
+        return f"Fingerprint([{preview}{suffix}], m={len(self.values)})"
+
+
+def _stable_round(value: float) -> float:
+    rounded = round(value, NORMAL_FORM_DECIMALS)
+    # Avoid distinct -0.0 / 0.0 keys.
+    return 0.0 if rounded == 0 else rounded
+
+
+def compute_fingerprint(
+    sample: Callable[[int], float],
+    seed_bank: SeedBank,
+    size: int,
+) -> Fingerprint:
+    """Evaluate ``sample(σk)`` for the first ``size`` seeds of the bank."""
+    if size < 1:
+        raise FingerprintError("fingerprint size must be at least 1")
+    return Fingerprint(
+        tuple(float(sample(seed)) for seed in seed_bank.seeds(size))
+    )
+
+
+def fingerprint_from_values(values: Sequence[float]) -> Fingerprint:
+    """Build a fingerprint from precomputed output values."""
+    return Fingerprint(tuple(float(v) for v in values))

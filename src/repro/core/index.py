@@ -1,0 +1,129 @@
+"""Fingerprint indexes (paper section 3.2).
+
+Matching a new fingerprint against every stored basis distribution costs one
+``FindMapping`` call per basis; an index prunes that to a near-constant
+candidate set.  Per the paper, an index must return *every* truly similar
+basis (false positives are fine — Algorithm 3 re-validates — while a false
+negative merely creates a duplicate basis, costing work but never
+correctness).
+
+Three strategies, as evaluated in Figures 9-11:
+
+* ``ArrayIndex`` — no pruning; scan every basis (the baseline).
+* ``NormalizationIndex`` — hash on the affine-canonical normal form; exact
+  for the linear mapping family.
+* ``SortedSIDIndex`` — hash on the sample-identifier sort order; applicable
+  whenever members are monotone, including mapping classes with no normal
+  form.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Tuple
+
+from repro.core.fingerprint import DEFAULT_REL_TOL, Fingerprint
+from repro.errors import IndexError_
+
+
+class FingerprintIndex(ABC):
+    """Maps a probe fingerprint to candidate basis ids."""
+
+    def __init__(self) -> None:
+        self._size = 0
+
+    @abstractmethod
+    def insert(self, fingerprint: Fingerprint, basis_id: int) -> None:
+        """Register a stored basis fingerprint under its id."""
+
+    @abstractmethod
+    def candidates(self, fingerprint: Fingerprint) -> List[int]:
+        """Basis ids that may be similar to the probe (superset of truth)."""
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class ArrayIndex(FingerprintIndex):
+    """Naive full scan: every stored basis is a candidate."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ids: List[int] = []
+
+    def insert(self, fingerprint: Fingerprint, basis_id: int) -> None:
+        self._ids.append(basis_id)
+        self._size += 1
+
+    def candidates(self, fingerprint: Fingerprint) -> List[int]:
+        return list(self._ids)
+
+
+class NormalizationIndex(FingerprintIndex):
+    """Hash lookup on the affine normal form (first two distinct entries
+    mapped to 0 and 1).
+
+    Two fingerprints related by a linear map share their normal form, so a
+    single hash probe finds all linear-mappable candidates.  Normal-form
+    entries are rounded (see :mod:`repro.core.fingerprint`), so fingerprints
+    within arithmetic noise of each other land in the same bucket.
+    """
+
+    def __init__(self, rel_tol: float = DEFAULT_REL_TOL):
+        super().__init__()
+        self._rel_tol = rel_tol
+        self._buckets: Dict[Tuple[float, ...], List[int]] = {}
+
+    def insert(self, fingerprint: Fingerprint, basis_id: int) -> None:
+        key = fingerprint.normal_form(self._rel_tol)
+        self._buckets.setdefault(key, []).append(basis_id)
+        self._size += 1
+
+    def candidates(self, fingerprint: Fingerprint) -> List[int]:
+        key = fingerprint.normal_form(self._rel_tol)
+        return list(self._buckets.get(key, ()))
+
+
+class SortedSIDIndex(FingerprintIndex):
+    """Hash lookup on the sorted sample-identifier sequence.
+
+    Monotone increasing maps preserve the value ordering of entries, so two
+    mappable fingerprints share their SID sequence; decreasing maps reverse
+    it, so the probe also checks the reversed key (paper: "comparing both
+    the SID sequence and its inverse").
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._buckets: Dict[Tuple[int, ...], List[int]] = {}
+
+    def insert(self, fingerprint: Fingerprint, basis_id: int) -> None:
+        self._buckets.setdefault(fingerprint.sid_order(), []).append(basis_id)
+        self._size += 1
+
+    def candidates(self, fingerprint: Fingerprint) -> List[int]:
+        ascending = self._buckets.get(fingerprint.sid_order(), ())
+        descending = self._buckets.get(
+            fingerprint.sid_order(descending=True), ()
+        )
+        merged = list(ascending)
+        seen = set(merged)
+        merged.extend(b for b in descending if b not in seen)
+        return merged
+
+
+INDEX_STRATEGIES = ("array", "normalization", "sorted_sid")
+
+
+def make_index(strategy: str) -> FingerprintIndex:
+    """Factory: build a fingerprint index by strategy name."""
+    normalized = strategy.lower().replace("-", "_").replace(" ", "_")
+    if normalized == "array":
+        return ArrayIndex()
+    if normalized == "normalization":
+        return NormalizationIndex()
+    if normalized in ("sorted_sid", "sid"):
+        return SortedSIDIndex()
+    raise IndexError_(
+        f"unknown index strategy {strategy!r}; choose from {INDEX_STRATEGIES}"
+    )

@@ -1,0 +1,374 @@
+"""Mapping functions and mapping-function families (paper section 3.1).
+
+A *mapping function* M witnesses the similarity of two stochastic functions:
+``F(Pi) ∼M F(Pj)`` when M maps every fingerprint entry of one onto the other.
+The paper's desiderata: easy to parameterize, validate, compute, and apply to
+aggregate properties.  Linear maps ``M(x) = αx + β`` (Algorithm 2,
+FindLinearMapping) satisfy all four and are the default; the family concept
+is user-extensible, so identity-only (for boolean outputs), shift-only,
+scale-only, and monotone (piecewise-linear) families are also provided.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fingerprint import (
+    DEFAULT_ABS_TOL,
+    DEFAULT_REL_TOL,
+    Fingerprint,
+    values_close,
+)
+from repro.errors import MappingError
+
+
+class Mapping(ABC):
+    """A concrete mapping function from one distribution's domain to another's."""
+
+    @abstractmethod
+    def apply(self, value: float) -> float:
+        """Map one sample value."""
+
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        """Map a vector of sample values (defaults to elementwise apply)."""
+        return np.array([self.apply(float(v)) for v in values], dtype=float)
+
+    @abstractmethod
+    def inverse(self) -> "Mapping":
+        """The inverse mapping M⁻¹ (paper section 5 uses it to recycle
+        samples from a point of interest back into its basis)."""
+
+    @property
+    def is_affine(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class AffineMapping(Mapping):
+    """M(x) = alpha * x + beta."""
+
+    alpha: float
+    beta: float
+
+    def apply(self, value: float) -> float:
+        return self.alpha * value + self.beta
+
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        return self.alpha * np.asarray(values, dtype=float) + self.beta
+
+    def inverse(self) -> "AffineMapping":
+        if self.alpha == 0:
+            raise MappingError("degenerate affine mapping has no inverse")
+        return AffineMapping(1.0 / self.alpha, -self.beta / self.alpha)
+
+    @property
+    def is_affine(self) -> bool:
+        return True
+
+    @property
+    def is_identity(self) -> bool:
+        return self.alpha == 1.0 and self.beta == 0.0
+
+    def compose(self, inner: "AffineMapping") -> "AffineMapping":
+        """Return M(x) = self(inner(x))."""
+        return AffineMapping(
+            self.alpha * inner.alpha, self.alpha * inner.beta + self.beta
+        )
+
+    def __repr__(self) -> str:
+        return f"AffineMapping(x -> {self.alpha:.6g}*x + {self.beta:.6g})"
+
+
+IDENTITY = AffineMapping(1.0, 0.0)
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearMapping(Mapping):
+    """Monotone interpolation mapping through fingerprint point pairs.
+
+    Supports the Sorted-SID index path where no affine map exists but a
+    monotone one does.  Between knots the map interpolates linearly; outside
+    the knot range it extrapolates from the boundary segment.
+    """
+
+    knots_x: Tuple[float, ...]
+    knots_y: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.knots_x) != len(self.knots_y):
+            raise MappingError("knot arrays must have equal length")
+        if len(self.knots_x) < 2:
+            raise MappingError("piecewise mapping needs at least two knots")
+        if any(
+            self.knots_x[i] >= self.knots_x[i + 1]
+            for i in range(len(self.knots_x) - 1)
+        ):
+            raise MappingError("knots_x must be strictly increasing")
+
+    def apply(self, value: float) -> float:
+        xs, ys = self.knots_x, self.knots_y
+        position = bisect.bisect_left(xs, value)
+        if position <= 0:
+            lo, hi = 0, 1
+        elif position >= len(xs):
+            lo, hi = len(xs) - 2, len(xs) - 1
+        else:
+            lo, hi = position - 1, position
+        span = xs[hi] - xs[lo]
+        t = (value - xs[lo]) / span
+        return ys[lo] + t * (ys[hi] - ys[lo])
+
+    def inverse(self) -> "PiecewiseLinearMapping":
+        pairs = sorted(zip(self.knots_y, self.knots_x))
+        ys = tuple(p[0] for p in pairs)
+        xs = tuple(p[1] for p in pairs)
+        if any(ys[i] >= ys[i + 1] for i in range(len(ys) - 1)):
+            raise MappingError("mapping is not invertible (non-strict image)")
+        return PiecewiseLinearMapping(ys, xs)
+
+
+class MappingFamily(ABC):
+    """A searchable class of mapping functions (user-extensible).
+
+    ``find`` returns a member mapping the *source* fingerprint onto the
+    *target* fingerprint, or ``None``; per the paper the family must make
+    this test cheap, and may additionally admit index support (a normal form
+    and/or monotonicity, section 3.2).
+    """
+
+    #: Whether fingerprints admit a canonical form under this family, making
+    #: the Normalization index applicable.
+    supports_normal_form: bool = False
+
+    #: Whether every member is monotone, making the Sorted-SID index exact.
+    monotone_members: bool = True
+
+    @abstractmethod
+    def find(
+        self,
+        source: Fingerprint,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> Optional[Mapping]:
+        """Return M with M(source[k]) == target[k] for all k, else None."""
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class LinearMappingFamily(MappingFamily):
+    """Algorithm 2: FindLinearMapping, generalized with float tolerance.
+
+    Anchors α and β on the first two distinct source entries, then validates
+    the remaining entries.  Constant-source fingerprints are handled
+    explicitly (the paper's ``θ1[1] − θ1[2]`` would divide by zero): a
+    constant source maps onto a constant target by pure shift.
+    """
+
+    supports_normal_form = True
+    monotone_members = True  # each member is monotone (increasing or
+    # decreasing); Sorted-SID probes both orders.
+
+    def find(
+        self,
+        source: Fingerprint,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> Optional[AffineMapping]:
+        if source.size != target.size:
+            return None
+        pair = source.first_distinct_pair(rel_tol)
+        if pair is None:
+            # Constant source: only a constant target is reachable.
+            if not target.is_constant(rel_tol):
+                return None
+            return AffineMapping(1.0, target[0] - source[0])
+        i, j = pair
+        alpha = (target[j] - target[i]) / (source[j] - source[i])
+        beta = target[i] - alpha * source[i]
+        candidate = AffineMapping(alpha, beta)
+        if _validates(candidate, source, target, rel_tol, abs_tol):
+            return candidate
+        return None
+
+
+class IdentityMappingFamily(MappingFamily):
+    """Only the identity map: reuse requires exactly equal fingerprints.
+
+    This is all that remains for information-destroying outputs such as the
+    boolean Overload model (section 6.2) — equal fingerprints still allow
+    reuse, but no remapping is possible.
+    """
+
+    supports_normal_form = False  # the normal form erases the information
+    # (shift/scale) that identity matching must preserve.
+    monotone_members = True
+
+    def find(
+        self,
+        source: Fingerprint,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> Optional[AffineMapping]:
+        if source.size != target.size:
+            return None
+        if _validates(IDENTITY, source, target, rel_tol, abs_tol):
+            return IDENTITY
+        return None
+
+
+class ShiftMappingFamily(MappingFamily):
+    """M(x) = x + β: pure translations (uniform drift absorption)."""
+
+    supports_normal_form = False
+    monotone_members = True
+
+    def find(
+        self,
+        source: Fingerprint,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> Optional[AffineMapping]:
+        if source.size != target.size:
+            return None
+        candidate = AffineMapping(1.0, target[0] - source[0])
+        if _validates(candidate, source, target, rel_tol, abs_tol):
+            return candidate
+        return None
+
+
+class ScaleMappingFamily(MappingFamily):
+    """M(x) = αx: pure rescalings."""
+
+    supports_normal_form = False
+    monotone_members = True
+
+    def find(
+        self,
+        source: Fingerprint,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> Optional[AffineMapping]:
+        if source.size != target.size:
+            return None
+        anchor = None
+        for k in range(source.size):
+            if abs(source[k]) > abs_tol:
+                anchor = k
+                break
+        if anchor is None:
+            # Zero source maps to zero target under any α; use identity.
+            if target.is_constant(rel_tol) and abs(target[0]) <= abs_tol:
+                return IDENTITY
+            return None
+        candidate = AffineMapping(target[anchor] / source[anchor], 0.0)
+        if _validates(candidate, source, target, rel_tol, abs_tol):
+            return candidate
+        return None
+
+
+class MonotoneMappingFamily(MappingFamily):
+    """Any strictly monotone map, represented piecewise-linearly.
+
+    A monotone mapping between two fingerprints exists precisely when sorting
+    both produces consistent sample-identifier orders (either equal for an
+    increasing map or reversed for a decreasing one) — the invariant behind
+    the Sorted-SID index.  Aggregate reuse is limited: quantiles map through
+    M, but means and variances require sample remapping.
+    """
+
+    supports_normal_form = False
+    monotone_members = True
+
+    def find(
+        self,
+        source: Fingerprint,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> Optional[Mapping]:
+        if source.size != target.size:
+            return None
+        increasing = source.sid_order() == target.sid_order()
+        decreasing = source.sid_order() == target.sid_order(descending=True)
+        if not increasing and not decreasing:
+            return None
+        pairs = sorted(zip(source.values, target.values))
+        xs: List[float] = []
+        ys: List[float] = []
+        for x, y in pairs:
+            if xs and values_close(x, xs[-1], rel_tol, abs_tol):
+                # Equal source entries must map to equal target entries.
+                if not values_close(y, ys[-1], rel_tol, abs_tol):
+                    return None
+                continue
+            xs.append(x)
+            ys.append(y)
+        if len(xs) < 2:
+            return AffineMapping(1.0, ys[0] - xs[0]) if xs else None
+        direction = ys[-1] - ys[0]
+        for a, b in zip(ys, ys[1:]):
+            if direction >= 0 and b < a - abs_tol:
+                return None
+            if direction < 0 and b > a + abs_tol:
+                return None
+        if direction < 0:
+            ys = [-y for y in ys]
+            return _NegatedPiecewise(
+                PiecewiseLinearMapping(tuple(xs), tuple(ys))
+            )
+        return PiecewiseLinearMapping(tuple(xs), tuple(ys))
+
+
+@dataclass(frozen=True)
+class _NegatedPiecewise(Mapping):
+    """Decreasing monotone mapping: negation of an increasing one."""
+
+    inner: PiecewiseLinearMapping
+
+    def apply(self, value: float) -> float:
+        return -self.inner.apply(value)
+
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        return -self.inner.apply_array(values)
+
+    def inverse(self) -> Mapping:
+        raise MappingError("inverse of negated piecewise mapping unsupported")
+
+
+def _validates(
+    mapping: Mapping,
+    source: Fingerprint,
+    target: Fingerprint,
+    rel_tol: float,
+    abs_tol: float,
+) -> bool:
+    """Check M(source[k]) == target[k] for every entry (Algorithm 2 loop)."""
+    tol_scale = max(target.scale(), 1.0)
+    return all(
+        abs(mapping.apply(s) - t) <= max(rel_tol * tol_scale, abs_tol)
+        for s, t in zip(source.values, target.values)
+    )
+
+
+def find_linear_mapping(
+    source: Sequence[float],
+    target: Sequence[float],
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> Optional[AffineMapping]:
+    """Convenience wrapper exposing paper Algorithm 2 on raw value vectors."""
+    return LinearMappingFamily().find(
+        Fingerprint(tuple(float(v) for v in source)),
+        Fingerprint(tuple(float(v) for v in target)),
+        rel_tol=rel_tol,
+    )

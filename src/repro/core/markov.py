@@ -1,0 +1,291 @@
+"""Markovian jumps (paper section 4, Algorithm 4).
+
+Many event-based simulations are Markov chains whose step-to-step dependency
+only *matters* near infrequent discontinuities.  Jigsaw exploits this by:
+
+1. synthesizing a non-Markovian estimator from the chain state at the start
+   of a region (section 4.2 — the rudimentary estimator fixes the state, so
+   it predicts "the state stays the same"; uniform drift is absorbed by the
+   mapping function);
+2. evolving only a fingerprint-sized subset (m of n instances) of the chain,
+   comparing its fingerprint to the estimator's at exponentially growing
+   skips;
+3. when the fingerprints stop mapping, binary-searching back to the last
+   valid step, jumping the full population there through the mapping, and
+   restarting with a fresh estimator.
+
+The full population pays per-step cost only inside discontinuity regions;
+elsewhere the chain advances at fingerprint cost (m ≪ n instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.blackbox.base import MarkovModel
+from repro.core.fingerprint import (
+    DEFAULT_ABS_TOL,
+    DEFAULT_REL_TOL,
+    Fingerprint,
+)
+from repro.core.mapping import Mapping, MappingFamily, ShiftMappingFamily
+from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank
+from repro.errors import MarkovError
+
+
+@dataclass
+class JumpRecord:
+    """One successful jump: the population skipped [from_step, to_step)."""
+
+    from_step: int
+    to_step: int
+
+    @property
+    def length(self) -> int:
+        return self.to_step - self.from_step
+
+
+@dataclass
+class MarkovRunResult:
+    """Final instance states plus work accounting."""
+
+    states: np.ndarray
+    steps: int
+    step_invocations: int
+    full_steps: int = 0
+    jumps: List[JumpRecord] = field(default_factory=list)
+
+    @property
+    def jumped_steps(self) -> int:
+        return sum(j.length for j in self.jumps)
+
+
+class NaiveMarkovRunner:
+    """Baseline: advance every instance through every step."""
+
+    def __init__(
+        self,
+        model: MarkovModel,
+        instance_count: int = 1000,
+        seed_bank: Optional[SeedBank] = None,
+    ):
+        if instance_count < 1:
+            raise MarkovError("instance_count must be positive")
+        self.model = model
+        self.instance_count = instance_count
+        self.seed_bank = seed_bank or DEFAULT_SEED_BANK
+
+    def run(self, target_steps: int) -> MarkovRunResult:
+        if target_steps < 0:
+            raise MarkovError("target_steps must be non-negative")
+        before = self.model.step_invocations
+        states = np.full(
+            self.instance_count, self.model.initial_state(), dtype=float
+        )
+        for step in range(target_steps):
+            for i in range(self.instance_count):
+                states[i] = self.model.step(
+                    states[i], step, self.seed_bank.step_seed(i, step)
+                )
+        return MarkovRunResult(
+            states=states,
+            steps=target_steps,
+            step_invocations=self.model.step_invocations - before,
+            full_steps=target_steps,
+        )
+
+
+class FrozenStateEstimator:
+    """Section 4.2's rudimentary estimator: outputs as if the state froze.
+
+    Synthesized from a population snapshot; predicts instance ``i``'s output
+    at any later step as ``output(frozen_state_i)``.  Uniform population
+    drift between synthesis and the probed step is absorbed by the mapping
+    function, so the estimator stays valid far longer than it looks.
+    """
+
+    def __init__(
+        self, model: MarkovModel, frozen_states: np.ndarray, at_step: int
+    ):
+        self.model = model
+        self.frozen_states = np.asarray(frozen_states, dtype=float).copy()
+        self.at_step = at_step
+
+    def fingerprint(self, size: int, step: int) -> Fingerprint:
+        """Predicted outputs of the first ``size`` instances at ``step``."""
+        return Fingerprint(
+            tuple(
+                self.model.output(self.frozen_states[i], step)
+                for i in range(size)
+            )
+        )
+
+    def rebuild_states(self, mapping: Mapping) -> np.ndarray:
+        """Jump the whole population: apply M to the frozen outputs.
+
+        Valid for models whose observable equals their state (the paper's
+        chains in Figures 5 and 6); the mapping carries any uniform drift.
+        """
+        return mapping.apply_array(self.frozen_states)
+
+
+class MarkovJumpRunner:
+    """Algorithm 4: exponential skip + binary backtrack over estimator
+    validity, jumping the full population across non-Markovian regions."""
+
+    def __init__(
+        self,
+        model: MarkovModel,
+        instance_count: int = 1000,
+        fingerprint_size: int = 10,
+        mapping_family: Optional[MappingFamily] = None,
+        seed_bank: Optional[SeedBank] = None,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ):
+        if instance_count < 1:
+            raise MarkovError("instance_count must be positive")
+        if not 1 <= fingerprint_size <= instance_count:
+            raise MarkovError(
+                "fingerprint_size must lie in [1, instance_count]"
+            )
+        self.model = model
+        self.instance_count = instance_count
+        self.fingerprint_size = fingerprint_size
+        # Shift-only mappings are the natural family for state drift; the
+        # caller may supply the full linear family for scaling processes.
+        self.mapping_family = mapping_family or ShiftMappingFamily()
+        self.seed_bank = seed_bank or DEFAULT_SEED_BANK
+        self.rel_tol = rel_tol
+        self.abs_tol = abs_tol
+
+    def run(self, target_steps: int) -> MarkovRunResult:
+        if target_steps < 0:
+            raise MarkovError("target_steps must be non-negative")
+        before = self.model.step_invocations
+        m = self.fingerprint_size
+        n = self.instance_count
+        states = np.full(n, self.model.initial_state(), dtype=float)
+        current = 0
+        full_steps = 0
+        jumps: List[JumpRecord] = []
+
+        while current < target_steps:
+            estimator = FrozenStateEstimator(self.model, states, current)
+            # Evolve only the fingerprint instances forward, recording the
+            # trajectory so the binary backtrack needs no re-evaluation.
+            fp_states = states[:m].copy()
+            trajectory: List[Tuple[int, np.ndarray]] = []
+            last_valid = current
+            last_mapping: Optional[Mapping] = None
+            span = 1
+            probe = current
+            while probe < target_steps:
+                next_stop = min(current + span, target_steps)
+                while probe < next_stop:
+                    for i in range(m):
+                        fp_states[i] = self.model.step(
+                            fp_states[i],
+                            probe,
+                            self.seed_bank.step_seed(i, probe),
+                        )
+                    probe += 1
+                    trajectory.append((probe, fp_states.copy()))
+                mapping = self._match(estimator, fp_states, probe)
+                if mapping is None:
+                    break
+                last_valid, last_mapping = probe, mapping
+                span *= 2
+
+            if last_valid == current:
+                # Estimator invalid immediately: take one full-population
+                # step and retry with a fresh estimator (Alg 4 line 12).
+                valid_at = self._backtrack(estimator, trajectory, current)
+                if valid_at is None:
+                    for i in range(n):
+                        states[i] = self.model.step(
+                            states[i],
+                            current,
+                            self.seed_bank.step_seed(i, current),
+                        )
+                    current += 1
+                    full_steps += 1
+                    continue
+                last_valid, last_mapping = valid_at
+            elif last_valid < probe:
+                # Mismatch after some valid probes: the failure lies in
+                # (last_valid, probe]; tighten with the recorded trajectory.
+                improved = self._backtrack(
+                    estimator,
+                    [(s, v) for s, v in trajectory if s > last_valid],
+                    current,
+                )
+                if improved is not None and improved[0] > last_valid:
+                    last_valid, last_mapping = improved
+
+            # Jump the full population to last_valid via the mapping, but
+            # keep the exactly-evolved fingerprint instances authoritative.
+            assert last_mapping is not None
+            jumped = estimator.rebuild_states(last_mapping)
+            exact = self._exact_states_at(trajectory, last_valid)
+            if exact is not None:
+                jumped[:m] = exact
+            states = jumped
+            jumps.append(JumpRecord(from_step=current, to_step=last_valid))
+            current = last_valid
+
+        return MarkovRunResult(
+            states=states,
+            steps=target_steps,
+            step_invocations=self.model.step_invocations - before,
+            full_steps=full_steps,
+            jumps=[j for j in jumps if j.length > 0],
+        )
+
+    def _match(
+        self,
+        estimator: FrozenStateEstimator,
+        fp_states: np.ndarray,
+        step: int,
+    ) -> Optional[Mapping]:
+        actual = Fingerprint(
+            tuple(
+                self.model.output(fp_states[i], step)
+                for i in range(self.fingerprint_size)
+            )
+        )
+        predicted = estimator.fingerprint(self.fingerprint_size, step)
+        return self.mapping_family.find(
+            predicted, actual, rel_tol=self.rel_tol, abs_tol=self.abs_tol
+        )
+
+    def _backtrack(
+        self,
+        estimator: FrozenStateEstimator,
+        trajectory: List[Tuple[int, np.ndarray]],
+        floor_step: int,
+    ) -> Optional[Tuple[int, Mapping]]:
+        """Largest recorded step (> floor) where the estimator still maps."""
+        lo, hi = 0, len(trajectory) - 1
+        best: Optional[Tuple[int, Mapping]] = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            step, fp_states = trajectory[mid]
+            mapping = self._match(estimator, fp_states, step)
+            if mapping is not None:
+                best = (step, mapping)
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    def _exact_states_at(
+        self, trajectory: List[Tuple[int, np.ndarray]], step: int
+    ) -> Optional[np.ndarray]:
+        for recorded_step, states in trajectory:
+            if recorded_step == step:
+                return states.copy()
+        return None

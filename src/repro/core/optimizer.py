@@ -1,0 +1,215 @@
+"""The Selector: answering OPTIMIZE queries (paper section 2.2, Figure 1).
+
+An OPTIMIZE query groups the explored results table by a subset of
+parameters, filters groups through aggregate constraints over metric values
+(e.g. ``MAX(EXPECT overload) < 0.01``), and picks the group optimizing a
+lexicographic list of parameter objectives (``FOR MAX @purchase1, MAX
+@purchase2``).  Per paper section 2.3, the Selector only *compares*
+estimator outputs — it never combines results across parameter values, which
+is why sharing seeds across points is statistically safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import MetricSet
+from repro.errors import OptimizationError
+
+#: One explored row: parameter values plus per-output-column metrics.
+ResultRow = Tuple[Dict[str, float], Dict[str, MetricSet]]
+
+_METRIC_ACCESSORS: Dict[str, Callable[[MetricSet], float]] = {
+    "expect": lambda m: m.expectation,
+    "expect_stddev": lambda m: m.stddev,
+    "stddev": lambda m: m.stddev,
+    "min": lambda m: m.minimum,
+    "max": lambda m: m.maximum,
+    "median": lambda m: m.quantile(0.5),
+}
+
+_GROUP_AGGREGATES: Dict[str, Callable[[Sequence[float]], float]] = {
+    "max": max,
+    "min": min,
+    "avg": lambda vs: sum(vs) / len(vs),
+    "sum": sum,
+}
+
+_COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+}
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``AGG(METRIC column) OP threshold`` over each candidate group.
+
+    Example (paper Figure 1): ``MAX(EXPECT overload) < 0.01`` is
+    ``Constraint(aggregate="max", metric="expect", column="overload",
+    op="<", threshold=0.01)``.
+    """
+
+    aggregate: str
+    metric: str
+    column: str
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.aggregate.lower() not in _GROUP_AGGREGATES:
+            raise OptimizationError(
+                f"unknown group aggregate {self.aggregate!r}"
+            )
+        if self.metric.lower() not in _METRIC_ACCESSORS:
+            raise OptimizationError(f"unknown metric {self.metric!r}")
+        if self.op not in _COMPARATORS:
+            raise OptimizationError(f"unknown comparator {self.op!r}")
+
+    def evaluate(self, group_rows: Sequence[ResultRow]) -> Tuple[bool, float]:
+        """(satisfied?, aggregate value) for one group of rows."""
+        accessor = _METRIC_ACCESSORS[self.metric.lower()]
+        values = []
+        for _, columns in group_rows:
+            if self.column not in columns:
+                raise OptimizationError(
+                    f"constraint references unknown column {self.column!r}; "
+                    f"available: {sorted(columns)}"
+                )
+            values.append(accessor(columns[self.column]))
+        aggregate_value = _GROUP_AGGREGATES[self.aggregate.lower()](values)
+        return (
+            _COMPARATORS[self.op](aggregate_value, self.threshold),
+            aggregate_value,
+        )
+
+
+@dataclass(frozen=True)
+class Objective:
+    """``FOR MAX @param`` / ``FOR MIN @param`` — lexicographic preference."""
+
+    parameter: str
+    direction: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.direction.lower() not in ("max", "min"):
+            raise OptimizationError(
+                f"objective direction must be max or min, got "
+                f"{self.direction!r}"
+            )
+
+
+@dataclass
+class GroupOutcome:
+    """A candidate group's key, feasibility, and constraint values."""
+
+    key: Tuple[Tuple[str, float], ...]
+    feasible: bool
+    constraint_values: Tuple[float, ...]
+    rows: List[ResultRow] = field(default_factory=list)
+
+    def value_of(self, parameter: str) -> float:
+        for name, value in self.key:
+            if name == parameter:
+                return value
+        raise OptimizationError(
+            f"group key has no parameter {parameter!r}: {self.key}"
+        )
+
+
+@dataclass
+class OptimizeAnswer:
+    """The Selector's output: best group plus the full feasibility table."""
+
+    best: Optional[GroupOutcome]
+    groups: List[GroupOutcome]
+
+    @property
+    def feasible_groups(self) -> List[GroupOutcome]:
+        return [g for g in self.groups if g.feasible]
+
+    def best_parameters(self) -> Dict[str, float]:
+        if self.best is None:
+            raise OptimizationError("no feasible group satisfies constraints")
+        return dict(self.best.key)
+
+
+class Selector:
+    """Groups explored rows, filters by constraints, picks the optimum."""
+
+    def __init__(
+        self,
+        group_by: Sequence[str],
+        constraints: Sequence[Constraint],
+        objectives: Sequence[Objective],
+    ):
+        if not group_by:
+            raise OptimizationError("OPTIMIZE requires a GROUP BY list")
+        if not objectives:
+            raise OptimizationError("OPTIMIZE requires at least one objective")
+        for objective in objectives:
+            if objective.parameter not in group_by:
+                raise OptimizationError(
+                    f"objective parameter {objective.parameter!r} must appear "
+                    f"in GROUP BY {list(group_by)}"
+                )
+        self.group_by = tuple(group_by)
+        self.constraints = tuple(constraints)
+        self.objectives = tuple(objectives)
+
+    def solve(self, rows: Sequence[ResultRow]) -> OptimizeAnswer:
+        if not rows:
+            raise OptimizationError("no rows to optimize over")
+        groups: Dict[Tuple[Tuple[str, float], ...], List[ResultRow]] = {}
+        for params, columns in rows:
+            try:
+                key = tuple(
+                    (name, float(params[name])) for name in self.group_by
+                )
+            except KeyError as missing:
+                raise OptimizationError(
+                    f"row lacks GROUP BY parameter {missing}"
+                ) from None
+            groups.setdefault(key, []).append((params, columns))
+
+        outcomes: List[GroupOutcome] = []
+        for key, group_rows in sorted(groups.items()):
+            feasible = True
+            values: List[float] = []
+            for constraint in self.constraints:
+                ok, value = constraint.evaluate(group_rows)
+                values.append(value)
+                feasible = feasible and ok
+            outcomes.append(
+                GroupOutcome(
+                    key=key,
+                    feasible=feasible,
+                    constraint_values=tuple(values),
+                    rows=group_rows,
+                )
+            )
+
+        best = self._select_best(outcomes)
+        return OptimizeAnswer(best=best, groups=outcomes)
+
+    def _select_best(
+        self, outcomes: Sequence[GroupOutcome]
+    ) -> Optional[GroupOutcome]:
+        feasible = [o for o in outcomes if o.feasible]
+        if not feasible:
+            return None
+
+        def sort_key(outcome: GroupOutcome) -> Tuple[float, ...]:
+            parts: List[float] = []
+            for objective in self.objectives:
+                value = outcome.value_of(objective.parameter)
+                parts.append(
+                    -value if objective.direction.lower() == "max" else value
+                )
+            return tuple(parts)
+
+        return min(feasible, key=sort_key)

@@ -1,0 +1,205 @@
+"""Adaptive parameter search on top of fingerprint reuse.
+
+Paper section 2.3: brute-force enumeration is *necessary* for arbitrary
+black boxes, "but Jigsaw's fingerprinting techniques remain applicable to
+more advanced techniques that use additional information about the
+black-box (e.g., gradient-descent, if the black-box is known to be
+continuous)."  This module provides that advanced path: a hill-climbing
+search over the discrete parameter space which evaluates candidate points
+through the same :class:`~repro.core.explorer.ParameterExplorer`, so every
+candidate still benefits from (and contributes to) the shared basis store.
+
+The searcher optimizes a scalar objective derived from a point's metrics
+subject to a feasibility predicate — the same contract as the OPTIMIZE
+Selector, restricted to one group per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.blackbox.base import ParamKey, param_key
+from repro.core.estimator import MetricSet
+from repro.core.explorer import ParameterExplorer, PointResult
+from repro.errors import OptimizationError
+from repro.scenario.space import ParameterSpace
+
+#: Scalar score of a point's metrics (higher is better).
+ObjectiveFn = Callable[[MetricSet], float]
+
+#: Feasibility predicate over a point's metrics.
+FeasibleFn = Callable[[MetricSet], bool]
+
+
+@dataclass
+class SearchTrace:
+    """What the search visited, for inspection and testing."""
+
+    visited: List[Dict[str, float]] = field(default_factory=list)
+    improvements: List[Tuple[Dict[str, float], float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.visited)
+
+
+@dataclass
+class SearchResult:
+    """Best feasible point found, its metrics, and the trace."""
+
+    best_point: Optional[Dict[str, float]]
+    best_metrics: Optional[MetricSet]
+    best_score: float
+    trace: SearchTrace
+    explorer_stats_reused: int
+
+
+class HillClimbSearch:
+    """Greedy neighborhood ascent with random restarts.
+
+    From each start point, repeatedly moves to the best strictly improving
+    feasible neighbor (axis-adjacent values in the declared parameter
+    domains) until no neighbor improves; multiple restarts guard against
+    local optima.  Deterministic: restarts are spread evenly through the
+    enumerated space rather than drawn randomly, keeping runs reproducible.
+    """
+
+    def __init__(
+        self,
+        explorer: ParameterExplorer,
+        space: ParameterSpace,
+        objective: ObjectiveFn,
+        feasible: Optional[FeasibleFn] = None,
+        restarts: int = 3,
+        max_steps: int = 100,
+    ):
+        if restarts < 1:
+            raise OptimizationError("restarts must be positive")
+        if max_steps < 1:
+            raise OptimizationError("max_steps must be positive")
+        self.explorer = explorer
+        self.space = space
+        self.objective = objective
+        self.feasible = feasible or (lambda metrics: True)
+        self.restarts = restarts
+        self.max_steps = max_steps
+        self._cache: Dict[ParamKey, PointResult] = {}
+
+    def _evaluate(
+        self, point: Dict[str, float], trace: SearchTrace
+    ) -> PointResult:
+        key = param_key(point)
+        if key not in self._cache:
+            self._cache[key] = self.explorer.explore_point(point)
+            trace.visited.append(dict(point))
+        return self._cache[key]
+
+    def _start_points(self) -> List[Dict[str, float]]:
+        points = self.space.points_list()
+        if not points:
+            raise OptimizationError("cannot search an empty space")
+        stride = max(1, len(points) // self.restarts)
+        return [points[i * stride % len(points)] for i in range(self.restarts)]
+
+    def run(self) -> SearchResult:
+        trace = SearchTrace()
+        best_point: Optional[Dict[str, float]] = None
+        best_metrics: Optional[MetricSet] = None
+        best_score = float("-inf")
+
+        for start in self._start_points():
+            current = dict(start)
+            outcome = self._evaluate(current, trace)
+            current_score = (
+                self.objective(outcome.metrics)
+                if self.feasible(outcome.metrics)
+                else float("-inf")
+            )
+            for _ in range(self.max_steps):
+                best_neighbor = None
+                best_neighbor_score = current_score
+                best_neighbor_metrics = None
+                for parameter in self.space.names:
+                    for neighbor in self.space.neighbors(current, parameter):
+                        neighbor_outcome = self._evaluate(neighbor, trace)
+                        if not self.feasible(neighbor_outcome.metrics):
+                            continue
+                        score = self.objective(neighbor_outcome.metrics)
+                        if score > best_neighbor_score:
+                            best_neighbor = neighbor
+                            best_neighbor_score = score
+                            best_neighbor_metrics = neighbor_outcome.metrics
+                if best_neighbor is None:
+                    break
+                current = best_neighbor
+                current_score = best_neighbor_score
+                trace.improvements.append((dict(current), current_score))
+                if current_score > best_score:
+                    best_score = current_score
+                    best_point = dict(current)
+                    best_metrics = best_neighbor_metrics
+            if current_score > best_score:
+                best_score = current_score
+                best_point = dict(current)
+                best_metrics = self._cache[param_key(current)].metrics
+
+        reused = sum(
+            1 for outcome in self._cache.values() if outcome.reused
+        )
+        return SearchResult(
+            best_point=best_point,
+            best_metrics=best_metrics,
+            best_score=best_score,
+            trace=trace,
+            explorer_stats_reused=reused,
+        )
+
+
+class ExhaustiveSearch:
+    """Reference brute-force search over the same objective contract.
+
+    Equivalent to the paper's Parameter Enumerator + Selector for a
+    single-point group; used to validate hill climbing and to quantify how
+    many evaluations adaptivity saves.
+    """
+
+    def __init__(
+        self,
+        explorer: ParameterExplorer,
+        space: ParameterSpace,
+        objective: ObjectiveFn,
+        feasible: Optional[FeasibleFn] = None,
+    ):
+        self.explorer = explorer
+        self.space = space
+        self.objective = objective
+        self.feasible = feasible or (lambda metrics: True)
+
+    def run(self) -> SearchResult:
+        trace = SearchTrace()
+        best_point: Optional[Dict[str, float]] = None
+        best_metrics: Optional[MetricSet] = None
+        best_score = float("-inf")
+        reused = 0
+        for point in self.space.points():
+            outcome = self.explorer.explore_point(point)
+            trace.visited.append(dict(point))
+            if outcome.reused:
+                reused += 1
+            if not self.feasible(outcome.metrics):
+                continue
+            score = self.objective(outcome.metrics)
+            if score > best_score:
+                best_score = score
+                best_point = dict(point)
+                best_metrics = outcome.metrics
+        return SearchResult(
+            best_point=best_point,
+            best_metrics=best_metrics,
+            best_score=best_score,
+            trace=trace,
+            explorer_stats_reused=reused,
+        )

@@ -1,0 +1,107 @@
+"""The global seed set {σk} (paper section 3.1).
+
+Jigsaw's fingerprinting hinges on evaluating every stochastic black box under
+the *same, fixed* sequence of pseudorandom seeds.  The paper generates the
+seed set once at initialization and holds it constant for the lifetime of the
+system; :class:`SeedBank` plays that role here.
+
+Seeds are derived from a single master seed with a splitmix-style mixer so
+that (a) the k-th seed is a pure function of ``(master_seed, k)``, (b) seeds
+for different indices are statistically independent, and (c) per-step Markov
+seeds (section 4) can be derived from an instance seed without collisions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+_MASK64 = (1 << 64) - 1
+
+# SplitMix64 constants (Steele, Lea & Flood 2014): a fixed bijective mixer
+# gives us reproducible, well-distributed derived seeds with no RNG state.
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def mix64(value: int) -> int:
+    """SplitMix64 finalizer: bijectively scramble a 64-bit integer."""
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * _MIX1) & _MASK64
+    value = ((value ^ (value >> 27)) * _MIX2) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def derive_seed(*components: int) -> int:
+    """Combine integer components into one well-mixed 64-bit seed.
+
+    Deterministic, order-sensitive, and collision-resistant for the modest
+    component counts used here (seed index, step index, instance index).
+    """
+    state = 0x243F6A8885A308D3  # pi fractional bits; arbitrary fixed IV
+    for component in components:
+        state = mix64((state + _GAMMA) ^ mix64(component & _MASK64))
+    return state
+
+
+class SeedBank:
+    """A fixed, indexable sequence of i.i.d. pseudorandom seeds.
+
+    ``seed(k)`` is the paper's σk.  Fingerprints use ``k in [0, m)``; the
+    remaining Monte Carlo instances use ``k in [m, n)``, so fingerprint rounds
+    double as the first ``m`` simulation rounds (section 3.1, "the fingerprint
+    of F(Pi) is essentially the outputs of first m simulation rounds").
+    """
+
+    def __init__(self, master_seed: int = 0x51AC5A11):
+        if master_seed < 0:
+            raise ValueError("master_seed must be non-negative")
+        self._master_seed = master_seed & _MASK64
+
+    @property
+    def master_seed(self) -> int:
+        return self._master_seed
+
+    def seed(self, index: int) -> int:
+        """Return σ_index, the fixed seed for simulation round ``index``."""
+        if index < 0:
+            raise ValueError("seed index must be non-negative")
+        return derive_seed(self._master_seed, index)
+
+    def seeds(self, count: int, start: int = 0) -> List[int]:
+        """Return ``[σ_start, ..., σ_(start+count-1)]``."""
+        return [self.seed(start + i) for i in range(count)]
+
+    def iter_seeds(self, start: int = 0) -> Iterator[int]:
+        """Yield σ_start, σ_start+1, ... without bound."""
+        index = start
+        while True:
+            yield self.seed(index)
+            index += 1
+
+    def step_seed(self, index: int, step: int) -> int:
+        """Seed for instance ``index`` at Markov-chain ``step`` (section 4).
+
+        Every step of the chain needs fresh randomness, but instance ``index``
+        must remain reproducible, so the step seed is a pure function of
+        (master, index, step).
+        """
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        return derive_seed(self._master_seed, index, step + 1)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SeedBank)
+            and other._master_seed == self._master_seed
+        )
+
+    def __hash__(self) -> int:
+        return hash(("SeedBank", self._master_seed))
+
+    def __repr__(self) -> str:
+        return f"SeedBank(master_seed={self._master_seed:#x})"
+
+
+DEFAULT_SEED_BANK = SeedBank()
+"""Module-level bank used when callers do not supply one explicitly."""

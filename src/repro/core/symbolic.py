@@ -1,0 +1,166 @@
+"""Symbolic execution over mapped random variables (paper section 6.2).
+
+The Overload experiment exposes a limit of pure fingerprint reuse: a query
+that compares two black-box outputs and returns a boolean destroys the affine
+structure reuse depends on.  The paper sketches the fix — a database engine
+with a symbolic execution strategy (as in PIP): keep each VG output as a
+*mapped random variable* ``M(B)`` over a basis distribution ``B`` and resolve
+arithmetic between variables sharing a basis in closed form, e.g.
+
+    X = 2·f + 2,  Y = 3·f + 3   ⇒   X + Y = 5·f + 5
+    P(X > Y) computable from a histogram of f.
+
+This module implements that strategy.  Variables over *different* bases are
+combined samplewise: because every basis stores its samples under the same
+global seed set, the k-th samples of two bases live in the same possible
+world, so pairing them is statistically sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.basis import BasisDistribution
+from repro.core.estimator import Estimator, MetricSet
+from repro.core.mapping import AffineMapping
+from repro.errors import EstimatorError
+
+Scalar = Union[int, float]
+
+
+@dataclass(frozen=True)
+class MappedVariable:
+    """An affine image ``alpha·B + beta`` of a basis distribution ``B``."""
+
+    basis: BasisDistribution
+    mapping: AffineMapping
+
+    @classmethod
+    def of(
+        cls, basis: BasisDistribution, mapping: AffineMapping = None
+    ) -> "MappedVariable":
+        return cls(basis, mapping or AffineMapping(1.0, 0.0))
+
+    # -- closed-form arithmetic (same basis) / samplewise (cross basis) -----
+
+    def __add__(
+        self, other: Union["MappedVariable", Scalar]
+    ) -> Union["MappedVariable", "SampleVariable"]:
+        if isinstance(other, (int, float)):
+            return MappedVariable(
+                self.basis,
+                AffineMapping(self.mapping.alpha, self.mapping.beta + other),
+            )
+        if isinstance(other, MappedVariable):
+            if other.basis is self.basis:
+                # (αx+β) + (α'x+β') = (α+α')x + (β+β')   — the paper's
+                # (M_X + M_Y)(f) example, resolved without sampling.
+                return MappedVariable(
+                    self.basis,
+                    AffineMapping(
+                        self.mapping.alpha + other.mapping.alpha,
+                        self.mapping.beta + other.mapping.beta,
+                    ),
+                )
+            return SampleVariable(self.samples() + other.samples())
+        return NotImplemented
+
+    def __radd__(self, other: Scalar) -> "MappedVariable":
+        return self.__add__(other)
+
+    def __neg__(self) -> "MappedVariable":
+        return MappedVariable(
+            self.basis,
+            AffineMapping(-self.mapping.alpha, -self.mapping.beta),
+        )
+
+    def __sub__(
+        self, other: Union["MappedVariable", Scalar]
+    ) -> Union["MappedVariable", "SampleVariable"]:
+        if isinstance(other, (int, float)):
+            return self + (-other)
+        if isinstance(other, MappedVariable):
+            return self + (-other)
+        return NotImplemented
+
+    def __mul__(self, factor: Scalar) -> "MappedVariable":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return MappedVariable(
+            self.basis,
+            AffineMapping(
+                self.mapping.alpha * factor, self.mapping.beta * factor
+            ),
+        )
+
+    def __rmul__(self, factor: Scalar) -> "MappedVariable":
+        return self.__mul__(factor)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def samples(self) -> np.ndarray:
+        """Materialized samples (world-aligned under the global seed set)."""
+        return self.mapping.apply_array(self.basis.samples)
+
+    def metrics(self) -> MetricSet:
+        return self.basis.metrics.remap(self.mapping)
+
+    def expectation(self) -> float:
+        return self.mapping.apply(self.basis.metrics.expectation)
+
+    def stddev(self) -> float:
+        return abs(self.mapping.alpha) * self.basis.metrics.stddev
+
+    def probability_greater(
+        self, other: Union["MappedVariable", Scalar]
+    ) -> float:
+        """P(self > other), resolved in closed form when possible.
+
+        Same-basis comparisons reduce to a deterministic sign test plus a
+        threshold query against the basis's sample histogram — no fresh
+        Monte Carlo.  Cross-basis comparisons pair world-aligned samples.
+        """
+        if isinstance(other, (int, float)):
+            return self._probability_above_constant(float(other))
+        if isinstance(other, MappedVariable):
+            difference = self - other
+            if isinstance(difference, MappedVariable):
+                return difference._probability_above_constant(0.0)
+            return float((difference.values > 0.0).mean())
+        raise EstimatorError(f"cannot compare with {type(other).__name__}")
+
+    def _probability_above_constant(self, threshold: float) -> float:
+        alpha, beta = self.mapping.alpha, self.mapping.beta
+        samples = self.basis.samples
+        if samples.size == 0:
+            raise EstimatorError("basis has no samples to compare against")
+        if alpha == 0:
+            return 1.0 if beta > threshold else 0.0
+        cut = (threshold - beta) / alpha
+        if alpha > 0:
+            return float((samples > cut).mean())
+        return float((samples < cut).mean())
+
+
+@dataclass(frozen=True)
+class SampleVariable:
+    """Fallback representation: explicit world-aligned samples."""
+
+    values: np.ndarray
+
+    def samples(self) -> np.ndarray:
+        return self.values
+
+    def expectation(self) -> float:
+        return float(self.values.mean())
+
+    def metrics(self) -> MetricSet:
+        return Estimator().estimate(self.values)
+
+    def probability_greater(self, other: Union[Scalar, "SampleVariable"]) -> float:
+        if isinstance(other, (int, float)):
+            return float((self.values > other).mean())
+        return float((self.values > other.values).mean())

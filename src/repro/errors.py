@@ -1,0 +1,65 @@
+"""Exception hierarchy for the Jigsaw reproduction.
+
+All library-raised exceptions derive from :class:`JigsawError` so callers can
+catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class JigsawError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class MappingError(JigsawError):
+    """A mapping function could not be constructed or applied."""
+
+
+class FingerprintError(JigsawError):
+    """A fingerprint is malformed or incompatible with an operation."""
+
+
+class IndexError_(JigsawError):
+    """A fingerprint index was used inconsistently.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class EstimatorError(JigsawError):
+    """Output metrics could not be computed or remapped."""
+
+
+class MarkovError(JigsawError):
+    """A Markov process or jump evaluation was configured incorrectly."""
+
+
+class OptimizationError(JigsawError):
+    """An OPTIMIZE query has no feasible answer or is ill-formed."""
+
+
+class SchemaError(JigsawError):
+    """A probdb schema or relation was used inconsistently."""
+
+
+class QueryError(JigsawError):
+    """A probdb logical query plan is invalid."""
+
+
+class ParseError(JigsawError):
+    """The Jigsaw query language text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class BindingError(JigsawError):
+    """A parsed query references unknown models, parameters, or columns."""
+
+
+class InteractiveError(JigsawError):
+    """The interactive session was driven with inconsistent requests."""

@@ -1,0 +1,28 @@
+"""Interactive online what-if exploration (the paper's Fuzzy Prophet tool)."""
+
+from repro.interactive.heuristics import (
+    AdjacentExploreHeuristic,
+    RoundRobinTaskHeuristic,
+    TASK_EXPLORATION,
+    TASK_REFINEMENT,
+    TASK_VALIDATION,
+)
+from repro.interactive.plotting import ascii_chart, render_graph
+from repro.interactive.session import (
+    InteractiveSession,
+    PointState,
+    TickReport,
+)
+
+__all__ = [
+    "AdjacentExploreHeuristic",
+    "RoundRobinTaskHeuristic",
+    "TASK_EXPLORATION",
+    "TASK_REFINEMENT",
+    "TASK_VALIDATION",
+    "ascii_chart",
+    "render_graph",
+    "InteractiveSession",
+    "PointState",
+    "TickReport",
+]

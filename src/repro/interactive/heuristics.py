@@ -1,0 +1,62 @@
+"""Task and exploration heuristics for the online engine (paper section 5).
+
+Algorithm 5 delegates two choices to heuristics:
+
+* ``TaskHeuristic`` — whether the next tick refines the focused point's
+  basis, validates its mapping with duplicate samples, or explores a nearby
+  point the user is likely to visit;
+* ``ExploreHeuristic`` — which nearby point to prefetch (adjacent values in
+  the discrete parameter space).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.scenario.space import ParameterSpace
+
+TASK_REFINEMENT = "refinement"
+TASK_VALIDATION = "validation"
+TASK_EXPLORATION = "exploration"
+
+TASKS = (TASK_REFINEMENT, TASK_VALIDATION, TASK_EXPLORATION)
+
+
+class RoundRobinTaskHeuristic:
+    """Cycle through refinement, validation, exploration in a fixed ratio.
+
+    Refinement dominates (it directly improves what the user is looking at);
+    validation and exploration interleave at the configured cadence.
+    """
+
+    def __init__(self, refinement_weight: int = 2):
+        if refinement_weight < 1:
+            raise ValueError("refinement_weight must be positive")
+        pattern = [TASK_REFINEMENT] * refinement_weight
+        pattern += [TASK_VALIDATION, TASK_EXPLORATION]
+        self._cycle = itertools.cycle(pattern)
+
+    def next_task(self, focused_point: Dict[str, float]) -> str:
+        return next(self._cycle)
+
+
+class AdjacentExploreHeuristic:
+    """Prefetch points adjacent to the focus along each parameter axis."""
+
+    def __init__(self, space: ParameterSpace):
+        self.space = space
+        self._axis_cycle = itertools.cycle(space.names) if space.names else None
+
+    def next_point(
+        self, focused_point: Dict[str, float]
+    ) -> Optional[Dict[str, float]]:
+        if self._axis_cycle is None:
+            return None
+        for _ in range(len(self.space.names)):
+            axis = next(self._axis_cycle)
+            neighbors = self.space.neighbors(focused_point, axis)
+            if neighbors:
+                # Prefer the forward neighbor (users usually scrub onward).
+                return neighbors[-1]
+        return None

@@ -1,0 +1,98 @@
+"""ASCII rendering of GRAPH OVER output (the Fuzzy Prophet display).
+
+The paper's Figure 2 GUI plots expected values of result columns against one
+parameter (the x-axis); this module renders the same series as terminal art
+so the interactive tool is usable without a graphics stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+_SERIES_GLYPHS = "*o+x#@"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render one or more y-series against shared x-values.
+
+    Each series gets a glyph; overlapping cells show the later series.  Axis
+    labels give the y-range and the x endpoints.
+    """
+    if not x_values:
+        raise ValueError("ascii_chart needs at least one x value")
+    if not series:
+        raise ValueError("ascii_chart needs at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} "
+                "x values"
+            )
+    width = max(width, 16)
+    height = max(height, 4)
+
+    all_values = [v for ys in series.values() for v in ys]
+    y_min = min(all_values)
+    y_max = max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min = min(x_values)
+    x_max = max(x_values)
+    x_span = (x_max - x_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for series_index, (name, ys) in enumerate(series.items()):
+        glyph = _SERIES_GLYPHS[series_index % len(_SERIES_GLYPHS)]
+        for x, y in zip(x_values, ys):
+            column = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(
+                round((y - y_min) / (y_max - y_min) * (height - 1))
+            )
+            grid[height - 1 - row][column] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        len(f"{y_max:.4g}"), len(f"{y_min:.4g}")
+    )
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:.4g}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_min:.4g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_min:.4g}".ljust(width - 8) + f"{x_max:.4g}".rjust(8)
+    lines.append(" " * (label_width + 2) + x_axis)
+    legend = "   ".join(
+        f"{_SERIES_GLYPHS[i % len(_SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_graph(
+    x_parameter: str,
+    x_values: Sequence[float],
+    metric_series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+) -> str:
+    """Render a bound GRAPH clause's series (names like ``expect overload``)."""
+    return ascii_chart(
+        x_values,
+        metric_series,
+        width=width,
+        height=height,
+        title=f"GRAPH OVER @{x_parameter}",
+    )

@@ -1,0 +1,26 @@
+"""The Jigsaw query language: lexer, parser, AST, and binder."""
+
+from repro.lang.ast import Script
+from repro.lang.binder import (
+    Binder,
+    BoundQuery,
+    GraphSpec,
+    bind_script,
+    compile_query,
+)
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import Parser, parse_expression, parse_script
+
+__all__ = [
+    "Script",
+    "Binder",
+    "BoundQuery",
+    "GraphSpec",
+    "bind_script",
+    "compile_query",
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse_expression",
+    "parse_script",
+]

@@ -1,0 +1,195 @@
+"""Abstract syntax for the Jigsaw query dialect.
+
+Pure data: the parser builds these nodes, the binder lowers them onto the
+probdb expression/operator layer and the scenario/optimizer objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# --------------------------------------------------------------------------
+# Expressions
+
+
+class ExprNode:
+    """Base class for expression AST nodes."""
+
+
+@dataclass(frozen=True)
+class NumberLit(ExprNode):
+    value: float
+
+
+@dataclass(frozen=True)
+class Identifier(ExprNode):
+    """A bare identifier: column alias or (in constraints) a column name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ParamNode(ExprNode):
+    """``@name`` parameter reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryNode(ExprNode):
+    op: str
+    left: ExprNode
+    right: ExprNode
+
+
+@dataclass(frozen=True)
+class UnaryNode(ExprNode):
+    op: str
+    operand: ExprNode
+
+
+@dataclass(frozen=True)
+class CaseNode(ExprNode):
+    """``CASE WHEN cond THEN a ELSE b END``."""
+
+    condition: ExprNode
+    then_value: ExprNode
+    else_value: ExprNode
+
+
+@dataclass(frozen=True)
+class CallNode(ExprNode):
+    """``Name(arg, ...)`` — a black-box or scalar function invocation."""
+
+    name: str
+    arguments: Tuple[ExprNode, ...]
+
+
+@dataclass(frozen=True)
+class AggregateNode(ExprNode):
+    """``SUM(expr)`` / ``AVG`` / ``COUNT`` / ``MIN`` / ``MAX`` over the rows
+    of the select's source (paper section 2.2: the cumulative effect of an
+    event table is "a simple SQL SUM aggregate")."""
+
+    kind: str
+    argument: ExprNode
+
+
+# --------------------------------------------------------------------------
+# Statements
+
+
+class Statement:
+    """Base class for top-level statements."""
+
+
+@dataclass(frozen=True)
+class RangeSpec:
+    start: float
+    stop: float
+    step: float
+
+
+@dataclass(frozen=True)
+class SetSpec:
+    members: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """``CHAIN column FROM @driver : offset_expr INITIAL VALUE v``."""
+
+    source_column: str
+    driver: str
+    offset_expr: ExprNode
+    initial_value: float
+
+
+@dataclass(frozen=True)
+class DeclareParameter(Statement):
+    name: str
+    spec: Union[RangeSpec, SetSpec, ChainSpec]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: ExprNode
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    """``SELECT items [FROM (subselect) | FROM table_name] INTO table``."""
+
+    items: Tuple[SelectItem, ...]
+    subquery: Optional["SelectStatement"]
+    into: Optional[str]
+    source_table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ConstraintClause:
+    """``AGG(METRIC column) OP threshold``, e.g. MAX(EXPECT overload) < 0.01."""
+
+    aggregate: str
+    metric: str
+    column: str
+    op: str
+    threshold: float
+
+
+@dataclass(frozen=True)
+class ObjectiveClause:
+    """``MAX @param`` / ``MIN @param``."""
+
+    direction: str
+    parameter: str
+
+
+@dataclass(frozen=True)
+class OptimizeStatement(Statement):
+    """``OPTIMIZE SELECT ... FROM table WHERE ... GROUP BY ... FOR ...``."""
+
+    select_params: Tuple[str, ...]
+    source_table: str
+    constraints: Tuple[ConstraintClause, ...]
+    group_by: Tuple[str, ...]
+    objectives: Tuple[ObjectiveClause, ...]
+
+
+@dataclass(frozen=True)
+class GraphSeries:
+    """One plotted series: ``METRIC column WITH style words``."""
+
+    metric: str
+    column: str
+    style: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class GraphStatement(Statement):
+    """``GRAPH OVER @param series, series, ...`` (interactive mode)."""
+
+    x_parameter: str
+    series: Tuple[GraphSeries, ...]
+
+
+@dataclass
+class Script:
+    """An ordered list of parsed statements."""
+
+    statements: List[Statement] = field(default_factory=list)
+
+    def declares(self) -> List[DeclareParameter]:
+        return [s for s in self.statements if isinstance(s, DeclareParameter)]
+
+    def selects(self) -> List[SelectStatement]:
+        return [s for s in self.statements if isinstance(s, SelectStatement)]
+
+    def optimizes(self) -> List[OptimizeStatement]:
+        return [s for s in self.statements if isinstance(s, OptimizeStatement)]
+
+    def graphs(self) -> List[GraphStatement]:
+        return [s for s in self.statements if isinstance(s, GraphStatement)]

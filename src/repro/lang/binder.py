@@ -1,0 +1,471 @@
+"""Binder: lower a parsed script onto executable library objects.
+
+Resolves model names against a :class:`BlackBoxRegistry`, parameter
+references against DECLARE statements, and column references against select
+aliases; produces a :class:`BoundQuery` holding a runnable
+:class:`~repro.scenario.scenario.Scenario`, an optional
+:class:`~repro.core.optimizer.Selector`, and an optional graph description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.blackbox.base import BlackBoxRegistry
+from repro.core.optimizer import Constraint, Objective, Selector
+from repro.errors import BindingError
+from repro.lang.ast import (
+    AggregateNode,
+    BinaryNode,
+    CallNode,
+    CaseNode,
+    ChainSpec,
+    DeclareParameter,
+    ExprNode,
+    GraphStatement,
+    Identifier,
+    NumberLit,
+    OptimizeStatement,
+    ParamNode,
+    RangeSpec,
+    Script,
+    SelectStatement,
+    SetSpec,
+    UnaryNode,
+)
+from repro.probdb.expressions import (
+    BinaryOp,
+    BlackBoxCall,
+    CaseWhen,
+    ColumnRef,
+    Constant,
+    Expression,
+    FunctionCall,
+    ParameterRef,
+    UnaryOp,
+)
+from repro.probdb.query import (
+    GroupAggregate,
+    Operator,
+    Project,
+    SingletonScan,
+    TableScan,
+)
+from repro.probdb.relation import Relation
+from repro.probdb.scan import RandomScan
+from repro.probdb.worlds import RandomRelation
+from repro.scenario.parameter import (
+    ChainParameter,
+    ParameterSpec,
+    RangeParameter,
+    SetParameter,
+)
+from repro.scenario.scenario import Scenario
+
+_SCALAR_FUNCTION_NAMES = {"abs", "least", "greatest"}
+
+
+@dataclass
+class GraphSpec:
+    """A bound GRAPH clause: x-axis parameter and (metric, column) series."""
+
+    x_parameter: str
+    series: Tuple[Tuple[str, str, Tuple[str, ...]], ...]
+
+
+@dataclass
+class BoundQuery:
+    """Everything runnable that a script described."""
+
+    scenario: Scenario
+    selector: Optional[Selector] = None
+    graph: Optional[GraphSpec] = None
+
+
+class Binder:
+    """Single-use binder for one parsed script.
+
+    ``tables`` resolves ``FROM table_name`` sources: deterministic
+    :class:`~repro.probdb.relation.Relation` values scan as-is, while
+    :class:`~repro.probdb.worlds.RandomRelation` values are instantiated per
+    possible world (the MCDB random-table path).
+    """
+
+    def __init__(
+        self,
+        script: Script,
+        registry: BlackBoxRegistry,
+        tables: Optional[Dict[str, object]] = None,
+    ):
+        self.script = script
+        self.registry = registry
+        self.tables = dict(tables or {})
+        self._call_salt = 0
+
+    def bind(self) -> BoundQuery:
+        parameters = self._bind_parameters()
+        parameter_names = {spec.name for spec in parameters}
+
+        selects = self.script.selects()
+        if len(selects) != 1:
+            raise BindingError(
+                f"a scenario needs exactly one top-level SELECT, found "
+                f"{len(selects)}"
+            )
+        plan, output_columns = self._bind_select(
+            selects[0], parameter_names, outer_columns=set()
+        )
+        scenario = Scenario(
+            plan=plan,
+            parameters=parameters,
+            into=selects[0].into or "results",
+        )
+
+        selector = None
+        optimizes = self.script.optimizes()
+        if len(optimizes) > 1:
+            raise BindingError("at most one OPTIMIZE statement is allowed")
+        if optimizes:
+            selector = self._bind_optimize(
+                optimizes[0], parameter_names, output_columns
+            )
+
+        graph = None
+        graphs = self.script.graphs()
+        if len(graphs) > 1:
+            raise BindingError("at most one GRAPH statement is allowed")
+        if graphs:
+            graph = self._bind_graph(
+                graphs[0], parameter_names, output_columns
+            )
+
+        return BoundQuery(scenario=scenario, selector=selector, graph=graph)
+
+    # -- parameters -----------------------------------------------------------
+
+    def _bind_parameters(self) -> Tuple[ParameterSpec, ...]:
+        parameters: List[ParameterSpec] = []
+        declared: Set[str] = set()
+        for declare in self.script.declares():
+            if declare.name in declared:
+                raise BindingError(
+                    f"parameter @{declare.name} declared twice"
+                )
+            declared.add(declare.name)
+            parameters.append(self._bind_one_parameter(declare))
+        # Chains must reference a declared driver parameter.
+        for spec in parameters:
+            if isinstance(spec, ChainParameter) and spec.driver not in declared:
+                raise BindingError(
+                    f"chain @{spec.name} drives from undeclared "
+                    f"@{spec.driver}"
+                )
+        return tuple(parameters)
+
+    def _bind_one_parameter(self, declare: DeclareParameter) -> ParameterSpec:
+        spec = declare.spec
+        if isinstance(spec, RangeSpec):
+            return RangeParameter(
+                declare.name, spec.start, spec.stop, spec.step
+            )
+        if isinstance(spec, SetSpec):
+            return SetParameter(declare.name, spec.members)
+        if isinstance(spec, ChainSpec):
+            offset = _chain_offset(spec)
+            return ChainParameter(
+                name=declare.name,
+                source_column=spec.source_column,
+                driver=spec.driver,
+                driver_offset=offset,
+                initial_value=spec.initial_value,
+            )
+        raise BindingError(f"unknown parameter spec {type(spec).__name__}")
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def _bind_select(
+        self,
+        select: SelectStatement,
+        parameter_names: Set[str],
+        outer_columns: Set[str],
+    ) -> Tuple[Operator, Tuple[str, ...]]:
+        if select.subquery is not None:
+            child, child_columns = self._bind_select(
+                select.subquery, parameter_names, outer_columns
+            )
+            visible = set(child_columns)
+        elif select.source_table is not None:
+            child = self._bind_table(select.source_table)
+            visible = set(child.schema().names)
+        else:
+            child = SingletonScan()
+            visible = set(outer_columns)
+
+        aggregate_flags = [
+            isinstance(item.expression, AggregateNode)
+            for item in select.items
+        ]
+        if any(aggregate_flags):
+            if not all(aggregate_flags):
+                raise BindingError(
+                    "aggregate and non-aggregate select items cannot be "
+                    "mixed (the scenario SELECT has no GROUP BY)"
+                )
+            return self._bind_aggregate_select(
+                select, child, parameter_names, visible
+            )
+
+        items: List[Tuple[str, Expression]] = []
+        for index, item in enumerate(select.items):
+            alias = item.alias or f"column_{index}"
+            expression = self._bind_expression(
+                item.expression, parameter_names, visible
+            )
+            items.append((alias, expression))
+            visible.add(alias)
+
+        plan = Project(child=child, items=tuple(items))
+        return plan, tuple(alias for alias, _ in items)
+
+    def _bind_table(self, name: str) -> Operator:
+        if name not in self.tables:
+            known = ", ".join(sorted(self.tables)) or "(none)"
+            raise BindingError(
+                f"unknown table {name!r}; registered tables: {known}"
+            )
+        table = self.tables[name]
+        if isinstance(table, RandomRelation):
+            return RandomScan(table)
+        if isinstance(table, Relation):
+            return TableScan(table)
+        raise BindingError(
+            f"table {name!r} must be a Relation or RandomRelation, got "
+            f"{type(table).__name__}"
+        )
+
+    def _bind_aggregate_select(
+        self,
+        select,
+        child: Operator,
+        parameter_names: Set[str],
+        visible: Set[str],
+    ) -> Tuple[Operator, Tuple[str, ...]]:
+        """Lower an all-aggregate select list onto GroupAggregate.
+
+        This is the paper's section 2.2 formulation: the cumulative effect
+        of an event table computed by the database engine itself with a
+        simple SQL SUM aggregate.
+        """
+        aggregates: List[Tuple[str, str, Expression]] = []
+        for index, item in enumerate(select.items):
+            alias = item.alias or f"column_{index}"
+            node = item.expression
+            argument = self._bind_expression(
+                node.argument, parameter_names, visible
+            )
+            aggregates.append((alias, node.kind, argument))
+        plan = GroupAggregate(
+            child=child, group_by=(), aggregates=tuple(aggregates)
+        )
+        return plan, tuple(alias for alias, _, _ in aggregates)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _bind_expression(
+        self,
+        node: ExprNode,
+        parameter_names: Set[str],
+        visible_columns: Set[str],
+    ) -> Expression:
+        if isinstance(node, NumberLit):
+            return Constant(node.value)
+        if isinstance(node, ParamNode):
+            if node.name not in parameter_names:
+                raise BindingError(f"undeclared parameter @{node.name}")
+            return ParameterRef(node.name)
+        if isinstance(node, Identifier):
+            if node.name not in visible_columns:
+                raise BindingError(
+                    f"unknown column {node.name!r}; visible: "
+                    f"{sorted(visible_columns)}"
+                )
+            return ColumnRef(node.name)
+        if isinstance(node, BinaryNode):
+            return BinaryOp(
+                node.op,
+                self._bind_expression(
+                    node.left, parameter_names, visible_columns
+                ),
+                self._bind_expression(
+                    node.right, parameter_names, visible_columns
+                ),
+            )
+        if isinstance(node, UnaryNode):
+            return UnaryOp(
+                node.op,
+                self._bind_expression(
+                    node.operand, parameter_names, visible_columns
+                ),
+            )
+        if isinstance(node, CaseNode):
+            return CaseWhen(
+                self._bind_expression(
+                    node.condition, parameter_names, visible_columns
+                ),
+                self._bind_expression(
+                    node.then_value, parameter_names, visible_columns
+                ),
+                self._bind_expression(
+                    node.else_value, parameter_names, visible_columns
+                ),
+            )
+        if isinstance(node, CallNode):
+            return self._bind_call(node, parameter_names, visible_columns)
+        raise BindingError(f"unsupported expression {type(node).__name__}")
+
+    def _bind_call(
+        self,
+        node: CallNode,
+        parameter_names: Set[str],
+        visible_columns: Set[str],
+    ) -> Expression:
+        arguments = tuple(
+            self._bind_expression(argument, parameter_names, visible_columns)
+            for argument in node.arguments
+        )
+        if node.name.lower() in _SCALAR_FUNCTION_NAMES:
+            return FunctionCall(node.name, arguments)
+        if node.name not in self.registry:
+            raise BindingError(
+                f"unknown function {node.name!r}: neither a scalar function "
+                f"nor a registered black box "
+                f"({', '.join(self.registry.names()) or 'none registered'})"
+            )
+        box = self.registry.lookup(node.name)
+        if len(arguments) != len(box.parameter_names):
+            raise BindingError(
+                f"{node.name} expects {len(box.parameter_names)} arguments "
+                f"({', '.join(box.parameter_names)}), got {len(arguments)}"
+            )
+        salt = self._call_salt
+        self._call_salt += 1
+        return BlackBoxCall(
+            box=box,
+            argument_names=box.parameter_names,
+            arguments=arguments,
+            call_salt=salt,
+        )
+
+    # -- OPTIMIZE ---------------------------------------------------------------
+
+    def _bind_optimize(
+        self,
+        statement: OptimizeStatement,
+        parameter_names: Set[str],
+        output_columns: Tuple[str, ...],
+    ) -> Selector:
+        for parameter in statement.select_params:
+            if parameter not in parameter_names:
+                raise BindingError(
+                    f"OPTIMIZE selects undeclared parameter @{parameter}"
+                )
+        for group in statement.group_by:
+            if group not in parameter_names:
+                raise BindingError(
+                    f"GROUP BY references {group!r}, which is not a declared "
+                    "parameter (group keys are parameter names)"
+                )
+        constraints = []
+        for clause in statement.constraints:
+            if clause.column not in output_columns:
+                raise BindingError(
+                    f"constraint references unknown column {clause.column!r}"
+                )
+            constraints.append(
+                Constraint(
+                    aggregate=clause.aggregate,
+                    metric=clause.metric,
+                    column=clause.column,
+                    op=clause.op,
+                    threshold=clause.threshold,
+                )
+            )
+        objectives = [
+            Objective(parameter=o.parameter, direction=o.direction)
+            for o in statement.objectives
+        ]
+        return Selector(
+            group_by=statement.group_by,
+            constraints=constraints,
+            objectives=objectives,
+        )
+
+    # -- GRAPH ---------------------------------------------------------------
+
+    def _bind_graph(
+        self,
+        statement: GraphStatement,
+        parameter_names: Set[str],
+        output_columns: Tuple[str, ...],
+    ) -> GraphSpec:
+        if statement.x_parameter not in parameter_names:
+            raise BindingError(
+                f"GRAPH OVER references undeclared @{statement.x_parameter}"
+            )
+        series = []
+        for entry in statement.series:
+            if entry.column not in output_columns:
+                raise BindingError(
+                    f"GRAPH series references unknown column "
+                    f"{entry.column!r}"
+                )
+            series.append((entry.metric, entry.column, entry.style))
+        return GraphSpec(
+            x_parameter=statement.x_parameter, series=tuple(series)
+        )
+
+
+def _chain_offset(spec: ChainSpec) -> int:
+    """Extract the integer step offset from ``@driver : driver_expr``.
+
+    Supported forms: ``@driver``, ``@driver - k``, ``@driver + k``.
+    """
+    expr = spec.offset_expr
+    if isinstance(expr, ParamNode) and expr.name == spec.driver:
+        return 0
+    if (
+        isinstance(expr, BinaryNode)
+        and expr.op in ("+", "-")
+        and isinstance(expr.left, ParamNode)
+        and expr.left.name == spec.driver
+        and isinstance(expr.right, NumberLit)
+    ):
+        magnitude = int(expr.right.value)
+        if magnitude != expr.right.value:
+            raise BindingError("chain offsets must be integers")
+        return magnitude if expr.op == "+" else -magnitude
+    raise BindingError(
+        "chain offset must have the form @driver, @driver + k, or "
+        "@driver - k"
+    )
+
+
+def bind_script(
+    script: Script,
+    registry: BlackBoxRegistry,
+    tables: Optional[Dict[str, object]] = None,
+) -> BoundQuery:
+    """Convenience wrapper: bind a parsed script in one call."""
+    return Binder(script, registry, tables=tables).bind()
+
+
+def compile_query(
+    source: str,
+    registry: BlackBoxRegistry,
+    tables: Optional[Dict[str, object]] = None,
+) -> BoundQuery:
+    """Parse and bind query text in one step (the public entry point)."""
+    from repro.lang.parser import parse_script
+
+    return bind_script(parse_script(source), registry, tables=tables)

@@ -1,0 +1,130 @@
+"""Tokenizer for the Jigsaw SQL dialect (paper Figures 1 and 5).
+
+Handles keywords (case-insensitive), identifiers, ``@parameter`` references,
+numeric literals, operators, punctuation, and ``--`` line comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "declare", "parameter", "as", "range", "to", "step", "by", "set",
+    "chain", "from", "initial", "value", "select", "into", "optimize",
+    "where", "group", "for", "max", "min", "graph", "over", "with",
+    "case", "when", "then", "else", "end", "and", "or", "not",
+    "expect", "expect_stddev", "stddev", "median", "avg", "sum", "count",
+}
+
+#: Multi-character operators first so maximal munch applies.
+OPERATORS = ("<=", ">=", "<>", "<", ">", "=", "+", "-", "*", "/")
+PUNCTUATION = ("(", ")", ",", ";", ":")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # keyword | ident | param | number | op | punct | eof
+    text: str
+    line: int
+    column: int
+
+    def matches(self, kind: str, text: Optional[str] = None) -> bool:
+        if self.kind != kind:
+            return False
+        return text is None or self.text == text.lower() or self.text == text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert query text to a token list ending in an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, column)
+
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("--", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "@":
+            start = i + 1
+            j = start
+            while j < length and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            if j == start:
+                raise error("'@' must be followed by a parameter name")
+            tokens.append(Token("param", source[start:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            text = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, text, line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < length and source[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < length:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < length and source[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("number", source[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        matched_operator = next(
+            (op for op in OPERATORS if source.startswith(op, i)), None
+        )
+        if matched_operator is not None:
+            tokens.append(Token("op", matched_operator, line, column))
+            i += len(matched_operator)
+            column += len(matched_operator)
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, line, column))
+            i += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

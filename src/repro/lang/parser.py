@@ -1,0 +1,410 @@
+"""Recursive-descent parser for the Jigsaw query dialect.
+
+Grammar (statements end with ``;``; keywords case-insensitive)::
+
+    script     := statement*
+    statement  := declare | select | optimize | graph
+    declare    := DECLARE PARAMETER @name AS
+                  ( RANGE num TO num STEP BY num
+                  | SET '(' num (',' num)* ')'
+                  | CHAIN ident FROM @name ':' expr INITIAL VALUE num ) ';'
+    select     := SELECT item (',' item)*
+                  [FROM '(' select ')'] [INTO ident] ';'
+    item       := expr [AS ident]
+    optimize   := OPTIMIZE SELECT @name (',' @name)* FROM ident
+                  [WHERE constraint (AND constraint)*]
+                  GROUP BY ident (',' ident)*
+                  FOR (MAX|MIN) @name (',' (MAX|MIN) @name)* ';'
+    constraint := (MAX|MIN|AVG|SUM) '(' metric ident ')' cmp num
+    metric     := EXPECT | EXPECT_STDDEV | STDDEV | MIN | MAX | MEDIAN
+    graph      := GRAPH OVER @name series (',' series)* ';'
+    series     := metric ident [WITH ident*]
+    expr       := or-expression with comparison, +,-,*,/, unary -, NOT,
+                  CASE WHEN ... THEN ... ELSE ... END, calls, parens
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    AggregateNode,
+    BinaryNode,
+    CallNode,
+    CaseNode,
+    ChainSpec,
+    ConstraintClause,
+    DeclareParameter,
+    ExprNode,
+    GraphSeries,
+    GraphStatement,
+    Identifier,
+    NumberLit,
+    ObjectiveClause,
+    OptimizeStatement,
+    ParamNode,
+    RangeSpec,
+    Script,
+    SelectItem,
+    SelectStatement,
+    SetSpec,
+    Statement,
+    UnaryNode,
+)
+from repro.lang.lexer import Token, tokenize
+
+_METRIC_KEYWORDS = ("expect", "expect_stddev", "stddev", "median")
+_AGGREGATE_KEYWORDS = ("max", "min", "avg", "sum")
+_COMPARISON_OPS = ("<", "<=", ">", ">=", "=", "<>")
+
+
+class Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._position = 0
+
+    # -- cursor helpers ------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._position + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._peek().matches(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not token.matches(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- entry points --------------------------------------------------------
+
+    def parse_script(self) -> Script:
+        script = Script()
+        while self._peek().kind != "eof":
+            script.statements.append(self.parse_statement())
+        return script
+
+    def parse_statement(self) -> Statement:
+        token = self._peek()
+        if token.matches("keyword", "declare"):
+            return self._parse_declare()
+        if token.matches("keyword", "select"):
+            return self._parse_select()
+        if token.matches("keyword", "optimize"):
+            return self._parse_optimize()
+        if token.matches("keyword", "graph"):
+            return self._parse_graph()
+        raise self._error(
+            f"expected a statement, found {token.text or token.kind!r}"
+        )
+
+    # -- DECLARE PARAMETER ----------------------------------------------------
+
+    def _parse_declare(self) -> DeclareParameter:
+        self._expect("keyword", "declare")
+        self._expect("keyword", "parameter")
+        name = self._expect("param").text
+        self._expect("keyword", "as")
+        if self._accept("keyword", "range"):
+            start = self._parse_number()
+            self._expect("keyword", "to")
+            stop = self._parse_number()
+            self._expect("keyword", "step")
+            self._expect("keyword", "by")
+            step = self._parse_number()
+            spec = RangeSpec(start, stop, step)
+        elif self._accept("keyword", "set"):
+            self._expect("punct", "(")
+            members = [self._parse_number()]
+            while self._accept("punct", ","):
+                members.append(self._parse_number())
+            self._expect("punct", ")")
+            spec = SetSpec(tuple(members))
+        elif self._accept("keyword", "chain"):
+            source_column = self._expect("ident").text
+            self._expect("keyword", "from")
+            driver = self._expect("param").text
+            self._expect("punct", ":")
+            offset_expr = self.parse_expression()
+            self._expect("keyword", "initial")
+            self._expect("keyword", "value")
+            initial = self._parse_number()
+            spec = ChainSpec(source_column, driver, offset_expr, initial)
+        else:
+            raise self._error("expected RANGE, SET, or CHAIN")
+        self._expect("punct", ";")
+        return DeclareParameter(name, spec)
+
+    def _parse_number(self) -> float:
+        negative = bool(self._accept("op", "-"))
+        token = self._expect("number")
+        value = float(token.text)
+        return -value if negative else value
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def _parse_select(self, nested: bool = False) -> SelectStatement:
+        self._expect("keyword", "select")
+        items = [self._parse_select_item()]
+        while self._accept("punct", ","):
+            items.append(self._parse_select_item())
+        subquery: Optional[SelectStatement] = None
+        source_table: Optional[str] = None
+        if self._accept("keyword", "from"):
+            if self._accept("punct", "("):
+                subquery = self._parse_select(nested=True)
+                self._expect("punct", ")")
+            else:
+                source_table = self._expect("ident").text
+        into: Optional[str] = None
+        if self._accept("keyword", "into"):
+            into = self._expect("ident").text
+        if not nested:
+            self._expect("punct", ";")
+        return SelectStatement(tuple(items), subquery, into, source_table)
+
+    def _parse_select_item(self) -> SelectItem:
+        expression = self.parse_expression()
+        alias: Optional[str] = None
+        if self._accept("keyword", "as"):
+            alias = self._expect("ident").text
+        elif isinstance(expression, Identifier):
+            alias = expression.name
+        return SelectItem(expression, alias)
+
+    # -- OPTIMIZE ----------------------------------------------------------------
+
+    def _parse_optimize(self) -> OptimizeStatement:
+        self._expect("keyword", "optimize")
+        self._expect("keyword", "select")
+        select_params = [self._expect("param").text]
+        while self._accept("punct", ","):
+            select_params.append(self._expect("param").text)
+        self._expect("keyword", "from")
+        source_table = self._expect("ident").text
+        constraints: List[ConstraintClause] = []
+        if self._accept("keyword", "where"):
+            constraints.append(self._parse_constraint())
+            while self._accept("keyword", "and"):
+                constraints.append(self._parse_constraint())
+        self._expect("keyword", "group")
+        self._expect("keyword", "by")
+        group_by = [self._expect("ident").text]
+        while self._accept("punct", ","):
+            group_by.append(self._expect("ident").text)
+        self._expect("keyword", "for")
+        objectives = [self._parse_objective()]
+        while self._accept("punct", ","):
+            objectives.append(self._parse_objective())
+        self._expect("punct", ";")
+        return OptimizeStatement(
+            select_params=tuple(select_params),
+            source_table=source_table,
+            constraints=tuple(constraints),
+            group_by=tuple(group_by),
+            objectives=tuple(objectives),
+        )
+
+    def _parse_constraint(self) -> ConstraintClause:
+        aggregate_token = self._peek()
+        if not any(
+            aggregate_token.matches("keyword", k) for k in _AGGREGATE_KEYWORDS
+        ):
+            raise self._error("expected MAX, MIN, AVG, or SUM")
+        aggregate = self._advance().text
+        self._expect("punct", "(")
+        metric_token = self._peek()
+        if not any(
+            metric_token.matches("keyword", k) for k in _METRIC_KEYWORDS
+        ):
+            raise self._error(
+                "expected a metric (EXPECT, EXPECT_STDDEV, STDDEV, MEDIAN)"
+            )
+        metric = self._advance().text
+        column = self._expect("ident").text
+        self._expect("punct", ")")
+        op_token = self._peek()
+        if op_token.kind != "op" or op_token.text not in _COMPARISON_OPS:
+            raise self._error("expected a comparison operator")
+        op = self._advance().text
+        threshold = self._parse_number()
+        return ConstraintClause(aggregate, metric, column, op, threshold)
+
+    def _parse_objective(self) -> ObjectiveClause:
+        if self._accept("keyword", "max"):
+            direction = "max"
+        elif self._accept("keyword", "min"):
+            direction = "min"
+        else:
+            raise self._error("expected MAX or MIN")
+        parameter = self._expect("param").text
+        return ObjectiveClause(direction, parameter)
+
+    # -- GRAPH ----------------------------------------------------------------
+
+    def _parse_graph(self) -> GraphStatement:
+        self._expect("keyword", "graph")
+        self._expect("keyword", "over")
+        x_parameter = self._expect("param").text
+        series = [self._parse_series()]
+        while self._accept("punct", ","):
+            series.append(self._parse_series())
+        self._expect("punct", ";")
+        return GraphStatement(x_parameter, tuple(series))
+
+    def _parse_series(self) -> GraphSeries:
+        metric_token = self._peek()
+        if not any(
+            metric_token.matches("keyword", k) for k in _METRIC_KEYWORDS
+        ):
+            raise self._error("expected a metric keyword to open a series")
+        metric = self._advance().text
+        column = self._expect("ident").text
+        style: List[str] = []
+        if self._accept("keyword", "with"):
+            while self._peek().kind == "ident":
+                style.append(self._advance().text)
+        return GraphSeries(metric, column, tuple(style))
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expression(self) -> ExprNode:
+        return self._parse_or()
+
+    def _parse_or(self) -> ExprNode:
+        left = self._parse_and()
+        while self._accept("keyword", "or"):
+            left = BinaryNode("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ExprNode:
+        left = self._parse_not()
+        while self._accept("keyword", "and"):
+            left = BinaryNode("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ExprNode:
+        if self._accept("keyword", "not"):
+            return UnaryNode("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ExprNode:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "op" and token.text in _COMPARISON_OPS:
+            op = self._advance().text
+            return BinaryNode(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ExprNode:
+        left = self._parse_multiplicative()
+        while True:
+            if self._accept("op", "+"):
+                left = BinaryNode("+", left, self._parse_multiplicative())
+            elif self._accept("op", "-"):
+                left = BinaryNode("-", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ExprNode:
+        left = self._parse_unary()
+        while True:
+            if self._accept("op", "*"):
+                left = BinaryNode("*", left, self._parse_unary())
+            elif self._accept("op", "/"):
+                left = BinaryNode("/", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ExprNode:
+        if self._accept("op", "-"):
+            return UnaryNode("-", self._parse_unary())
+        return self._parse_primary()
+
+    _AGGREGATE_FUNCTIONS = ("sum", "avg", "count", "max", "min")
+
+    def _parse_primary(self) -> ExprNode:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return NumberLit(float(token.text))
+        if token.kind == "param":
+            self._advance()
+            return ParamNode(token.text)
+        if token.matches("keyword", "case"):
+            return self._parse_case()
+        if (
+            token.kind == "keyword"
+            and token.text in self._AGGREGATE_FUNCTIONS
+            and self._peek(1).matches("punct", "(")
+        ):
+            self._advance()
+            self._expect("punct", "(")
+            argument = self.parse_expression()
+            self._expect("punct", ")")
+            return AggregateNode(token.text, argument)
+        if token.kind == "ident":
+            self._advance()
+            if self._accept("punct", "("):
+                arguments: List[ExprNode] = []
+                if not self._peek().matches("punct", ")"):
+                    arguments.append(self.parse_expression())
+                    while self._accept("punct", ","):
+                        arguments.append(self.parse_expression())
+                self._expect("punct", ")")
+                return CallNode(token.text, tuple(arguments))
+            return Identifier(token.text)
+        if token.matches("punct", "("):
+            self._advance()
+            inner = self.parse_expression()
+            self._expect("punct", ")")
+            return inner
+        raise self._error(
+            f"expected an expression, found {token.text or token.kind!r}"
+        )
+
+    def _parse_case(self) -> ExprNode:
+        self._expect("keyword", "case")
+        self._expect("keyword", "when")
+        condition = self.parse_expression()
+        self._expect("keyword", "then")
+        then_value = self.parse_expression()
+        self._expect("keyword", "else")
+        else_value = self.parse_expression()
+        self._expect("keyword", "end")
+        return CaseNode(condition, then_value, else_value)
+
+
+def parse_script(source: str) -> Script:
+    """Parse a full Jigsaw query script."""
+    return Parser(source).parse_script()
+
+
+def parse_expression(source: str) -> ExprNode:
+    """Parse a standalone expression (testing convenience)."""
+    parser = Parser(source)
+    expression = parser.parse_expression()
+    parser._expect("eof")
+    return expression

@@ -1,0 +1,63 @@
+"""A compact MCDB-style Monte Carlo probabilistic database substrate."""
+
+from repro.probdb.executor import MonteCarloExecutor, QueryDistribution
+from repro.probdb.expressions import (
+    BinaryOp,
+    BlackBoxCall,
+    CaseWhen,
+    ColumnRef,
+    Constant,
+    EvalContext,
+    Expression,
+    FunctionCall,
+    ParameterRef,
+    UnaryOp,
+)
+from repro.probdb.query import (
+    Filter,
+    GeneratorScan,
+    GroupAggregate,
+    Limit,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    SingletonScan,
+    TableScan,
+    WorldContext,
+)
+from repro.probdb.relation import Relation
+from repro.probdb.scan import RandomScan
+from repro.probdb.schema import Column, Schema
+from repro.probdb.worlds import RandomRelation, VGColumn, WorldSampler
+
+__all__ = [
+    "MonteCarloExecutor",
+    "QueryDistribution",
+    "BinaryOp",
+    "BlackBoxCall",
+    "CaseWhen",
+    "ColumnRef",
+    "Constant",
+    "EvalContext",
+    "Expression",
+    "FunctionCall",
+    "ParameterRef",
+    "UnaryOp",
+    "Filter",
+    "GeneratorScan",
+    "GroupAggregate",
+    "Limit",
+    "NestedLoopJoin",
+    "Operator",
+    "Project",
+    "SingletonScan",
+    "TableScan",
+    "WorldContext",
+    "Relation",
+    "RandomScan",
+    "Column",
+    "Schema",
+    "RandomRelation",
+    "VGColumn",
+    "WorldSampler",
+]

@@ -1,0 +1,149 @@
+"""The Monte Carlo executor: run a plan in every sampled world and aggregate.
+
+This is the dashed box of paper Figure 3: the Monte Carlo Generator hands a
+seed to each instance, the query is evaluated in that world, and the
+Estimator reduces the per-world scalar results to output metrics.  When the
+plan's per-world answer is a whole relation, per-cell sample sets are
+collected instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.estimator import Estimator, MetricSet
+from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank
+from repro.errors import QueryError
+from repro.probdb.query import Operator, WorldContext
+from repro.probdb.relation import Relation
+
+
+@dataclass
+class QueryDistribution:
+    """Per-cell sample sets of a query whose answer is a relation.
+
+    ``samples[column]`` is an (n_worlds, n_rows) array: one row per world.
+    Row alignment across worlds requires the query to produce the same row
+    count in every world (true for the paper's scenario queries, which have
+    deterministic cardinality).
+    """
+
+    column_names: Tuple[str, ...]
+    row_count: int
+    world_count: int
+    samples: Dict[str, np.ndarray]
+
+    def metrics(
+        self, column: str, row: int = 0, estimator: Optional[Estimator] = None
+    ) -> MetricSet:
+        estimator = estimator or Estimator()
+        return estimator.estimate(self.samples[column][:, row])
+
+    def expectation(self, column: str, row: int = 0) -> float:
+        return float(self.samples[column][:, row].mean())
+
+
+class MonteCarloExecutor:
+    """Evaluates a logical plan over n sampled possible worlds."""
+
+    def __init__(
+        self,
+        world_count: int = 1000,
+        seed_bank: Optional[SeedBank] = None,
+        estimator: Optional[Estimator] = None,
+    ):
+        if world_count < 1:
+            raise QueryError("world_count must be positive")
+        self.world_count = world_count
+        self.seed_bank = seed_bank or DEFAULT_SEED_BANK
+        self.estimator = estimator or Estimator()
+
+    def _world(self, params: Mapping[str, float], index: int) -> WorldContext:
+        return WorldContext(
+            params=params, world_seed=self.seed_bank.seed(index)
+        )
+
+    def run_scalar(
+        self,
+        plan: Operator,
+        column: str,
+        params: Optional[Mapping[str, float]] = None,
+        world_count: Optional[int] = None,
+    ) -> MetricSet:
+        """Metrics of a single-cell query (one row, one column of interest)."""
+        samples = self.scalar_samples(plan, column, params, world_count)
+        return self.estimator.estimate(samples)
+
+    def scalar_samples(
+        self,
+        plan: Operator,
+        column: str,
+        params: Optional[Mapping[str, float]] = None,
+        world_count: Optional[int] = None,
+        start_world: int = 0,
+    ) -> np.ndarray:
+        """Raw i.i.d. samples of one scalar query cell across worlds."""
+        params = dict(params or {})
+        count = world_count if world_count is not None else self.world_count
+        values: List[float] = []
+        for index in range(start_world, start_world + count):
+            relation = plan.execute(self._world(params, index))
+            values.append(_single_cell(relation, column))
+        return np.asarray(values, dtype=float)
+
+    def run_distribution(
+        self,
+        plan: Operator,
+        params: Optional[Mapping[str, float]] = None,
+        world_count: Optional[int] = None,
+    ) -> QueryDistribution:
+        """Full answer distribution of a relation-valued query."""
+        params = dict(params or {})
+        count = world_count if world_count is not None else self.world_count
+        column_names: Optional[Tuple[str, ...]] = None
+        row_count: Optional[int] = None
+        per_column: Dict[str, List[List[float]]] = {}
+        for index in range(count):
+            relation = plan.execute(self._world(params, index))
+            if column_names is None:
+                column_names = relation.schema.names
+                row_count = len(relation)
+                per_column = {name: [] for name in column_names}
+            if relation.schema.names != column_names:
+                raise QueryError("query schema varied across worlds")
+            if len(relation) != row_count:
+                raise QueryError(
+                    "query cardinality varied across worlds; per-cell "
+                    "distributions require deterministic row counts"
+                )
+            for name in column_names:
+                per_column[name].append(
+                    [float(v) for v in relation.column_values(name)]  # type: ignore[arg-type]
+                )
+        assert column_names is not None and row_count is not None
+        return QueryDistribution(
+            column_names=column_names,
+            row_count=row_count,
+            world_count=count,
+            samples={
+                name: np.asarray(rows, dtype=float)
+                for name, rows in per_column.items()
+            },
+        )
+
+
+def _single_cell(relation: Relation, column: str) -> float:
+    if len(relation) != 1:
+        raise QueryError(
+            f"expected a single-row answer, got {len(relation)} rows"
+        )
+    value = relation.column_values(column)[0]
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise QueryError(
+            f"column {column!r} value {value!r} is not numeric"
+        ) from None

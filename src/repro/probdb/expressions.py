@@ -1,0 +1,235 @@
+"""Scalar expression AST evaluated per row and per possible world.
+
+Covers what the paper's example queries need (Figures 1 and 5): column and
+parameter references, arithmetic, comparisons, ``CASE WHEN``, and calls to
+registered black-box functions.  Black-box calls receive the current world's
+seed, keeping the whole query deterministic per world — the property that
+makes whole-query fingerprints possible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.blackbox.base import BlackBox
+from repro.core.seeds import derive_seed
+from repro.errors import QueryError
+
+
+@dataclass
+class EvalContext:
+    """Everything an expression may reference during evaluation.
+
+    ``row`` — the current tuple's column values;
+    ``params`` — the scenario's parameter valuation (the @variables);
+    ``world_seed`` — this possible world's seed (σk for round k).
+    """
+
+    row: Mapping[str, object]
+    params: Mapping[str, float]
+    world_seed: int
+
+
+class Expression(ABC):
+    """A scalar expression over (row, parameters, world)."""
+
+    @abstractmethod
+    def evaluate(self, context: EvalContext) -> object:
+        """Value of this expression in the given context."""
+
+    @abstractmethod
+    def references(self) -> Tuple[str, ...]:
+        """Names of columns/parameters this expression reads (for binding)."""
+
+
+@dataclass(frozen=True)
+class Constant(Expression):
+    value: object
+
+    def evaluate(self, context: EvalContext) -> object:
+        return self.value
+
+    def references(self) -> Tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+
+    def evaluate(self, context: EvalContext) -> object:
+        try:
+            return context.row[self.name]
+        except KeyError:
+            raise QueryError(
+                f"unknown column {self.name!r}; row has "
+                f"{sorted(context.row)}"
+            ) from None
+
+    def references(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+
+@dataclass(frozen=True)
+class ParameterRef(Expression):
+    """An @parameter reference."""
+
+    name: str
+
+    def evaluate(self, context: EvalContext) -> object:
+        try:
+            return context.params[self.name]
+        except KeyError:
+            raise QueryError(
+                f"unbound parameter @{self.name}; bound: "
+                f"{sorted(context.params)}"
+            ) from None
+
+    def references(self) -> Tuple[str, ...]:
+        return (f"@{self.name}",)
+
+
+_BINARY_OPS: Dict[str, Callable[[object, object], object]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY_OPS:
+            raise QueryError(f"unknown operator {self.op!r}")
+
+    def evaluate(self, context: EvalContext) -> object:
+        return _BINARY_OPS[self.op](
+            self.left.evaluate(context), self.right.evaluate(context)
+        )
+
+    def references(self) -> Tuple[str, ...]:
+        return self.left.references() + self.right.references()
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str
+    operand: Expression
+
+    def evaluate(self, context: EvalContext) -> object:
+        value = self.operand.evaluate(context)
+        if self.op == "-":
+            return -value  # type: ignore[operator]
+        if self.op == "not":
+            return not bool(value)
+        raise QueryError(f"unknown unary operator {self.op!r}")
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN a ELSE b END`` (paper Figure 1's overload)."""
+
+    condition: Expression
+    then_value: Expression
+    else_value: Expression
+
+    def evaluate(self, context: EvalContext) -> object:
+        if bool(self.condition.evaluate(context)):
+            return self.then_value.evaluate(context)
+        return self.else_value.evaluate(context)
+
+    def references(self) -> Tuple[str, ...]:
+        return (
+            self.condition.references()
+            + self.then_value.references()
+            + self.else_value.references()
+        )
+
+
+@dataclass(frozen=True)
+class BlackBoxCall(Expression):
+    """Invocation of a VG-style black box with expression arguments.
+
+    The box's seed is derived from the world seed and a per-call salt so
+    that multiple calls in one query draw independent randomness while
+    remaining deterministic per world.
+    """
+
+    box: BlackBox
+    argument_names: Tuple[str, ...]
+    arguments: Tuple[Expression, ...]
+    call_salt: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.argument_names) != len(self.arguments):
+            raise QueryError(
+                f"{self.box.name}: {len(self.argument_names)} parameter "
+                f"names but {len(self.arguments)} arguments"
+            )
+
+    def evaluate(self, context: EvalContext) -> object:
+        params = {}
+        for name, argument in zip(self.argument_names, self.arguments):
+            value = argument.evaluate(context)
+            try:
+                params[name] = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise QueryError(
+                    f"{self.box.name} argument {name!r} is not numeric: "
+                    f"{value!r}"
+                ) from None
+        seed = derive_seed(context.world_seed, self.call_salt)
+        return self.box.sample(params, seed)
+
+    def references(self) -> Tuple[str, ...]:
+        refs: Tuple[str, ...] = ()
+        for argument in self.arguments:
+            refs += argument.references()
+        return refs
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A deterministic scalar function (ABS, MIN, MAX over two scalars...)."""
+
+    name: str
+    arguments: Tuple[Expression, ...]
+
+    def evaluate(self, context: EvalContext) -> object:
+        function = _SCALAR_FUNCTIONS.get(self.name.lower())
+        if function is None:
+            raise QueryError(f"unknown scalar function {self.name!r}")
+        return function(
+            *(argument.evaluate(context) for argument in self.arguments)
+        )
+
+    def references(self) -> Tuple[str, ...]:
+        refs: Tuple[str, ...] = ()
+        for argument in self.arguments:
+            refs += argument.references()
+        return refs
+
+
+_SCALAR_FUNCTIONS: Dict[str, Callable[..., object]] = {
+    "abs": lambda x: abs(x),
+    "least": lambda *xs: min(xs),
+    "greatest": lambda *xs: max(xs),
+}

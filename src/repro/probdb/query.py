@@ -1,0 +1,248 @@
+"""Logical query operators executed within one possible world.
+
+A deliberately small relational algebra — scan, filter, map/project, group
+aggregate, nested-loop join, limit — sufficient for the paper's scenario
+queries.  Plans are trees of :class:`Operator`; ``execute`` materializes a
+:class:`Relation` for a given world context.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.probdb.expressions import EvalContext, Expression
+from repro.probdb.relation import Relation, Row
+from repro.probdb.schema import Column, Schema
+
+_AGGREGATES: Dict[str, Callable[[Sequence[float]], float]] = {
+    "sum": lambda vs: float(sum(vs)),
+    "avg": lambda vs: float(sum(vs) / len(vs)),
+    "min": lambda vs: float(min(vs)),
+    "max": lambda vs: float(max(vs)),
+    "count": lambda vs: float(len(vs)),
+}
+
+
+@dataclass
+class WorldContext:
+    """Bindings shared by every operator while evaluating one world."""
+
+    params: Mapping[str, float]
+    world_seed: int
+
+
+class Operator(ABC):
+    """A node of a logical query plan."""
+
+    @abstractmethod
+    def schema(self) -> Schema:
+        """Output schema of this operator."""
+
+    @abstractmethod
+    def execute(self, world: WorldContext) -> Relation:
+        """Materialize this operator's output for one possible world."""
+
+
+@dataclass
+class TableScan(Operator):
+    """Scan a fixed (deterministic) relation."""
+
+    relation: Relation
+
+    def schema(self) -> Schema:
+        return self.relation.schema
+
+    def execute(self, world: WorldContext) -> Relation:
+        return self.relation
+
+
+@dataclass
+class GeneratorScan(Operator):
+    """Produce rows from a callable — the hook VG-style tables plug into.
+
+    ``generator(world)`` must return an iterable of rows matching
+    ``output_schema``; it is invoked once per world.
+    """
+
+    output_schema: Schema
+    generator: Callable[[WorldContext], Sequence[Sequence[object]]]
+
+    def schema(self) -> Schema:
+        return self.output_schema
+
+    def execute(self, world: WorldContext) -> Relation:
+        return Relation(self.output_schema, self.generator(world))
+
+
+@dataclass
+class SingletonScan(Operator):
+    """A one-row, zero-column relation: the FROM-less SELECT's input."""
+
+    def schema(self) -> Schema:
+        return Schema(())
+
+    def execute(self, world: WorldContext) -> Relation:
+        return Relation(Schema(()), [()])
+
+
+@dataclass
+class Project(Operator):
+    """SELECT list: named expressions computed per input row.
+
+    Select items may reference earlier items by alias (paper Figure 1's
+    ``overload`` reads ``capacity`` and ``demand``), so items are evaluated
+    left to right with the growing row visible to later items.
+    """
+
+    child: Operator
+    items: Tuple[Tuple[str, Expression], ...]
+
+    def schema(self) -> Schema:
+        return Schema(tuple(Column(name) for name, _ in self.items))
+
+    def execute(self, world: WorldContext) -> Relation:
+        output_rows: List[Row] = []
+        for row in self.child.execute(world):
+            visible = dict(
+                zip(self.child.schema().names, row)
+            )  # type: Dict[str, object]
+            values: List[object] = []
+            for name, expression in self.items:
+                value = expression.evaluate(
+                    EvalContext(visible, world.params, world.world_seed)
+                )
+                visible[name] = value
+                values.append(value)
+            output_rows.append(tuple(values))
+        return Relation(self.schema(), output_rows)
+
+
+@dataclass
+class Filter(Operator):
+    """WHERE: keep rows whose predicate evaluates truthy."""
+
+    child: Operator
+    predicate: Expression
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def execute(self, world: WorldContext) -> Relation:
+        names = self.child.schema().names
+        kept = [
+            row
+            for row in self.child.execute(world)
+            if bool(
+                self.predicate.evaluate(
+                    EvalContext(
+                        dict(zip(names, row)), world.params, world.world_seed
+                    )
+                )
+            )
+        ]
+        return Relation(self.schema(), kept)
+
+
+@dataclass
+class GroupAggregate(Operator):
+    """GROUP BY with SUM/AVG/MIN/MAX/COUNT aggregates.
+
+    ``aggregates`` maps output name to (kind, input expression).  An empty
+    ``group_by`` produces the single global group.
+    """
+
+    child: Operator
+    group_by: Tuple[str, ...]
+    aggregates: Tuple[Tuple[str, str, Expression], ...]
+
+    def schema(self) -> Schema:
+        columns = [self.child.schema().column(g) for g in self.group_by]
+        columns += [Column(name) for name, _, _ in self.aggregates]
+        return Schema(tuple(columns))
+
+    def execute(self, world: WorldContext) -> Relation:
+        child_schema = self.child.schema()
+        for kind_name in {kind for _, kind, _ in self.aggregates}:
+            if kind_name.lower() not in _AGGREGATES:
+                raise QueryError(f"unknown aggregate {kind_name!r}")
+        groups: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in self.child.execute(world):
+            key = tuple(
+                row[child_schema.index_of(g)] for g in self.group_by
+            )
+            groups.setdefault(key, []).append(row)
+        output_rows: List[Row] = []
+        for key in sorted(groups, key=repr):
+            rows = groups[key]
+            values: List[object] = list(key)
+            for _, kind, expression in self.aggregates:
+                inputs = [
+                    float(
+                        expression.evaluate(  # type: ignore[arg-type]
+                            EvalContext(
+                                dict(zip(child_schema.names, row)),
+                                world.params,
+                                world.world_seed,
+                            )
+                        )
+                    )
+                    for row in rows
+                ]
+                values.append(_AGGREGATES[kind.lower()](inputs))
+            output_rows.append(tuple(values))
+        return Relation(self.schema(), output_rows)
+
+
+@dataclass
+class NestedLoopJoin(Operator):
+    """Inner join with an arbitrary predicate over the concatenated row."""
+
+    left: Operator
+    right: Operator
+    predicate: Optional[Expression] = None
+
+    def schema(self) -> Schema:
+        return self.left.schema().concat(self.right.schema())
+
+    def execute(self, world: WorldContext) -> Relation:
+        names = self.schema().names
+        output_rows: List[Row] = []
+        right_rows = list(self.right.execute(world))
+        for left_row in self.left.execute(world):
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if self.predicate is not None:
+                    keep = bool(
+                        self.predicate.evaluate(
+                            EvalContext(
+                                dict(zip(names, combined)),
+                                world.params,
+                                world.world_seed,
+                            )
+                        )
+                    )
+                    if not keep:
+                        continue
+                output_rows.append(combined)
+        return Relation(self.schema(), output_rows)
+
+
+@dataclass
+class Limit(Operator):
+    """Keep at most ``count`` rows (deterministic prefix)."""
+
+    child: Operator
+    count: int
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def execute(self, world: WorldContext) -> Relation:
+        if self.count < 0:
+            raise QueryError("LIMIT must be non-negative")
+        return Relation(
+            self.schema(), list(self.child.execute(world))[: self.count]
+        )

@@ -1,0 +1,73 @@
+"""In-memory relations: the deterministic storage layer of the substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.probdb.schema import Schema
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """An immutable bag of rows under a schema."""
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[object]] = ()):
+        self.schema = schema
+        coerced: List[Row] = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"row arity {len(row)} does not match schema arity "
+                    f"{len(schema)}"
+                )
+            coerced.append(
+                tuple(
+                    column.coerce(value)
+                    for column, value in zip(schema.columns, row)
+                )
+            )
+        self._rows: Tuple[Row, ...] = tuple(coerced)
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def column_values(self, name: str) -> List[object]:
+        index = self.schema.index_of(name)
+        return [row[index] for row in self._rows]
+
+    def column_array(self, name: str) -> np.ndarray:
+        """Numeric column as a numpy array (the bulk-processing path)."""
+        return np.asarray(self.column_values(name), dtype=float)
+
+    def row_dict(self, row: Row) -> Dict[str, object]:
+        return dict(zip(self.schema.names, row))
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [self.row_dict(row) for row in self._rows]
+
+    @classmethod
+    def from_dicts(
+        cls, schema: Schema, dicts: Iterable[Dict[str, object]]
+    ) -> "Relation":
+        return cls(
+            schema,
+            ([d[name] for name in schema.names] for d in dicts),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation(columns={list(self.schema.names)}, "
+            f"rows={len(self._rows)})"
+        )

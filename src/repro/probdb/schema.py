@@ -1,0 +1,106 @@
+"""Relational schemas for the Monte Carlo PDB substrate (paper section 2.1).
+
+MCDB-style systems represent each random table on disk by its schema plus the
+black-box functions that generate realizations of uncertain attributes; this
+module provides the deterministic half of that representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.errors import SchemaError
+
+#: Supported column types.  The substrate is numeric-centric (the paper's
+#: simplified black boxes emit single values) but strings are supported for
+#: dimension-style columns such as user names.
+COLUMN_TYPES = ("float", "int", "bool", "str")
+
+
+@dataclass(frozen=True)
+class Column:
+    """One attribute: a name and a declared type."""
+
+    name: str
+    type: str = "float"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.type not in COLUMN_TYPES:
+            raise SchemaError(
+                f"unknown column type {self.type!r}; choose from "
+                f"{COLUMN_TYPES}"
+            )
+
+    def coerce(self, value: object) -> object:
+        """Coerce a raw value to this column's type, validating it."""
+        try:
+            if self.type == "float":
+                return float(value)  # type: ignore[arg-type]
+            if self.type == "int":
+                return int(value)  # type: ignore[arg-type]
+            if self.type == "bool":
+                return bool(value)
+            return str(value)
+        except (TypeError, ValueError) as error:
+            raise SchemaError(
+                f"value {value!r} is not coercible to column "
+                f"{self.name}:{self.type}"
+            ) from error
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of uniquely named columns."""
+
+    columns: Tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+
+    @classmethod
+    def of(cls, *specs: object) -> "Schema":
+        """Build a schema from Column objects or ``"name"`` /
+        ``"name:type"`` strings."""
+        columns = []
+        for spec in specs:
+            if isinstance(spec, Column):
+                columns.append(spec)
+            elif isinstance(spec, str):
+                name, _, type_ = spec.partition(":")
+                columns.append(Column(name, type_ or "float"))
+            else:
+                raise SchemaError(f"cannot build a column from {spec!r}")
+        return cls(tuple(columns))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def index_of(self, name: str) -> int:
+        for i, column in enumerate(self.columns):
+            if column.name == name:
+                return i
+        raise SchemaError(
+            f"no column {name!r} in schema {list(self.names)}"
+        )
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        return Schema(tuple(self.column(n) for n in names))
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(self.columns + other.columns)

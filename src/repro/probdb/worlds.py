@@ -1,0 +1,121 @@
+"""Possible-worlds sampling: the Monte Carlo Generator of paper Figure 3.
+
+An MCDB-style PDB approximates a distribution over database instances by
+instantiating a finite set of sampled worlds; each world is produced under
+one seed from the global seed bank, queries run in every world, and the
+per-world results form i.i.d. samples of the answer distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.blackbox.base import BlackBox
+from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank, derive_seed
+from repro.errors import SchemaError
+from repro.probdb.query import WorldContext
+from repro.probdb.relation import Relation
+from repro.probdb.schema import Schema
+
+
+@dataclass(frozen=True)
+class VGColumn:
+    """An uncertain attribute: filled per world by a black-box function.
+
+    ``argument_columns`` name deterministic columns of the same table whose
+    values parameterize the box for each row; ``parameter_names`` are the
+    box's corresponding parameter names (positional match).
+    """
+
+    name: str
+    box: BlackBox
+    parameter_names: Tuple[str, ...]
+    argument_columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parameter_names) != len(self.argument_columns):
+            raise SchemaError(
+                f"VG column {self.name!r}: parameter/argument arity mismatch"
+            )
+
+
+class RandomRelation:
+    """A random table: deterministic base columns plus VG columns.
+
+    ``instantiate(world)`` realizes one possible world of the table — the
+    canonical MCDB representation (schema + generating black boxes).
+    """
+
+    def __init__(
+        self,
+        base: Relation,
+        vg_columns: Sequence[VGColumn],
+        name: str = "random_table",
+    ):
+        seen = set(base.schema.names)
+        for vg in vg_columns:
+            if vg.name in seen:
+                raise SchemaError(
+                    f"VG column {vg.name!r} collides with an existing column"
+                )
+            seen.add(vg.name)
+            for argument in vg.argument_columns:
+                if argument not in base.schema:
+                    raise SchemaError(
+                        f"VG column {vg.name!r} references unknown column "
+                        f"{argument!r}"
+                    )
+        self.base = base
+        self.vg_columns = tuple(vg_columns)
+        self.name = name
+        self._schema = base.schema.concat(
+            Schema.of(*(vg.name for vg in self.vg_columns))
+        )
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def instantiate(self, world: WorldContext) -> Relation:
+        """Realize this table in one possible world."""
+        rows: List[Tuple[object, ...]] = []
+        for row_index, row in enumerate(self.base):
+            realized = list(row)
+            visible = self.base.row_dict(row)
+            for vg_index, vg in enumerate(self.vg_columns):
+                params = {
+                    parameter: float(visible[argument])  # type: ignore[arg-type]
+                    for parameter, argument in zip(
+                        vg.parameter_names, vg.argument_columns
+                    )
+                }
+                # Per-(row, column) seed: rows draw independent randomness
+                # but remain reproducible within the world.
+                seed = derive_seed(world.world_seed, row_index, vg_index)
+                value = vg.box.sample(params, seed)
+                visible[vg.name] = value
+                realized.append(value)
+            rows.append(tuple(realized))
+        return Relation(self._schema, rows)
+
+
+class WorldSampler:
+    """Enumerates world contexts under the global seed bank."""
+
+    def __init__(
+        self,
+        params: Optional[Mapping[str, float]] = None,
+        seed_bank: Optional[SeedBank] = None,
+    ):
+        self.params = dict(params or {})
+        self.seed_bank = seed_bank or DEFAULT_SEED_BANK
+
+    def world(self, index: int) -> WorldContext:
+        return WorldContext(
+            params=self.params, world_seed=self.seed_bank.seed(index)
+        )
+
+    def worlds(self, count: int, start: int = 0) -> Iterator[WorldContext]:
+        for index in range(start, start + count):
+            yield self.world(index)

@@ -1,0 +1,37 @@
+"""Scenario definitions, parameter spaces, and batch runners."""
+
+from repro.scenario.chain_runner import (
+    ChainRunResult,
+    ChainScenarioRunner,
+    ScenarioMarkovAdapter,
+)
+from repro.scenario.parameter import (
+    ChainParameter,
+    ParameterSpec,
+    RangeParameter,
+    SetParameter,
+)
+from repro.scenario.runner import (
+    RunnerStats,
+    ScenarioResult,
+    ScenarioRunner,
+    boolean_column_families,
+)
+from repro.scenario.scenario import Scenario
+from repro.scenario.space import ParameterSpace
+
+__all__ = [
+    "ChainRunResult",
+    "ChainScenarioRunner",
+    "ScenarioMarkovAdapter",
+    "ChainParameter",
+    "ParameterSpec",
+    "RangeParameter",
+    "SetParameter",
+    "RunnerStats",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "boolean_column_families",
+    "Scenario",
+    "ParameterSpace",
+]

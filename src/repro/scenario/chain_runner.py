@@ -1,0 +1,144 @@
+"""Executing scenarios with CHAIN parameters (paper section 4, Figure 5).
+
+A CHAIN parameter turns the scenario into a Markov process over its driver
+parameter: the chain's value while evaluating driver step ``t`` is the
+query's ``source_column`` output at step ``t + offset`` (offset −1 in the
+paper's release-week example).  :class:`ScenarioMarkovAdapter` exposes that
+process through the :class:`~repro.blackbox.base.MarkovModel` protocol so
+both the naive stepper and the Markov-jump evaluator run it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.blackbox.base import MarkovModel
+from repro.core.estimator import Estimator, MetricSet
+from repro.core.mapping import MappingFamily
+from repro.core.markov import (
+    MarkovJumpRunner,
+    MarkovRunResult,
+    NaiveMarkovRunner,
+)
+from repro.core.seeds import SeedBank
+from repro.errors import MarkovError
+from repro.scenario.parameter import ChainParameter
+from repro.scenario.scenario import Scenario
+
+
+class ScenarioMarkovAdapter(MarkovModel):
+    """One scenario + one CHAIN parameter, viewed as a Markov process.
+
+    The per-instance state is the chain parameter's value; stepping the
+    chain evaluates the scenario's query at the next driver step with the
+    chain parameter bound to the current state, then reads the chain's
+    source column out of the query result.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        chain: ChainParameter,
+        fixed_params: Optional[Mapping[str, float]] = None,
+    ):
+        super().__init__()
+        if chain.source_column not in scenario.output_columns:
+            raise MarkovError(
+                f"chain @{chain.name} reads column "
+                f"{chain.source_column!r}, which the scenario does not "
+                f"produce ({list(scenario.output_columns)})"
+            )
+        if chain.driver_offset > 0:
+            raise MarkovError(
+                "chain offsets must be non-positive (a step may only depend "
+                "on present or past steps)"
+            )
+        self.scenario = scenario
+        self.chain = chain
+        self.fixed_params = dict(fixed_params or {})
+        self.name = f"{scenario.name}:{chain.name}"
+
+    def initial_state(self) -> float:
+        return float(self.chain.initial_value)
+
+    def _step(self, state: float, step_index: int, seed: int) -> float:
+        params: Dict[str, float] = dict(self.fixed_params)
+        params[self.chain.driver] = float(step_index)
+        params[self.chain.name] = float(state)
+        row = self.scenario.simulate(params, seed)
+        return float(row[self.chain.source_column])
+
+    def observe(
+        self, state: float, step_index: int, seed: int, column: str
+    ) -> float:
+        """Any output column at a step, conditioned on the chain state."""
+        params: Dict[str, float] = dict(self.fixed_params)
+        params[self.chain.driver] = float(step_index)
+        params[self.chain.name] = float(state)
+        return self.scenario.simulate(params, seed)[column]
+
+
+@dataclass
+class ChainRunResult:
+    """Final chain states plus derived per-column metrics."""
+
+    markov: MarkovRunResult
+    final_metrics: MetricSet
+
+
+class ChainScenarioRunner:
+    """Run a chained scenario to a target driver step, naive or jumping."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        instance_count: int = 1000,
+        fingerprint_size: int = 10,
+        seed_bank: Optional[SeedBank] = None,
+        estimator: Optional[Estimator] = None,
+        mapping_family: Optional[MappingFamily] = None,
+        fixed_params: Optional[Mapping[str, float]] = None,
+    ):
+        chains = scenario.chain_parameters
+        if len(chains) != 1:
+            raise MarkovError(
+                f"chained execution requires exactly one CHAIN parameter; "
+                f"scenario declares {len(chains)}"
+            )
+        self.scenario = scenario
+        self.adapter = ScenarioMarkovAdapter(
+            scenario, chains[0], fixed_params=fixed_params
+        )
+        self.instance_count = instance_count
+        self.fingerprint_size = fingerprint_size
+        self.seed_bank = seed_bank
+        self.estimator = estimator or Estimator()
+        self.mapping_family = mapping_family
+
+    def run_naive(self, target_steps: int) -> ChainRunResult:
+        runner = NaiveMarkovRunner(
+            self.adapter,
+            instance_count=self.instance_count,
+            seed_bank=self.seed_bank,
+        )
+        return self._finish(runner.run(target_steps))
+
+    def run_jigsaw(self, target_steps: int) -> ChainRunResult:
+        kwargs = {}
+        if self.mapping_family is not None:
+            kwargs["mapping_family"] = self.mapping_family
+        runner = MarkovJumpRunner(
+            self.adapter,
+            instance_count=self.instance_count,
+            fingerprint_size=self.fingerprint_size,
+            seed_bank=self.seed_bank,
+            **kwargs,
+        )
+        return self._finish(runner.run(target_steps))
+
+    def _finish(self, markov: MarkovRunResult) -> ChainRunResult:
+        metrics = self.estimator.estimate(np.asarray(markov.states))
+        return ChainRunResult(markov=markov, final_metrics=metrics)

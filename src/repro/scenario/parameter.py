@@ -1,0 +1,105 @@
+"""Parameter declarations (paper section 2.2, ``DECLARE PARAMETER``).
+
+Three kinds, matching the query language:
+
+* ``RANGE a TO b STEP BY s`` — an arithmetic progression (discrete-finite,
+  the paper's standing assumption);
+* ``SET (v1, v2, ...)`` — an explicit finite set;
+* ``CHAIN col FROM @driver : expr INITIAL VALUE v`` — a Markov chain
+  parameter whose value at one step of the driver parameter is produced by
+  the previous step's query output (paper Figure 5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import JigsawError
+
+
+class ParameterSpec(ABC):
+    """A declared @parameter with its permitted values."""
+
+    name: str
+
+    @abstractmethod
+    def values(self) -> Tuple[float, ...]:
+        """Every permitted value, in declaration order."""
+
+    @property
+    def is_chain(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.values())
+
+
+@dataclass(frozen=True)
+class RangeParameter(ParameterSpec):
+    """``RANGE start TO stop STEP BY step`` (inclusive endpoints)."""
+
+    name: str
+    start: float
+    stop: float
+    step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise JigsawError(f"@{self.name}: STEP BY must be positive")
+        if self.stop < self.start:
+            raise JigsawError(f"@{self.name}: range stop precedes start")
+
+    def values(self) -> Tuple[float, ...]:
+        result: List[float] = []
+        value = self.start
+        # Half-step slack keeps float accumulation from dropping the
+        # inclusive endpoint.
+        while value <= self.stop + self.step * 1e-9:
+            result.append(round(value, 12))
+            value += self.step
+        return tuple(result)
+
+
+@dataclass(frozen=True)
+class SetParameter(ParameterSpec):
+    """``SET (v1, v2, ...)``."""
+
+    name: str
+    members: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise JigsawError(f"@{self.name}: SET needs at least one value")
+
+    def values(self) -> Tuple[float, ...]:
+        return self.members
+
+
+@dataclass(frozen=True)
+class ChainParameter(ParameterSpec):
+    """``CHAIN column FROM @driver : driver_offset INITIAL VALUE v``.
+
+    The parameter's value while evaluating driver step ``t`` is the value of
+    ``column`` in the query output at driver step ``t + driver_offset``
+    (paper Figure 5 uses offset −1: the previous week's output feeds the
+    next).  ``values()`` is undefined for chains — they are not enumerated
+    but evolved by the Markov machinery.
+    """
+
+    name: str
+    source_column: str
+    driver: str
+    driver_offset: int
+    initial_value: float
+
+    @property
+    def is_chain(self) -> bool:
+        return True
+
+    def values(self) -> Tuple[float, ...]:
+        raise JigsawError(
+            f"@{self.name} is a CHAIN parameter; its values are produced by "
+            "the Markov process, not enumerated"
+        )

@@ -1,0 +1,189 @@
+"""Batch scenario execution: naive and fingerprint-reusing modes.
+
+The runner generalizes :class:`repro.core.explorer.ParameterExplorer` to
+multi-column scenarios.  One Monte Carlo round computes *all* output columns
+(one set of black-box invocations), so the fingerprint decision is joint: a
+point skips its remaining rounds only when **every** column's fingerprint
+maps onto a stored basis.  This is precisely why the paper's boolean
+Overload column halves the achievable speedup of its query (section 6.2) —
+one unmappable column forces the full simulation for the whole row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.blackbox.base import ParamKey, param_key
+from repro.core.basis import BasisStore
+from repro.core.estimator import Estimator, MetricSet
+from repro.core.fingerprint import Fingerprint
+from repro.core.mapping import (
+    IdentityMappingFamily,
+    LinearMappingFamily,
+    Mapping,
+    MappingFamily,
+)
+from repro.core.optimizer import ResultRow, Selector
+from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank
+from repro.scenario.scenario import Scenario
+
+
+@dataclass
+class RunnerStats:
+    """Joint work accounting across all output columns."""
+
+    points_total: int = 0
+    points_reused: int = 0
+    rounds_executed: int = 0
+    bases_created: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        if self.points_total == 0:
+            return 0.0
+        return self.points_reused / self.points_total
+
+
+@dataclass
+class ScenarioResult:
+    """Per-point, per-column metrics plus accounting."""
+
+    metrics: Dict[ParamKey, Dict[str, MetricSet]] = field(default_factory=dict)
+    points: Dict[ParamKey, Dict[str, float]] = field(default_factory=dict)
+    stats: RunnerStats = field(default_factory=RunnerStats)
+
+    def metrics_for(
+        self, params: Mapping[str, float]
+    ) -> Dict[str, MetricSet]:
+        return self.metrics[param_key(params)]
+
+    def rows(self) -> List[ResultRow]:
+        """Rows in the Selector's input format."""
+        return [
+            (self.points[key], self.metrics[key]) for key in self.metrics
+        ]
+
+    def optimize(self, selector: Selector):
+        """Run an OPTIMIZE clause over the explored results table."""
+        return selector.solve(self.rows())
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+
+class ScenarioRunner:
+    """Executes a scenario over its whole parameter space with reuse.
+
+    ``column_families`` optionally overrides the mapping family per column;
+    boolean outputs default to identity-only matching (a 0/1 fingerprint
+    admits no meaningful affine remap — scaling probabilities would be
+    statistically wrong).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        samples_per_point: int = 1000,
+        fingerprint_size: int = 10,
+        seed_bank: Optional[SeedBank] = None,
+        estimator: Optional[Estimator] = None,
+        index_strategy: str = "normalization",
+        column_families: Optional[Mapping[str, MappingFamily]] = None,
+        use_fingerprints: bool = True,
+    ):
+        if fingerprint_size < 1:
+            raise ValueError("fingerprint_size must be at least 1")
+        if samples_per_point < fingerprint_size:
+            raise ValueError("samples_per_point must be >= fingerprint_size")
+        self.scenario = scenario
+        self.samples_per_point = samples_per_point
+        self.fingerprint_size = fingerprint_size
+        self.seed_bank = seed_bank or DEFAULT_SEED_BANK
+        self.estimator = estimator or Estimator()
+        self.use_fingerprints = use_fingerprints
+        overrides = dict(column_families or {})
+        self._stores: Dict[str, BasisStore] = {}
+        for column in scenario.output_columns:
+            family = overrides.get(column, LinearMappingFamily())
+            self._stores[column] = BasisStore(
+                mapping_family=family,
+                index_strategy=index_strategy,
+                estimator=self.estimator,
+            )
+
+    def store_for(self, column: str) -> BasisStore:
+        return self._stores[column]
+
+    def run(self) -> ScenarioResult:
+        result = ScenarioResult()
+        for point in self.scenario.space.points():
+            key = param_key(point)
+            result.points[key] = dict(point)
+            result.metrics[key] = self._run_point(point, result.stats)
+            result.stats.points_total += 1
+        return result
+
+    def _run_point(
+        self, point: Dict[str, float], stats: RunnerStats
+    ) -> Dict[str, MetricSet]:
+        columns = self.scenario.output_columns
+        m = self.fingerprint_size
+
+        # Fingerprint rounds (double as the first m simulation rounds).
+        column_values: Dict[str, List[float]] = {c: [] for c in columns}
+        for seed in self.seed_bank.seeds(m):
+            row = self.scenario.simulate(point, seed)
+            for column in columns:
+                column_values[column].append(row[column])
+        stats.rounds_executed += m
+
+        if self.use_fingerprints:
+            matches: Dict[str, Tuple[object, Mapping]] = {}
+            for column in columns:
+                fingerprint = Fingerprint(tuple(column_values[column]))
+                matched = self._stores[column].match(fingerprint)
+                if matched is None:
+                    break
+                matches[column] = matched
+            if len(matches) == len(columns):
+                stats.points_reused += 1
+                return {
+                    column: self._stores[column].metrics_for(
+                        basis, mapping  # type: ignore[arg-type]
+                    )
+                    for column, (basis, mapping) in matches.items()
+                }
+
+        # Full simulation: complete the remaining rounds and register bases.
+        for seed in self.seed_bank.seeds(self.samples_per_point - m, start=m):
+            row = self.scenario.simulate(point, seed)
+            for column in columns:
+                column_values[column].append(row[column])
+        stats.rounds_executed += self.samples_per_point - m
+
+        metrics: Dict[str, MetricSet] = {}
+        for column in columns:
+            samples = np.asarray(column_values[column], dtype=float)
+            fingerprint = Fingerprint(tuple(samples[:m]))
+            if self.use_fingerprints:
+                basis = self._stores[column].add(fingerprint, samples)
+                stats.bases_created += 1
+                metrics[column] = basis.metrics
+            else:
+                metrics[column] = self.estimator.estimate(samples)
+        return metrics
+
+
+def boolean_column_families(
+    scenario: Scenario, boolean_columns: Tuple[str, ...]
+) -> Dict[str, MappingFamily]:
+    """Convenience: identity-only matching for indicator columns."""
+    families: Dict[str, MappingFamily] = {}
+    for column in boolean_columns:
+        if column not in scenario.output_columns:
+            raise ValueError(f"unknown column {column!r}")
+        families[column] = IdentityMappingFamily()
+    return families

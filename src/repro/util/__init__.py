@@ -1,0 +1,14 @@
+"""Small shared utilities: statistics, timing, and text tables."""
+
+from repro.util.stats import RunningStats, histogram, quantiles
+from repro.util.tables import format_table
+from repro.util.timing import InvocationCounter, Stopwatch
+
+__all__ = [
+    "RunningStats",
+    "histogram",
+    "quantiles",
+    "format_table",
+    "InvocationCounter",
+    "Stopwatch",
+]

@@ -1,0 +1,134 @@
+"""Streaming and batch statistics helpers.
+
+The Jigsaw estimator (paper section 2.3) aggregates i.i.d. Monte Carlo samples
+into summary metrics.  :class:`RunningStats` provides a numerically stable
+(Welford) accumulator so samples can be streamed without retaining them, which
+the interactive engine (section 5) relies on for progressive refinement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class RunningStats:
+    """Welford-style running mean / variance / extrema accumulator."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold a single sample into the accumulator."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._minimum:
+            self._minimum = value
+        if value > self._maximum:
+            self._maximum = value
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Fold every sample in ``values`` into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to seeing both sample sets."""
+        if other._count == 0:
+            return self.copy()
+        if self._count == 0:
+            return other.copy()
+        merged = RunningStats()
+        merged._count = self._count + other._count
+        delta = other._mean - self._mean
+        merged._mean = self._mean + delta * other._count / merged._count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self._count * other._count / merged._count
+        )
+        merged._minimum = min(self._minimum, other._minimum)
+        merged._maximum = max(self._maximum, other._maximum)
+        return merged
+
+    def copy(self) -> "RunningStats":
+        dup = RunningStats()
+        dup._count = self._count
+        dup._mean = self._mean
+        dup._m2 = self._m2
+        dup._minimum = self._minimum
+        dup._maximum = self._maximum
+        return dup
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("mean of empty RunningStats")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        if self._count == 0:
+            raise ValueError("variance of empty RunningStats")
+        return self._m2 / self._count
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased (n-1) sample variance."""
+        if self._count < 2:
+            raise ValueError("sample variance needs at least two samples")
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValueError("minimum of empty RunningStats")
+        return self._minimum
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError("maximum of empty RunningStats")
+        return self._maximum
+
+
+def quantiles(
+    samples: Sequence[float], probabilities: Sequence[float]
+) -> List[float]:
+    """Linear-interpolation quantiles of ``samples`` at ``probabilities``."""
+    if len(samples) == 0:
+        raise ValueError("quantiles of an empty sample set")
+    for p in probabilities:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"quantile probability {p} outside [0, 1]")
+    array = np.asarray(samples, dtype=float)
+    return [float(q) for q in np.quantile(array, probabilities)]
+
+
+def histogram(
+    samples: Sequence[float], bins: int = 10
+) -> Tuple[List[int], List[float]]:
+    """Equi-width histogram: (counts, bin edges), ``bins + 1`` edges."""
+    if len(samples) == 0:
+        raise ValueError("histogram of an empty sample set")
+    if bins < 1:
+        raise ValueError("histogram needs at least one bin")
+    counts, edges = np.histogram(np.asarray(samples, dtype=float), bins=bins)
+    return [int(c) for c in counts], [float(e) for e in edges]

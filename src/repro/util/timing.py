@@ -1,0 +1,55 @@
+"""Timing and work-counting instrumentation used by the benchmark harness.
+
+Wall-clock times in a Python reproduction of a 2011 C#/Ruby system are only
+meaningful as ratios; invocation counts (how many black-box samples were
+drawn) are the stable, machine-independent cost measure, so both are exposed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Stopwatch:
+    """Context-manager stopwatch measuring elapsed wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+
+class InvocationCounter:
+    """Counts named events (e.g. black-box invocations, basis matches)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def record(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"InvocationCounter({inner})"

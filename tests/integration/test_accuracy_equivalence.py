@@ -1,0 +1,129 @@
+"""Integration tests for the paper's section 6.2 accuracy claim.
+
+"Outputs of Jigsaw are equivalent to full simulation for each possible
+parameter value."  For mapping families that carry full information (linear
+over continuous outputs) this equivalence is exact; for boolean outputs the
+fingerprint has finite resolution (m draws), so reuse can merge points whose
+probabilities differ by less than the fingerprint can distinguish — the test
+bounds that error instead.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    capacity_workload,
+    demand_workload,
+    overload_workload,
+    user_selection_workload,
+)
+from repro.blackbox.base import param_key
+from repro.core.basis import BasisStore
+from repro.core.explorer import NaiveExplorer, ParameterExplorer
+from repro.core.mapping import IdentityMappingFamily
+
+
+def explore_both(workload, samples, mapping_family=None):
+    simulation = workload.simulation()
+    store = (
+        BasisStore(mapping_family=mapping_family)
+        if mapping_family is not None
+        else None
+    )
+    explorer = ParameterExplorer(
+        simulation,
+        samples_per_point=samples,
+        fingerprint_size=10,
+        basis_store=store,
+    )
+    naive = NaiveExplorer(simulation, samples_per_point=samples)
+    return explorer.run(workload.points), naive.run(workload.points)
+
+
+class TestExactEquivalence:
+    def test_demand(self):
+        workload = demand_workload(weeks=10, features=(3.0, 7.0))
+        jigsaw, naive = explore_both(workload, samples=60)
+        for point in workload.points:
+            assert jigsaw.metrics(point).approx_equals(
+                naive[param_key(point)], rel_tol=1e-8
+            ), point
+
+    def test_capacity_outside_transients(self):
+        """Away from purchase structures, Capacity points are exactly
+        equivalent; inside a structure the per-seed online indicators give
+        the fingerprint finite resolution (same error source the paper
+        acknowledges in section 6.2 and reports as never significant)."""
+        workload = capacity_workload(weeks=8, purchase_step=4)
+        jigsaw, naive = explore_both(workload, samples=50)
+        structure = workload.box.structure_size
+        for point in workload.points:
+            distances = [
+                point["current_week"] - p
+                for p in (point["purchase1"], point["purchase2"])
+            ]
+            in_transient = any(0.0 <= d <= 6.0 * structure for d in distances)
+            if not in_transient:
+                assert jigsaw.metrics(point).approx_equals(
+                    naive[param_key(point)], rel_tol=1e-8
+                ), point
+
+    def test_capacity_transient_error_bounded(self):
+        """Inside transients, reuse error is bounded by the purchase volume
+        scaled by the fingerprint's resolution."""
+        workload = capacity_workload(weeks=8, purchase_step=4)
+        jigsaw, naive = explore_both(workload, samples=50)
+        bound = workload.box.purchase_volume * (3.0 / 10)
+        for point in workload.points:
+            error = abs(
+                jigsaw.metrics(point).expectation
+                - naive[param_key(point)].expectation
+            )
+            assert error <= bound, (point, error)
+
+    def test_capacity_unreused_points_exact(self):
+        workload = capacity_workload(weeks=8, purchase_step=4)
+        jigsaw, naive = explore_both(workload, samples=50)
+        for point in workload.points:
+            outcome = jigsaw.result(point)
+            if not outcome.reused:
+                assert outcome.metrics.approx_equals(
+                    naive[param_key(point)], rel_tol=1e-8
+                ), point
+
+    def test_user_selection(self):
+        workload = user_selection_workload(weeks=3, user_count=40)
+        jigsaw, naive = explore_both(workload, samples=40)
+        for point in workload.points:
+            assert jigsaw.metrics(point).approx_equals(
+                naive[param_key(point)], rel_tol=1e-8
+            ), point
+
+
+class TestBooleanResolutionBound:
+    def test_overload_error_bounded_by_fingerprint_resolution(self):
+        """Identity-matched boolean points differ by less than what an
+        m-sample 0/1 fingerprint can resolve; the expectation error of reuse
+        stays within a few multiples of 1/m."""
+        workload = overload_workload(weeks=10, purchase_step=5)
+        jigsaw, naive = explore_both(
+            workload, samples=120, mapping_family=IdentityMappingFamily()
+        )
+        m = 10
+        for point in workload.points:
+            error = abs(
+                jigsaw.metrics(point).expectation
+                - naive[param_key(point)].expectation
+            )
+            assert error <= 3.0 / m, (point, error)
+
+    def test_unreused_boolean_points_are_exact(self):
+        workload = overload_workload(weeks=10, purchase_step=5)
+        jigsaw, naive = explore_both(
+            workload, samples=60, mapping_family=IdentityMappingFamily()
+        )
+        for point in workload.points:
+            outcome = jigsaw.result(point)
+            if not outcome.reused:
+                assert outcome.metrics.approx_equals(
+                    naive[param_key(point)], rel_tol=1e-8
+                )

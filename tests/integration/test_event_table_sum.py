@@ -1,0 +1,151 @@
+"""Integration tests for the section 2.2 event-table SUM formulation.
+
+Capacity expressed as ``SELECT SUM(...) FROM random_table`` must behave
+like the monolithic CapacityModel black box: same expectation staircase,
+same fingerprint-reuse structure (shared bases away from purchase
+transients), and exact equivalence between Jigsaw and naive exploration.
+"""
+
+import pytest
+
+from repro.blackbox import BlackBoxRegistry, FunctionBlackBox
+from repro.blackbox.base import param_key
+from repro.blackbox.rng import DeterministicRng
+from repro.core.explorer import NaiveExplorer, ParameterExplorer
+from repro.errors import BindingError
+from repro.lang.binder import compile_query
+from repro.probdb import RandomRelation, Relation, Schema, VGColumn
+
+QUERY = """
+DECLARE PARAMETER @current_week AS RANGE 0 TO 20 STEP BY 2;
+SELECT SUM(CASE WHEN purchase_week + delay <= @current_week
+           THEN cores ELSE 0 END) AS capacity
+FROM purchases
+INTO results;
+"""
+
+
+def purchases_table(delay_mean=2.0):
+    base = Relation(
+        Schema.of("purchase_week", "cores"),
+        [(4.0, 30.0), (12.0, 25.0)],
+    )
+    delay_model = FunctionBlackBox(
+        lambda params, seed: DeterministicRng(seed).exponential(delay_mean),
+        name="OnlineDelay",
+        parameter_names=("purchase_week",),
+    )
+    return RandomRelation(
+        base,
+        [VGColumn("delay", delay_model, ("purchase_week",), ("purchase_week",))],
+    )
+
+
+@pytest.fixture(scope="module")
+def bound():
+    return compile_query(
+        QUERY, BlackBoxRegistry(), tables={"purchases": purchases_table()}
+    )
+
+
+class TestSemantics:
+    def test_staircase_expectation(self, bound):
+        simulation = bound.scenario.column_simulation("capacity")
+
+        def expectation(week):
+            values = [
+                simulation({"current_week": week}, seed)
+                for seed in range(300)
+            ]
+            return sum(values) / len(values)
+
+        import math
+
+        assert expectation(0.0) == 0.0
+        # First purchase (week 4, 30 cores, Exp(2) delay): by week 10 a
+        # fraction 1 - e^(-6/2) of worlds have it online.
+        online_by_10 = 30.0 * (1.0 - math.exp(-6.0 / 2.0))
+        assert expectation(10.0) == pytest.approx(online_by_10, abs=1.5)
+        # By week 20 both purchases are nearly always online.
+        online_by_20 = 30.0 * (1.0 - math.exp(-16.0 / 2.0)) + 25.0 * (
+            1.0 - math.exp(-8.0 / 2.0)
+        )
+        assert expectation(20.0) == pytest.approx(online_by_20, abs=1.5)
+
+    def test_deterministic_per_seed(self, bound):
+        simulation = bound.scenario.column_simulation("capacity")
+        point = {"current_week": 6.0}
+        assert simulation(point, 99) == simulation(point, 99)
+
+    def test_output_schema(self, bound):
+        assert bound.scenario.output_columns == ("capacity",)
+
+
+class TestFingerprintReuse:
+    def test_jigsaw_equals_naive(self, bound):
+        simulation = bound.scenario.column_simulation("capacity")
+        points = [{"current_week": float(w)} for w in range(0, 21, 2)]
+        jigsaw = ParameterExplorer(simulation, samples_per_point=60).run(
+            points
+        )
+        naive = NaiveExplorer(simulation, samples_per_point=60).run(points)
+        for point in points:
+            outcome = jigsaw.result(point)
+            if not outcome.reused:
+                assert outcome.metrics.approx_equals(
+                    naive[param_key(point)], rel_tol=1e-8
+                )
+
+    def test_weeks_far_from_purchases_share_bases(self, bound):
+        simulation = bound.scenario.column_simulation("capacity")
+        points = [{"current_week": float(w)} for w in range(0, 21, 2)]
+        result = ParameterExplorer(simulation, samples_per_point=60).run(
+            points
+        )
+        assert result.stats.bases_created < len(points)
+        assert result.stats.points_reused > 0
+
+
+class TestBindingRules:
+    def test_unknown_table(self):
+        with pytest.raises(BindingError):
+            compile_query(QUERY, BlackBoxRegistry(), tables={})
+
+    def test_wrong_table_type(self):
+        with pytest.raises(BindingError):
+            compile_query(
+                QUERY, BlackBoxRegistry(), tables={"purchases": object()}
+            )
+
+    def test_mixed_aggregate_and_plain_items_rejected(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 2 STEP BY 1;
+        SELECT SUM(cores) AS total, cores AS each
+        FROM purchases INTO results;
+        """
+        with pytest.raises(BindingError):
+            compile_query(
+                source,
+                BlackBoxRegistry(),
+                tables={"purchases": purchases_table()},
+            )
+
+    def test_deterministic_relation_source(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 2 STEP BY 1;
+        SELECT SUM(cores) AS total, COUNT(cores) AS events,
+               AVG(cores) AS mean_cores, MAX(purchase_week) AS last_week
+        FROM purchases INTO results;
+        """
+        base = Relation(
+            Schema.of("purchase_week", "cores"),
+            [(4.0, 30.0), (12.0, 25.0)],
+        )
+        bound = compile_query(
+            source, BlackBoxRegistry(), tables={"purchases": base}
+        )
+        row = bound.scenario.simulate({"w": 0.0}, seed=1)
+        assert row["total"] == 55.0
+        assert row["events"] == 2.0
+        assert row["mean_cores"] == 27.5
+        assert row["last_week"] == 12.0

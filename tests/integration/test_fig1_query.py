@@ -1,0 +1,116 @@
+"""End-to-end integration test: the paper's Figure 1 query.
+
+Parses the (slightly down-scaled) Figure 1 text, binds it against the paper's
+models, runs the batch explorer with fingerprint reuse, and answers the
+OPTIMIZE clause — the complete batch-mode pipeline of paper Figure 3.
+"""
+
+import pytest
+
+from repro.blackbox import (
+    BlackBoxRegistry,
+    CapacityModel,
+    DemandModel,
+)
+from repro.lang.binder import compile_query
+from repro.scenario import ScenarioRunner, boolean_column_families
+
+FIG1_QUERY = """
+-- DEFINITION --
+DECLARE PARAMETER @current_week AS RANGE 0 TO 16 STEP BY 4;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 16 STEP BY 8;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 16 STEP BY 8;
+DECLARE PARAMETER @feature_release AS SET (4, 12);
+SELECT DemandModel(@current_week, @feature_release) AS demand,
+       CapacityModel(@current_week, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+-- BATCH MODE --
+OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.5
+GROUP BY feature_release, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2;
+"""
+
+
+@pytest.fixture(scope="module")
+def bound():
+    registry = BlackBoxRegistry()
+    registry.register(DemandModel(), "DemandModel")
+    registry.register(
+        CapacityModel(base_capacity=12.0, purchase_volume=8.0),
+        "CapacityModel",
+    )
+    return compile_query(FIG1_QUERY, registry)
+
+
+@pytest.fixture(scope="module")
+def result(bound):
+    runner = ScenarioRunner(
+        bound.scenario,
+        samples_per_point=60,
+        fingerprint_size=10,
+        column_families=boolean_column_families(
+            bound.scenario, ("overload",)
+        ),
+    )
+    return runner.run()
+
+
+class TestPipeline:
+    def test_explores_entire_space(self, bound, result):
+        assert len(result) == bound.scenario.space.size() == 5 * 3 * 3 * 2
+
+    def test_fingerprinting_reuses_work(self, result):
+        assert result.stats.points_reused > 0
+        assert result.stats.rounds_executed < result.stats.points_total * 60
+
+    def test_optimizer_answers(self, bound, result):
+        answer = result.optimize(bound.selector)
+        assert answer.groups
+        if answer.best is not None:
+            best = answer.best_parameters()
+            assert set(best) == {
+                "feature_release",
+                "purchase1",
+                "purchase2",
+            }
+
+    def test_best_group_is_lexicographic_max(self, bound, result):
+        answer = result.optimize(bound.selector)
+        if answer.best is None:
+            pytest.skip("no feasible group at this scale")
+        best_p1 = answer.best.value_of("purchase1")
+        for group in answer.feasible_groups:
+            assert group.value_of("purchase1") <= best_p1
+
+    def test_overload_probability_monotone_in_demand_pressure(self, result):
+        """Later weeks carry more demand, so overload expectation should
+        not systematically decrease with the week at fixed purchases."""
+        by_week = {}
+        for key, columns in result.metrics.items():
+            params = dict(key)
+            if params["purchase1"] == 0.0 and params["purchase2"] == 0.0:
+                if params["feature_release"] == 4.0:
+                    by_week[params["current_week"]] = columns[
+                        "overload"
+                    ].expectation
+        weeks = sorted(by_week)
+        assert by_week[weeks[-1]] >= by_week[weeks[0]]
+
+
+class TestGraphMode:
+    def test_graph_clause_renders(self, bound):
+        source = FIG1_QUERY.replace(
+            "-- BATCH MODE --",
+            "GRAPH OVER @current_week EXPECT overload WITH bold red,"
+            " EXPECT capacity WITH blue y2;\n-- BATCH MODE --",
+        )
+        registry = BlackBoxRegistry()
+        registry.register(DemandModel(), "DemandModel")
+        registry.register(CapacityModel(), "CapacityModel")
+        graphed = compile_query(source, registry)
+        assert graphed.graph is not None
+        assert graphed.graph.x_parameter == "current_week"
+        assert len(graphed.graph.series) == 2

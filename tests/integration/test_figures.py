@@ -1,0 +1,103 @@
+"""Smoke + shape tests for the figure-reproduction runners.
+
+These drive the same code paths as ``benchmarks/run_all.py`` at tiny sizes
+so a plain ``pytest tests/`` run validates every experiment harness without
+benchmark-scale wall clock.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+)
+
+
+class TestFig7:
+    def test_table_renders_and_shapes(self):
+        text = run_fig7("quick")
+        assert "Figure 7" in text
+        lines = [l for l in text.splitlines() if l and not l.startswith("-")]
+        assert any(l.startswith("Demand") for l in lines)
+        assert any(l.startswith("UserSelect") for l in lines)
+        # Last column is the online/offline ratio: >1 for Demand, <1 for
+        # UserSelect.
+        demand_ratio = float(
+            next(l for l in lines if l.startswith("Demand")).split()[-1]
+        )
+        users_ratio = float(
+            next(l for l in lines if l.startswith("UserSelect")).split()[-1]
+        )
+        assert demand_ratio > 1.0
+        assert users_ratio < 1.0
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            run_fig7("huge")
+
+
+class TestFig8:
+    def test_jigsaw_beats_full_on_every_workload(self):
+        result = run_fig8("quick")
+        full = dict(result.series_named("Full Evaluation").points)
+        jigsaw = dict(result.series_named("Jigsaw").points)
+        assert set(full) == set(jigsaw)
+        for x in full:
+            assert jigsaw[x] < full[x], x
+
+    def test_to_text_includes_notes(self):
+        text = run_fig8("quick").to_text()
+        assert "speedup" in text
+        assert "MarkovStep" in text
+
+
+class TestFig9:
+    def test_bases_grow_with_structure(self):
+        result = run_fig9("quick", structure_sizes=(0.0, 8.0))
+        notes = "\n".join(result.notes)
+        assert "structure=0.0: 1 bases" in notes
+        assert len(result.series) == 3
+        for series in result.series:
+            assert len(series.points) == 2
+
+    def test_cost_rises_with_structure(self):
+        result = run_fig9("quick", structure_sizes=(0.0, 12.0))
+        array = dict(result.series_named("Array").points)
+        assert array[12.0] > array[0.0]
+
+
+class TestFig10And11:
+    def test_fig10_relative_to_array(self):
+        result = run_fig10("quick", basis_counts=(5, 40))
+        array = dict(result.series_named("Array").points)
+        assert all(v == pytest.approx(1.0) for v in array.values())
+        normalization = dict(result.series_named("Normalization").points)
+        assert normalization[40] < 1.05
+
+    def test_fig11_series_cover_counts(self):
+        result = run_fig11("quick", basis_counts=(10, 30))
+        for series in result.series:
+            assert sorted(series.xs) == [10, 30]
+            assert all(y > 0 for y in series.ys)
+
+
+class TestFig12:
+    def test_advantage_decays_with_branching(self):
+        result = run_fig12("quick", branchings=(1e-3, 0.1))
+        naive = dict(result.series_named("Naive").points)
+        jigsaw = dict(result.series_named("Jigsaw").points)
+        ratio_low = naive[1e-3] / jigsaw[1e-3]
+        ratio_high = naive[0.1] / jigsaw[0.1]
+        assert ratio_low > ratio_high
+        assert ratio_low > 3.0
+
+
+class TestHarnessTable:
+    def test_missing_series_lookup(self):
+        result = run_fig12("quick", branchings=(1e-2,))
+        with pytest.raises(KeyError):
+            result.series_named("NoSuchSeries")

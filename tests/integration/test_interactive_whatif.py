@@ -1,0 +1,106 @@
+"""Integration test: interactive what-if exploration over a real scenario.
+
+Drives the Fuzzy Prophet event loop over the Figure 1 demand model, checks
+that estimates converge toward ground truth, that scrubbing across the
+parameter space reuses one basis per code path, and that GRAPH OVER output
+renders from session estimates.
+"""
+
+import pytest
+
+from repro.blackbox import BlackBoxRegistry, DemandModel
+from repro.core.estimator import Estimator
+from repro.core.seeds import SeedBank
+from repro.interactive import InteractiveSession, render_graph
+from repro.lang.binder import compile_query
+
+QUERY = """
+DECLARE PARAMETER @current_week AS RANGE 0 TO 12 STEP BY 1;
+SELECT DemandModel(@current_week, 6) AS demand INTO results;
+GRAPH OVER @current_week EXPECT demand WITH bold red;
+"""
+
+
+@pytest.fixture(scope="module")
+def bound():
+    registry = BlackBoxRegistry()
+    registry.register(DemandModel(), "DemandModel")
+    return compile_query(QUERY, registry)
+
+
+def make_session(bound, **kwargs):
+    return InteractiveSession(
+        bound.scenario.column_simulation("demand"),
+        bound.scenario.space,
+        fingerprint_size=10,
+        chunk=10,
+        seed_bank=SeedBank(17),
+        **kwargs,
+    )
+
+
+class TestConvergence:
+    def test_estimate_approaches_ground_truth(self, bound):
+        session = make_session(bound)
+        point = {"current_week": 8.0}
+        session.focus(point)
+        session.run(20)
+        estimate = session.estimate(point)
+        truth = Estimator().estimate(
+            [
+                bound.scenario.column_simulation("demand")(point, seed)
+                for seed in SeedBank(999).seeds(2000)
+            ]
+        )
+        assert estimate.expectation == pytest.approx(
+            truth.expectation, abs=3 * truth.stddev / (estimate.count**0.5) + 0.3
+        )
+
+    def test_estimates_sharpen_with_ticks(self, bound):
+        session = make_session(bound)
+        point = {"current_week": 8.0}
+        session.focus(point)
+        shallow = session.sample_count(point)
+        session.run(10)
+        assert session.sample_count(point) > shallow
+
+
+class TestScrubbing:
+    def test_scrub_across_weeks_reuses_code_path_bases(self, bound):
+        session = make_session(bound)
+        # Weeks 0..6 are pre-release, 7..12 post-release: the demand model
+        # has two code paths, and week 0 is degenerate (zero variance), so
+        # a handful of bases must cover all 13 points.
+        for week in range(13):
+            session.focus({"current_week": float(week)})
+        assert len(session.store) <= 4
+
+    def test_every_scrubbed_point_has_estimate(self, bound):
+        session = make_session(bound)
+        for week in (2.0, 5.0, 9.0):
+            session.focus({"current_week": week})
+        for week in (2.0, 5.0, 9.0):
+            estimate = session.estimate({"current_week": week})
+            assert estimate is not None
+            assert estimate.expectation == pytest.approx(week, abs=2.5)
+
+
+class TestGraphRendering:
+    def test_graph_over_session_estimates(self, bound):
+        session = make_session(bound)
+        weeks = [float(w) for w in range(0, 13, 2)]
+        for week in weeks:
+            session.focus({"current_week": week})
+            session.run(3)
+        series = [
+            session.estimate({"current_week": week}).expectation
+            for week in weeks
+        ]
+        metric, column, _ = bound.graph.series[0]
+        text = render_graph(
+            bound.graph.x_parameter,
+            weeks,
+            {f"{metric} {column}": series},
+        )
+        assert "GRAPH OVER @current_week" in text
+        assert "expect demand" in text

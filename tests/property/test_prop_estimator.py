@@ -1,0 +1,95 @@
+"""Property-based tests for estimator math and metric remapping."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import Estimator, merge_metric_sets
+from repro.core.mapping import AffineMapping
+from repro.util.stats import RunningStats
+
+sample_lists = st.lists(
+    st.floats(
+        min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False
+    ),
+    min_size=2,
+    max_size=60,
+)
+
+alphas = st.floats(min_value=0.01, max_value=100.0).flatmap(
+    lambda a: st.sampled_from([a, -a])
+)
+betas = st.floats(min_value=-1e3, max_value=1e3)
+
+
+class TestRemapCommutes:
+    """estimate(M(samples)) == M_est(estimate(samples)) — the identity that
+    justifies skipping Monte Carlo for mapped points."""
+
+    @given(samples=sample_lists, alpha=alphas, beta=betas)
+    @settings(max_examples=200)
+    def test_expectation_stddev_extrema(self, samples, alpha, beta):
+        estimator = Estimator(())
+        mapping = AffineMapping(alpha, beta)
+        direct = estimator.estimate(mapping.apply_array(np.asarray(samples)))
+        remapped = estimator.estimate(samples).remap(mapping)
+        scale = max(abs(direct.expectation), abs(direct.stddev), 1.0)
+        assert abs(remapped.expectation - direct.expectation) <= 1e-6 * scale
+        assert abs(remapped.stddev - direct.stddev) <= 1e-6 * scale
+        assert abs(remapped.minimum - direct.minimum) <= 1e-6 * scale
+        assert abs(remapped.maximum - direct.maximum) <= 1e-6 * scale
+
+    @given(samples=sample_lists, alpha=alphas, beta=betas)
+    @settings(max_examples=100)
+    def test_quantiles(self, samples, alpha, beta):
+        estimator = Estimator((0.25, 0.5, 0.75))
+        mapping = AffineMapping(alpha, beta)
+        direct = estimator.estimate(mapping.apply_array(np.asarray(samples)))
+        remapped = estimator.estimate(samples).remap(mapping)
+        for (pa, va), (pb, vb) in zip(remapped.quantiles, direct.quantiles):
+            assert abs(pa - pb) <= 1e-9
+            assert abs(va - vb) <= 1e-5 * max(abs(vb), 1.0)
+
+
+class TestMergeIsPooling:
+    @given(left=sample_lists, right=sample_lists)
+    @settings(max_examples=150)
+    def test_merge_matches_pooled(self, left, right):
+        estimator = Estimator(())
+        merged = merge_metric_sets(
+            estimator.estimate(left), estimator.estimate(right)
+        )
+        pooled = estimator.estimate(left + right)
+        scale = max(abs(pooled.expectation), pooled.stddev, 1.0)
+        assert merged.count == pooled.count
+        assert abs(merged.expectation - pooled.expectation) <= 1e-6 * scale
+        assert abs(merged.stddev - pooled.stddev) <= 1e-5 * scale
+
+
+class TestRunningStats:
+    @given(samples=sample_lists)
+    @settings(max_examples=150)
+    def test_matches_numpy(self, samples):
+        stats = RunningStats()
+        stats.add_many(samples)
+        array = np.asarray(samples)
+        scale = max(abs(array.mean()), array.var(), 1.0)
+        assert abs(stats.mean - array.mean()) <= 1e-7 * scale
+        assert abs(stats.variance - array.var()) <= 1e-6 * scale
+        assert stats.minimum == array.min()
+        assert stats.maximum == array.max()
+
+    @given(left=sample_lists, right=sample_lists)
+    @settings(max_examples=100)
+    def test_merge_equals_sequential(self, left, right):
+        merged = RunningStats()
+        merged.add_many(left)
+        other = RunningStats()
+        other.add_many(right)
+        combined = merged.merge(other)
+        sequential = RunningStats()
+        sequential.add_many(left + right)
+        scale = max(abs(sequential.mean), sequential.variance, 1.0)
+        assert combined.count == sequential.count
+        assert abs(combined.mean - sequential.mean) <= 1e-7 * scale
+        assert abs(combined.variance - sequential.variance) <= 1e-6 * scale

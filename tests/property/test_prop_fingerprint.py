@@ -1,0 +1,108 @@
+"""Property-based tests for fingerprint canonical forms and SID orders."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import Fingerprint
+
+# Rounding to 2 decimals keeps entries either exactly equal or >= 0.01
+# apart, so affine images preserve tie structure; sub-resolution
+# spacing (where hashing indexes legitimately false-negative) is
+# covered by dedicated unit tests instead.
+moderate_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+).map(lambda v: round(v, 2))
+
+fingerprints = st.lists(moderate_floats, min_size=2, max_size=10).map(
+    lambda vs: Fingerprint(tuple(vs))
+)
+
+alphas = st.floats(min_value=0.1, max_value=50.0).map(
+    lambda a: round(a, 3)
+).flatmap(
+    lambda a: st.sampled_from([a, -a])
+)
+betas = st.floats(min_value=-100.0, max_value=100.0).map(lambda v: round(v, 2))
+
+
+class TestNormalForm:
+    @given(fp=fingerprints, alpha=alphas, beta=betas)
+    @settings(max_examples=300)
+    def test_affine_invariance(self, fp, alpha, beta):
+        """Any affine image normalizes to (numerically) the same form — the
+        property behind the Normalization index.  Entries are compared
+        within the rounding quantum rather than exactly: a value landing on
+        a rounding midpoint may round differently through the two arithmetic
+        paths, which manifests as a rare (and benign) index false negative.
+        """
+        image = Fingerprint(tuple(alpha * v + beta for v in fp.values))
+        for ours, theirs in zip(fp.normal_form(), image.normal_form()):
+            assert abs(ours - theirs) <= 2e-6
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=2,
+            max_size=10,
+        ),
+        alpha=st.integers(min_value=1, max_value=20),
+        beta=st.integers(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=200)
+    def test_affine_invariance_exact_for_integer_grids(
+        self, values, alpha, beta
+    ):
+        """On integer-valued fingerprints (no rounding-midpoint hazards) the
+        normal forms of affine images are *identical* hash keys."""
+        fp = Fingerprint(tuple(float(v) for v in values))
+        image = Fingerprint(
+            tuple(float(alpha * v + beta) for v in values)
+        )
+        assert fp.normal_form() == image.normal_form()
+
+    @given(fp=fingerprints)
+    @settings(max_examples=200)
+    def test_idempotent(self, fp):
+        form = fp.normal_form()
+        again = Fingerprint(form).normal_form() if any(form) else form
+        assert again == form
+
+    @given(fp=fingerprints)
+    @settings(max_examples=200)
+    def test_anchors(self, fp):
+        """Min/max anchoring keeps every entry in [0, 1] with both anchor
+        values present; constants normalize to all zeros."""
+        form = fp.normal_form()
+        if fp.first_distinct_pair() is None:
+            assert set(form) == {0.0}
+        else:
+            assert all(0.0 <= v <= 1.0 for v in form)
+            assert 0.0 in form
+            assert 1.0 in form
+
+
+class TestSidOrder:
+    @given(fp=fingerprints, alpha=st.floats(min_value=0.1, max_value=50.0).map(lambda a: round(a, 3)))
+    @settings(max_examples=200)
+    def test_increasing_map_preserves_order(self, fp, alpha):
+        image = Fingerprint(tuple(alpha * v + 3.0 for v in fp.values))
+        assert fp.sid_order() == image.sid_order()
+
+    @given(fp=fingerprints)
+    @settings(max_examples=200)
+    def test_order_is_permutation(self, fp):
+        order = fp.sid_order()
+        assert sorted(order) == list(range(fp.size))
+
+    @given(fp=fingerprints)
+    @settings(max_examples=200)
+    def test_order_actually_sorts(self, fp):
+        order = fp.sid_order()
+        values = [fp.values[i] for i in order]
+        assert values == sorted(values)
+
+    @given(fp=fingerprints)
+    @settings(max_examples=100)
+    def test_strictly_monotone_transform_preserves_order(self, fp):
+        image = Fingerprint(tuple(v**3 for v in fp.values))
+        assert fp.sid_order() == image.sid_order()

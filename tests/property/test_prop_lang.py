@@ -1,0 +1,109 @@
+"""Property-based tests for the query language round trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.ast import RangeSpec, SetSpec
+from repro.lang.parser import parse_expression, parse_script
+from repro.probdb.expressions import EvalContext
+from repro.lang.binder import Binder
+from repro.lang.ast import Script, SelectStatement, SelectItem
+from repro.blackbox import BlackBoxRegistry
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda n: n
+    not in {
+        "declare", "parameter", "as", "range", "to", "step", "by", "set",
+        "chain", "from", "initial", "value", "select", "into", "optimize",
+        "where", "group", "for", "max", "min", "graph", "over", "with",
+        "case", "when", "then", "else", "end", "and", "or", "not",
+        "expect", "expect_stddev", "stddev", "median", "avg", "sum", "count",
+    }
+)
+
+numbers = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+).map(lambda v: round(v, 6))
+
+
+class TestDeclareRoundTrip:
+    @given(name=names, start=numbers, span=st.floats(0.0, 100.0), step=st.floats(0.1, 10.0))
+    @settings(max_examples=100)
+    def test_range_survives_parse(self, name, start, span, step):
+        start = round(start, 3)
+        stop = round(start + span, 3)
+        step = round(step, 3)
+        source = (
+            f"DECLARE PARAMETER @{name} AS RANGE {start} TO {stop} "
+            f"STEP BY {step};"
+        )
+        declare = parse_script(source).declares()[0]
+        assert declare.name == name
+        assert isinstance(declare.spec, RangeSpec)
+        assert declare.spec.start == float(start)
+        assert declare.spec.stop == float(stop)
+        assert declare.spec.step == float(step)
+
+    @given(
+        name=names,
+        members=st.lists(numbers, min_size=1, max_size=6),
+    )
+    @settings(max_examples=100)
+    def test_set_survives_parse(self, name, members):
+        rendered = ", ".join(repr(m) for m in members)
+        source = f"DECLARE PARAMETER @{name} AS SET ({rendered});"
+        declare = parse_script(source).declares()[0]
+        assert isinstance(declare.spec, SetSpec)
+        assert list(declare.spec.members) == [float(m) for m in members]
+
+
+class TestExpressionSemantics:
+    """Parsed-and-bound arithmetic must agree with Python's evaluation."""
+
+    @given(
+        a=st.integers(-50, 50),
+        b=st.integers(-50, 50),
+        c=st.integers(1, 50),
+    )
+    @settings(max_examples=150)
+    def test_arithmetic_precedence_matches_python(self, a, b, c):
+        source = f"{a} + {b} * {c} - ({a} - {b}) / {c}"
+        node = parse_expression(source)
+        registry = BlackBoxRegistry()
+        binder = Binder(Script(), registry)
+        expression = binder._bind_expression(node, set(), set())
+        value = expression.evaluate(
+            EvalContext(row={}, params={}, world_seed=0)
+        )
+        expected = a + b * c - (a - b) / c
+        assert value == expected
+
+    @given(a=st.integers(-20, 20), b=st.integers(-20, 20))
+    @settings(max_examples=100)
+    def test_comparisons_match_python(self, a, b):
+        for op, expected in (
+            ("<", a < b),
+            ("<=", a <= b),
+            (">", a > b),
+            (">=", a >= b),
+            ("=", a == b),
+            ("<>", a != b),
+        ):
+            node = parse_expression(f"{a} {op} {b}")
+            registry = BlackBoxRegistry()
+            binder = Binder(Script(), registry)
+            expression = binder._bind_expression(node, set(), set())
+            assert (
+                expression.evaluate(EvalContext({}, {}, 0)) == expected
+            ), op
+
+    @given(a=st.integers(-20, 20))
+    @settings(max_examples=50)
+    def test_case_when_matches_python(self, a):
+        node = parse_expression(
+            f"CASE WHEN {a} < 0 THEN 0 - {a} ELSE {a} END"
+        )
+        registry = BlackBoxRegistry()
+        binder = Binder(Script(), registry)
+        expression = binder._bind_expression(node, set(), set())
+        assert expression.evaluate(EvalContext({}, {}, 0)) == abs(a)

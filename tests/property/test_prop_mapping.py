@@ -1,0 +1,116 @@
+"""Property-based tests for mapping families (paper Algorithm 2).
+
+The core invariant: for any fingerprint and any non-degenerate affine map,
+FindLinearMapping recovers a map carrying the fingerprint onto its image —
+with no false negatives, at any scale hypothesis can produce.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.mapping import (
+    AffineMapping,
+    LinearMappingFamily,
+    MonotoneMappingFamily,
+    ShiftMappingFamily,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+# Fingerprint entries are rounded so they are either equal or well
+# separated; affine images then preserve tie structure exactly.
+separated_floats = finite_floats.map(lambda v: round(v, 2))
+
+fingerprints = st.lists(separated_floats, min_size=3, max_size=12).map(
+    lambda vs: Fingerprint(tuple(vs))
+)
+
+alphas = st.floats(min_value=0.1, max_value=100.0).map(
+    lambda a: round(a, 3)
+).flatmap(
+    lambda a: st.sampled_from([a, -a])
+)
+betas = st.floats(min_value=-1e3, max_value=1e3).map(lambda v: round(v, 2))
+
+
+def image_of(fp, alpha, beta):
+    return Fingerprint(tuple(alpha * v + beta for v in fp.values))
+
+
+class TestLinearFamily:
+    @given(fp=fingerprints, alpha=alphas, beta=betas)
+    @settings(max_examples=200)
+    def test_affine_images_always_found(self, fp, alpha, beta):
+        mapping = LinearMappingFamily().find(fp, image_of(fp, alpha, beta))
+        assert mapping is not None
+
+    @given(fp=fingerprints, alpha=alphas, beta=betas)
+    @settings(max_examples=200)
+    def test_found_mapping_reproduces_every_entry(self, fp, alpha, beta):
+        target = image_of(fp, alpha, beta)
+        mapping = LinearMappingFamily().find(fp, target)
+        scale = max(max(abs(v) for v in target.values), 1.0)
+        for s, t in zip(fp.values, target.values):
+            assert abs(mapping.apply(s) - t) <= 1e-6 * scale
+
+    @given(fp=fingerprints, alpha=alphas, beta=betas)
+    @settings(max_examples=100)
+    def test_recovered_parameters_match_on_varying_fingerprints(
+        self, fp, alpha, beta
+    ):
+        if fp.is_constant(1e-6):
+            return
+        mapping = LinearMappingFamily().find(fp, image_of(fp, alpha, beta))
+        span = max(abs(v) for v in fp.values) or 1.0
+        assert abs(mapping.alpha - alpha) <= 1e-5 * max(abs(alpha), 1.0) * max(
+            span, 1.0
+        )
+
+    @given(fp=fingerprints)
+    @settings(max_examples=100)
+    def test_identity_always_found_against_self(self, fp):
+        mapping = LinearMappingFamily().find(fp, fp)
+        assert mapping is not None
+        assert mapping.apply(fp[0]) == fp[0]
+
+
+class TestShiftFamily:
+    @given(fp=fingerprints, beta=betas)
+    @settings(max_examples=150)
+    def test_shift_images_always_found(self, fp, beta):
+        mapping = ShiftMappingFamily().find(fp, image_of(fp, 1.0, beta))
+        assert mapping is not None
+        assert abs(mapping.beta - beta) <= 1e-6 * max(abs(beta), 1.0)
+
+
+class TestInverse:
+    @given(x=finite_floats, alpha=alphas, beta=betas)
+    @settings(max_examples=200)
+    def test_inverse_round_trip(self, x, alpha, beta):
+        mapping = AffineMapping(alpha, beta)
+        result = mapping.inverse().apply(mapping.apply(x))
+        assert abs(result - x) <= 1e-6 * max(abs(x), 1.0)
+
+    @given(alpha=alphas, beta=betas, a2=alphas, b2=betas, x=finite_floats)
+    @settings(max_examples=100)
+    def test_composition(self, alpha, beta, a2, b2, x):
+        outer = AffineMapping(alpha, beta)
+        inner = AffineMapping(a2, b2)
+        composed = outer.compose(inner)
+        expected = outer.apply(inner.apply(x))
+        assert abs(composed.apply(x) - expected) <= 1e-6 * max(
+            abs(expected), 1.0
+        )
+
+
+class TestMonotoneFamily:
+    @given(fp=fingerprints, alpha=alphas, beta=betas)
+    @settings(max_examples=100)
+    def test_monotone_covers_affine(self, fp, alpha, beta):
+        """Every affine map is monotone, so the monotone family must also
+        find a mapping for affine images."""
+        mapping = MonotoneMappingFamily().find(fp, image_of(fp, alpha, beta))
+        assert mapping is not None

@@ -1,0 +1,115 @@
+"""Property-based tests for Markov-jump invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blackbox.base import MarkovModel
+from repro.blackbox.markov_branch import MarkovBranchModel
+from repro.core.markov import MarkovJumpRunner, NaiveMarkovRunner
+from repro.core.seeds import SeedBank
+
+
+class UniformDrift(MarkovModel):
+    name = "UniformDrift"
+
+    def __init__(self, rate):
+        super().__init__()
+        self.rate = rate
+
+    def initial_state(self):
+        return 0.0
+
+    def _step(self, state, step_index, seed):
+        return state + self.rate
+
+
+class GlobalStaircase(MarkovModel):
+    """Jumps shared by all instances at arbitrary steps."""
+
+    name = "GlobalStaircase"
+
+    def __init__(self, jump_steps):
+        super().__init__()
+        self.jump_steps = set(jump_steps)
+
+    def initial_state(self):
+        return 0.0
+
+    def _step(self, state, step_index, seed):
+        return state + (7.0 if step_index in self.jump_steps else 0.0)
+
+
+class TestDriftAbsorption:
+    @given(
+        rate=st.floats(min_value=-10.0, max_value=10.0),
+        steps=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_jump_equals_naive_for_uniform_drift(self, rate, steps):
+        naive = NaiveMarkovRunner(UniformDrift(rate), instance_count=12).run(
+            steps
+        )
+        jump = MarkovJumpRunner(
+            UniformDrift(rate), instance_count=12, fingerprint_size=4
+        ).run(steps)
+        np.testing.assert_allclose(
+            jump.states, naive.states, rtol=1e-9, atol=1e-9
+        )
+
+    @given(
+        jump_steps=st.sets(
+            st.integers(min_value=0, max_value=39), max_size=6
+        ),
+        steps=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_staircase_exact(self, jump_steps, steps):
+        naive = NaiveMarkovRunner(
+            GlobalStaircase(jump_steps), instance_count=9
+        ).run(steps)
+        jump = MarkovJumpRunner(
+            GlobalStaircase(jump_steps), instance_count=9, fingerprint_size=3
+        ).run(steps)
+        np.testing.assert_allclose(jump.states, naive.states)
+
+
+class TestFingerprintInstancesExact:
+    @given(
+        branching=st.floats(min_value=0.0, max_value=0.3),
+        master=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_first_m_instances_match_naive(self, branching, master):
+        bank = SeedBank(master)
+        m = 6
+        naive = NaiveMarkovRunner(
+            MarkovBranchModel(branching=branching),
+            instance_count=20,
+            seed_bank=bank,
+        ).run(30)
+        jump = MarkovJumpRunner(
+            MarkovBranchModel(branching=branching),
+            instance_count=20,
+            fingerprint_size=m,
+            seed_bank=bank,
+        ).run(30)
+        np.testing.assert_allclose(jump.states[:m], naive.states[:m])
+
+
+class TestAccounting:
+    @given(steps=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_jump_plus_full_covers_target(self, steps):
+        result = MarkovJumpRunner(
+            UniformDrift(1.0), instance_count=10, fingerprint_size=3
+        ).run(steps)
+        assert result.jumped_steps + result.full_steps == steps
+
+    @given(steps=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_naive_invocations_exact(self, steps):
+        result = NaiveMarkovRunner(UniformDrift(1.0), instance_count=8).run(
+            steps
+        )
+        assert result.step_invocations == 8 * steps

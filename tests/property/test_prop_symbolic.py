@@ -1,0 +1,99 @@
+"""Property-based tests for symbolic mapped-variable algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basis import BasisStore
+from repro.core.fingerprint import Fingerprint
+from repro.core.mapping import AffineMapping
+from repro.core.symbolic import MappedVariable
+
+values = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0).map(lambda v: round(v, 3)),
+    min_size=10,
+    max_size=40,
+)
+
+alphas = st.floats(min_value=0.1, max_value=10.0).map(
+    lambda a: round(a, 3)
+).flatmap(lambda a: st.sampled_from([a, -a]))
+betas = st.floats(min_value=-50.0, max_value=50.0).map(lambda v: round(v, 3))
+
+
+def make_variable(samples, alpha, beta):
+    store = BasisStore()
+    basis = store.add(
+        Fingerprint(tuple(samples[:10])), np.asarray(samples, dtype=float)
+    )
+    return MappedVariable.of(basis, AffineMapping(alpha, beta))
+
+
+class TestAlgebraMatchesSamples:
+    @given(samples=values, a1=alphas, b1=betas, a2=alphas, b2=betas)
+    @settings(max_examples=100)
+    def test_same_basis_sum(self, samples, a1, b1, a2, b2):
+        store = BasisStore()
+        basis = store.add(
+            Fingerprint(tuple(samples[:10])),
+            np.asarray(samples, dtype=float),
+        )
+        x = MappedVariable.of(basis, AffineMapping(a1, b1))
+        y = MappedVariable.of(basis, AffineMapping(a2, b2))
+        total = x + y
+        assert isinstance(total, MappedVariable)
+        np.testing.assert_allclose(
+            total.samples(), x.samples() + y.samples(), rtol=1e-9, atol=1e-9
+        )
+
+    @given(samples=values, alpha=alphas, beta=betas, scalar=betas)
+    @settings(max_examples=100)
+    def test_scalar_ops(self, samples, alpha, beta, scalar):
+        x = make_variable(samples, alpha, beta)
+        array = x.samples()
+        np.testing.assert_allclose((x + scalar).samples(), array + scalar)
+        np.testing.assert_allclose((x - scalar).samples(), array - scalar)
+        np.testing.assert_allclose(
+            (x * 2.0).samples(), array * 2.0, rtol=1e-9
+        )
+        np.testing.assert_allclose((-x).samples(), -array)
+
+    @given(samples=values, alpha=alphas, beta=betas)
+    @settings(max_examples=100)
+    def test_expectation_linearity(self, samples, alpha, beta):
+        x = make_variable(samples, alpha, beta)
+        array = np.asarray(samples, dtype=float)
+        expected = alpha * array.mean() + beta
+        assert abs(x.expectation() - expected) <= 1e-7 * max(
+            abs(expected), 1.0
+        )
+
+    @given(samples=values, alpha=alphas, beta=betas, threshold=betas)
+    @settings(max_examples=100)
+    def test_probability_matches_empirical(
+        self, samples, alpha, beta, threshold
+    ):
+        x = make_variable(samples, alpha, beta)
+        empirical = float((x.samples() > threshold).mean())
+        assert x.probability_greater(threshold) == empirical
+
+
+class TestComparisonAntisymmetry:
+    @given(samples=values, a1=alphas, b1=betas, a2=alphas, b2=betas)
+    @settings(max_examples=80)
+    def test_p_greater_plus_p_less_at_most_one(
+        self, samples, a1, b1, a2, b2
+    ):
+        store = BasisStore()
+        basis = store.add(
+            Fingerprint(tuple(samples[:10])),
+            np.asarray(samples, dtype=float),
+        )
+        x = MappedVariable.of(basis, AffineMapping(a1, b1))
+        y = MappedVariable.of(basis, AffineMapping(a2, b2))
+        forward = x.probability_greater(y)
+        backward = y.probability_greater(x)
+        assert 0.0 <= forward <= 1.0
+        assert 0.0 <= backward <= 1.0
+        # Ties (x == y in some worlds) make the sum fall below one.
+        assert forward + backward <= 1.0 + 1e-9

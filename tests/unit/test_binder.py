@@ -1,0 +1,252 @@
+"""Unit tests for binding parsed scripts to executable objects."""
+
+import pytest
+
+from repro.blackbox import (
+    BlackBoxRegistry,
+    CapacityModel,
+    DemandModel,
+    FunctionBlackBox,
+)
+from repro.errors import BindingError
+from repro.lang.binder import compile_query
+from repro.lang.parser import parse_script
+from repro.lang.binder import bind_script
+from repro.scenario.parameter import (
+    ChainParameter,
+    RangeParameter,
+    SetParameter,
+)
+
+
+def registry():
+    reg = BlackBoxRegistry()
+    reg.register(DemandModel(), "DemandModel")
+    reg.register(CapacityModel(), "CapacityModel")
+    return reg
+
+
+FIG1 = """
+DECLARE PARAMETER @current_week AS RANGE 0 TO 8 STEP BY 2;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 8 STEP BY 4;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 8 STEP BY 4;
+DECLARE PARAMETER @feature_release AS SET (2, 6);
+SELECT DemandModel(@current_week, @feature_release) AS demand,
+       CapacityModel(@current_week, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.01
+GROUP BY feature_release, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2;
+"""
+
+
+class TestBindFigure1:
+    def test_parameters_bound(self):
+        bound = compile_query(FIG1, registry())
+        specs = {p.name: p for p in bound.scenario.parameters}
+        assert isinstance(specs["current_week"], RangeParameter)
+        assert isinstance(specs["feature_release"], SetParameter)
+        assert specs["feature_release"].values() == (2.0, 6.0)
+
+    def test_output_columns(self):
+        bound = compile_query(FIG1, registry())
+        assert bound.scenario.output_columns == (
+            "demand",
+            "capacity",
+            "overload",
+        )
+
+    def test_selector_bound(self):
+        bound = compile_query(FIG1, registry())
+        assert bound.selector is not None
+        assert bound.selector.group_by == (
+            "feature_release",
+            "purchase1",
+            "purchase2",
+        )
+        assert bound.selector.constraints[0].column == "overload"
+
+    def test_simulation_runs(self):
+        bound = compile_query(FIG1, registry())
+        row = bound.scenario.simulate(
+            {
+                "current_week": 4.0,
+                "purchase1": 0.0,
+                "purchase2": 4.0,
+                "feature_release": 2.0,
+            },
+            seed=77,
+        )
+        assert set(row) == {"demand", "capacity", "overload"}
+        assert row["overload"] in (0.0, 1.0)
+
+    def test_call_sites_get_distinct_salts(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 2 STEP BY 1;
+        SELECT DemandModel(@w, 50) AS a, DemandModel(@w, 50) AS b
+        INTO results;
+        """
+        bound = compile_query(source, registry())
+        row = bound.scenario.simulate({"w": 1.0}, seed=5)
+        assert row["a"] != row["b"]
+
+
+class TestChainBinding:
+    def test_chain_offsets(self):
+        reg = registry()
+        for offset_text, expected in (
+            ("@w", 0),
+            ("@w - 1", -1),
+            ("@w + 2", 2),
+        ):
+            source = f"""
+            DECLARE PARAMETER @w AS RANGE 0 TO 4 STEP BY 1;
+            DECLARE PARAMETER @c AS CHAIN out FROM @w : {offset_text}
+                INITIAL VALUE 9;
+            SELECT DemandModel(@w, @c) AS out INTO results;
+            """
+            bound = compile_query(source, reg)
+            chain = bound.scenario.chain_parameters[0]
+            assert isinstance(chain, ChainParameter)
+            assert chain.driver_offset == expected
+
+    def test_unsupported_offset_form_rejected(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 4 STEP BY 1;
+        DECLARE PARAMETER @c AS CHAIN out FROM @w : @w * 2 INITIAL VALUE 9;
+        SELECT DemandModel(@w, @c) AS out INTO results;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_chain_driver_must_be_declared(self):
+        source = """
+        DECLARE PARAMETER @c AS CHAIN out FROM @nope : @nope - 1
+            INITIAL VALUE 9;
+        SELECT DemandModel(@c, @c) AS out INTO results;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+
+class TestBindingErrors:
+    def test_unknown_black_box(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT Mystery(@w) AS x INTO results;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_wrong_arity(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT DemandModel(@w) AS x INTO results;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_undeclared_parameter(self):
+        source = "SELECT DemandModel(@w, @f) AS x INTO results;"
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_unknown_column_reference(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT missing + 1 AS x INTO results;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_duplicate_parameter_declaration(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        DECLARE PARAMETER @w AS RANGE 0 TO 2 STEP BY 1;
+        SELECT DemandModel(@w, @w) AS x INTO results;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_two_selects_rejected(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT DemandModel(@w, @w) AS x INTO results;
+        SELECT DemandModel(@w, @w) AS y INTO other;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_optimize_references_must_be_parameters(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT DemandModel(@w, @w) AS x INTO results;
+        OPTIMIZE SELECT @w FROM results GROUP BY not_a_param FOR MAX @w;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_optimize_unknown_constraint_column(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT DemandModel(@w, @w) AS x INTO results;
+        OPTIMIZE SELECT @w FROM results WHERE MAX(EXPECT nope) < 1
+        GROUP BY w FOR MAX @w;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_graph_unknown_column(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT DemandModel(@w, @w) AS x INTO results;
+        GRAPH OVER @w EXPECT nope;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+    def test_graph_unknown_parameter(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT DemandModel(@w, @w) AS x INTO results;
+        GRAPH OVER @zzz EXPECT x;
+        """
+        with pytest.raises(BindingError):
+            compile_query(source, registry())
+
+
+class TestGraphBinding:
+    def test_graph_spec(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 4 STEP BY 1;
+        SELECT DemandModel(@w, 2) AS demand INTO results;
+        GRAPH OVER @w EXPECT demand WITH bold red;
+        """
+        bound = compile_query(source, registry())
+        assert bound.graph is not None
+        assert bound.graph.x_parameter == "w"
+        assert bound.graph.series[0][:2] == ("expect", "demand")
+
+
+class TestScalarFunctions:
+    def test_abs_in_select(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT abs(0 - @w) AS magnitude INTO results;
+        """
+        bound = compile_query(source, registry())
+        assert bound.scenario.simulate({"w": 1.0}, 0)["magnitude"] == 1.0
+
+    def test_nested_from_subquery(self):
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 1 STEP BY 1;
+        SELECT demand * 2 AS doubled
+        FROM (SELECT DemandModel(@w, 50) AS demand)
+        INTO results;
+        """
+        bound = compile_query(source, registry())
+        row = bound.scenario.simulate({"w": 1.0}, 5)
+        assert "doubled" in row

@@ -1,0 +1,398 @@
+"""Unit tests for the Figure 6 black-box model library."""
+
+import numpy as np
+import pytest
+
+from repro.blackbox import (
+    BlackBoxRegistry,
+    CapacityModel,
+    DemandModel,
+    FunctionBlackBox,
+    MarkovBranchModel,
+    MarkovStepModel,
+    OverloadModel,
+    SynthBasisModel,
+    UserSelectionModel,
+    default_registry,
+    param_key,
+)
+from repro.core.mapping import find_linear_mapping
+from repro.core.seeds import SeedBank
+
+BANK = SeedBank(21)
+
+
+def fingerprint(box, params, m=10):
+    return [box.sample(params, seed) for seed in BANK.seeds(m)]
+
+
+class TestProtocol:
+    def test_determinism(self):
+        box = DemandModel()
+        params = {"current_week": 10.0, "feature_release": 5.0}
+        assert box.sample(params, 42) == box.sample(params, 42)
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(KeyError):
+            DemandModel().sample({"current_week": 1.0}, 0)
+
+    def test_invocation_counter(self):
+        box = DemandModel()
+        params = {"current_week": 1.0, "feature_release": 5.0}
+        box.sample(params, 0)
+        box.sample(params, 1)
+        assert box.invocations == 2
+        box.reset_invocations()
+        assert box.invocations == 0
+
+    def test_call_alias(self):
+        box = DemandModel()
+        params = {"current_week": 1.0, "feature_release": 5.0}
+        assert box(params, 3) == box.sample(params, 3)
+
+    def test_param_key_canonical(self):
+        assert param_key({"b": 1, "a": 2}) == (("a", 2.0), ("b", 1.0))
+
+    def test_function_blackbox(self):
+        box = FunctionBlackBox(
+            lambda p, s: p["x"] * 2, name="Double", parameter_names=("x",)
+        )
+        assert box.sample({"x": 3.0}, 0) == 6.0
+        assert box.name == "Double"
+
+    def test_repr(self):
+        assert "Demand" in repr(DemandModel())
+
+
+class TestRegistry:
+    def test_register_and_lookup_case_insensitive(self):
+        registry = BlackBoxRegistry()
+        registry.register(DemandModel(), "DemandModel")
+        assert registry.lookup("demandmodel").name == "Demand"
+        assert "DEMANDMODEL" in registry
+
+    def test_duplicate_rejected(self):
+        registry = BlackBoxRegistry()
+        registry.register(DemandModel(), "D")
+        with pytest.raises(ValueError):
+            registry.register(DemandModel(), "d")
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            BlackBoxRegistry().lookup("nope")
+
+    def test_default_registry_has_paper_models(self):
+        registry = default_registry()
+        for name in (
+            "DemandModel",
+            "CapacityModel",
+            "OverloadModel",
+            "UserSelectionModel",
+            "SynthBasisModel",
+        ):
+            assert name in registry
+
+
+class TestDemand:
+    def test_algorithm1_structure_before_release(self):
+        """Before the feature releases, demand is Normal(week, 0.1*week)."""
+        box = DemandModel()
+        week = 16.0
+        draws = np.array(
+            [
+                box.sample(
+                    {"current_week": week, "feature_release": 50.0}, seed
+                )
+                for seed in BANK.seeds(3000)
+            ]
+        )
+        assert draws.mean() == pytest.approx(week, abs=0.15)
+        assert draws.var() == pytest.approx(0.1 * week, rel=0.2)
+
+    def test_release_adds_growth(self):
+        box = DemandModel()
+        week = 30.0
+        pre = np.mean(fingerprint(
+            box, {"current_week": week, "feature_release": 50.0}, m=500
+        ))
+        post = np.mean(fingerprint(
+            box, {"current_week": week, "feature_release": 10.0}, m=500
+        ))
+        # Post-release adds Normal(0.2*20, ...) ≈ +4.
+        assert post - pre == pytest.approx(4.0, abs=1.0)
+
+    def test_same_code_path_linearly_mappable(self):
+        """The property Jigsaw exploits: affine fingerprints across weeks."""
+        box = DemandModel()
+        fp1 = fingerprint(box, {"current_week": 4.0, "feature_release": 50.0})
+        fp2 = fingerprint(box, {"current_week": 9.0, "feature_release": 50.0})
+        assert find_linear_mapping(fp1, fp2) is not None
+
+    def test_post_release_also_mappable(self):
+        """Demand stays one location-scale family after release too, which
+        is why the paper's ~5000-point Demand space needs a single basis."""
+        box = DemandModel()
+        fp1 = fingerprint(box, {"current_week": 20.0, "feature_release": 50.0})
+        fp2 = fingerprint(box, {"current_week": 20.0, "feature_release": 5.0})
+        assert find_linear_mapping(fp1, fp2) is not None
+
+    def test_whole_space_needs_at_most_two_bases(self):
+        """One basis for every stochastic point plus the degenerate week 0."""
+        from repro.core.explorer import ParameterExplorer
+
+        box = DemandModel()
+        points = [
+            {"current_week": float(w), "feature_release": float(f)}
+            for w in range(0, 21, 2)
+            for f in (4.0, 10.0, 16.0)
+        ]
+        explorer = ParameterExplorer(box.sample, samples_per_point=30)
+        result = explorer.run(points)
+        assert result.stats.bases_created <= 2
+
+    def test_variance_validation(self):
+        with pytest.raises(ValueError):
+            DemandModel(base_variance=-1.0)
+
+
+class TestCapacity:
+    def test_far_from_purchases_is_base_plus_volume(self):
+        box = CapacityModel(
+            base_capacity=40.0, purchase_volume=30.0, structure_size=1.0
+        )
+        draws = np.array(
+            [
+                box.sample(
+                    {
+                        "current_week": 50.0,
+                        "purchase1": 5.0,
+                        "purchase2": 10.0,
+                    },
+                    seed,
+                )
+                for seed in BANK.seeds(500)
+            ]
+        )
+        assert draws.mean() == pytest.approx(100.0, abs=0.5)
+
+    def test_before_purchases_no_volume(self):
+        box = CapacityModel(structure_size=1.0)
+        draws = np.array(
+            [
+                box.sample(
+                    {
+                        "current_week": 2.0,
+                        "purchase1": 30.0,
+                        "purchase2": 40.0,
+                    },
+                    seed,
+                )
+                for seed in BANK.seeds(500)
+            ]
+        )
+        assert draws.mean() == pytest.approx(box.base_capacity, abs=0.5)
+
+    def test_transient_fraction_shrinks_with_distance(self):
+        """The 'structure' around a purchase: the online fraction grows as
+        exp(-distance/mean) shrinks (paper section 6.2)."""
+        box = CapacityModel(structure_size=4.0, noise_stddev=0.0)
+
+        def online_fraction(distance):
+            hits = 0
+            for seed in BANK.seeds(400):
+                value = box.sample(
+                    {
+                        "current_week": 20.0 + distance,
+                        "purchase1": 20.0,
+                        "purchase2": 500.0,
+                    },
+                    seed,
+                )
+                hits += value > box.base_capacity + 1.0
+            return hits / 400
+
+        assert online_fraction(0.5) < online_fraction(2.0) < online_fraction(12.0)
+
+    def test_weeks_far_from_structures_share_basis(self):
+        box = CapacityModel(structure_size=1.0)
+        point = {"purchase1": 5.0, "purchase2": 10.0}
+        fp1 = fingerprint(box, {"current_week": 30.0, **point})
+        fp2 = fingerprint(box, {"current_week": 45.0, **point})
+        assert find_linear_mapping(fp1, fp2) is not None
+
+    def test_failure_rate_decay(self):
+        box = CapacityModel(
+            weekly_failure_rate=0.01, noise_stddev=0.0, structure_size=1.0
+        )
+        early = box.sample(
+            {"current_week": 0.0, "purchase1": 500.0, "purchase2": 500.0}, 7
+        )
+        late = box.sample(
+            {"current_week": 50.0, "purchase1": 500.0, "purchase2": 500.0}, 7
+        )
+        assert late < early
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityModel(structure_size=-1.0)
+        with pytest.raises(ValueError):
+            CapacityModel(weekly_failure_rate=1.5)
+
+
+class TestOverload:
+    def test_boolean_output(self):
+        box = OverloadModel()
+        values = {
+            box.sample(
+                {"current_week": 40.0, "purchase1": 50.0, "purchase2": 50.0},
+                seed,
+            )
+            for seed in BANK.seeds(100)
+        }
+        assert values <= {0.0, 1.0}
+
+    def test_overload_likely_when_capacity_tight(self):
+        tight = OverloadModel(
+            capacity=CapacityModel(base_capacity=1.0, purchase_volume=0.0)
+        )
+        rate = np.mean(
+            [
+                tight.sample(
+                    {
+                        "current_week": 40.0,
+                        "purchase1": 100.0,
+                        "purchase2": 100.0,
+                    },
+                    seed,
+                )
+                for seed in BANK.seeds(200)
+            ]
+        )
+        assert rate > 0.95
+
+    def test_overload_rare_when_capacity_ample(self):
+        ample = OverloadModel(
+            capacity=CapacityModel(base_capacity=1000.0)
+        )
+        rate = np.mean(
+            [
+                ample.sample(
+                    {
+                        "current_week": 10.0,
+                        "purchase1": 0.0,
+                        "purchase2": 0.0,
+                    },
+                    seed,
+                )
+                for seed in BANK.seeds(200)
+            ]
+        )
+        assert rate == 0.0
+
+
+class TestUserSelection:
+    def test_scalar_and_vectorized_paths_agree(self):
+        box = UserSelectionModel(user_count=50)
+        params = {"current_week": 6.0}
+        for seed in BANK.seeds(5):
+            scalar = box.sample(params, seed)
+            bulk = box.sample_vectorized(params, seed)
+            assert bulk == pytest.approx(scalar, rel=1e-9)
+
+    def test_total_scales_with_users(self):
+        small = UserSelectionModel(user_count=10)
+        large = UserSelectionModel(user_count=1000)
+        params = {"current_week": 0.0}
+        assert large.sample_vectorized(params, 3) > small.sample(params, 3)
+
+    def test_growth_with_week(self):
+        box = UserSelectionModel(user_count=200, weekly_growth=0.1)
+        early = box.sample_vectorized({"current_week": 0.0}, 5)
+        late = box.sample_vectorized({"current_week": 10.0}, 5)
+        assert late == pytest.approx(early * 2.0, rel=1e-9)
+
+    def test_weeks_are_scale_mappable(self):
+        box = UserSelectionModel(user_count=30)
+        fp1 = fingerprint(box, {"current_week": 1.0})
+        fp2 = fingerprint(box, {"current_week": 7.0})
+        assert find_linear_mapping(fp1, fp2) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserSelectionModel(user_count=0)
+        with pytest.raises(ValueError):
+            UserSelectionModel(activity_probability=2.0)
+
+
+class TestSynthBasis:
+    def test_exact_basis_count(self):
+        box = SynthBasisModel(basis_count=4)
+        fps = {}
+        for point in range(16):
+            fps[point] = fingerprint(box, {"point": float(point)})
+        for a in range(16):
+            for b in range(16):
+                mappable = find_linear_mapping(fps[a], fps[b]) is not None
+                same_class = (a % 4) == (b % 4)
+                assert mappable == same_class, (a, b)
+
+    def test_work_knob_does_not_change_distribution(self):
+        cheap = SynthBasisModel(basis_count=3, work_per_sample=1)
+        costly = SynthBasisModel(basis_count=3, work_per_sample=5)
+        assert cheap.sample({"point": 2.0}, 9) == costly.sample(
+            {"point": 2.0}, 9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SynthBasisModel(basis_count=0)
+        with pytest.raises(ValueError):
+            SynthBasisModel(work_per_sample=0)
+        with pytest.raises(ValueError):
+            SynthBasisModel().sample({"point": -1.0}, 0)
+
+
+class TestMarkovModels:
+    def test_branch_increments_monotonically(self):
+        model = MarkovBranchModel(branching=1.0)
+        state = model.initial_state()
+        for step in range(5):
+            state = model.step(state, step, BANK.step_seed(0, step))
+        assert state == 5.0
+
+    def test_branch_zero_never_moves(self):
+        model = MarkovBranchModel(branching=0.0)
+        state = model.initial_state()
+        for step in range(20):
+            state = model.step(state, step, BANK.step_seed(0, step))
+        assert state == 0.0
+
+    def test_branch_validation(self):
+        with pytest.raises(ValueError):
+            MarkovBranchModel(branching=1.5)
+        with pytest.raises(ValueError):
+            MarkovBranchModel(work_per_step=0)
+
+    def test_step_invocation_counter(self):
+        model = MarkovBranchModel()
+        model.step(0.0, 0, 1)
+        model.step(0.0, 1, 2)
+        assert model.step_invocations == 2
+        model.reset_invocations()
+        assert model.step_invocations == 0
+
+    def test_markov_step_releases_once(self):
+        model = MarkovStepModel(release_threshold=5.0)
+        state = model.initial_state()
+        release_week = None
+        for step in range(30):
+            state = model.step(state, step, BANK.step_seed(0, step))
+            if state < model.pending_release and release_week is None:
+                release_week = state
+        assert release_week is not None
+        # Once released, the week never changes.
+        assert state == release_week
+
+    def test_markov_step_output_is_state(self):
+        model = MarkovStepModel()
+        assert model.output(7.0, 3) == 7.0

@@ -1,0 +1,135 @@
+"""Unit tests for CHAIN-parameter scenario execution (paper Figure 5)."""
+
+import pytest
+
+from repro.blackbox import (
+    BlackBoxRegistry,
+    DemandModel,
+    FunctionBlackBox,
+)
+from repro.core.seeds import SeedBank
+from repro.errors import MarkovError
+from repro.lang.binder import compile_query
+from repro.scenario import ChainScenarioRunner, ScenarioMarkovAdapter
+from repro.scenario.parameter import ChainParameter
+
+
+def release_registry(threshold=30.0):
+    registry = BlackBoxRegistry()
+    registry.register(DemandModel(), "DemandModel")
+
+    def release_week_model(params, seed):
+        if params["demand"] > threshold:
+            return min(params["release_week"], params["week_now"])
+        return params["release_week"]
+
+    registry.register(
+        FunctionBlackBox(
+            release_week_model,
+            name="ReleaseWeekModel",
+            parameter_names=("demand", "release_week", "week_now"),
+        ),
+        "ReleaseWeekModel",
+    )
+    return registry
+
+
+FIG5 = """
+DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+DECLARE PARAMETER @release_week AS CHAIN release_week
+  FROM @current_week : @current_week - 1 INITIAL VALUE 52;
+SELECT ReleaseWeekModel(demand, @release_week, @current_week)
+    AS release_week, demand
+FROM (SELECT DemandModel(@current_week, @release_week) AS demand)
+INTO results;
+"""
+
+
+@pytest.fixture
+def scenario():
+    return compile_query(FIG5, release_registry()).scenario
+
+
+class TestAdapter:
+    def test_initial_state_from_declaration(self, scenario):
+        adapter = ScenarioMarkovAdapter(
+            scenario, scenario.chain_parameters[0]
+        )
+        assert adapter.initial_state() == 52.0
+
+    def test_step_feeds_chain_back(self, scenario):
+        adapter = ScenarioMarkovAdapter(
+            scenario, scenario.chain_parameters[0]
+        )
+        # At week 45 with demand mean ~45 > 30, release should trigger.
+        new_state = adapter.step(52.0, 45, SeedBank(2).step_seed(0, 45))
+        assert new_state == 45.0
+
+    def test_step_keeps_state_below_threshold(self, scenario):
+        adapter = ScenarioMarkovAdapter(
+            scenario, scenario.chain_parameters[0]
+        )
+        new_state = adapter.step(52.0, 1, SeedBank(2).step_seed(0, 1))
+        assert new_state == 52.0
+
+    def test_unknown_source_column_rejected(self, scenario):
+        chain = ChainParameter("c", "missing", "current_week", -1, 0.0)
+        with pytest.raises(MarkovError):
+            ScenarioMarkovAdapter(scenario, chain)
+
+    def test_positive_offset_rejected(self, scenario):
+        chain = ChainParameter("c", "release_week", "current_week", 1, 0.0)
+        with pytest.raises(MarkovError):
+            ScenarioMarkovAdapter(scenario, chain)
+
+    def test_observe_other_column(self, scenario):
+        adapter = ScenarioMarkovAdapter(
+            scenario, scenario.chain_parameters[0]
+        )
+        demand = adapter.observe(52.0, 10, SeedBank(2).step_seed(0, 10), "demand")
+        assert 0.0 < demand < 30.0
+
+
+class TestChainScenarioRunner:
+    def test_naive_and_jigsaw_agree_on_mean(self, scenario):
+        bank = SeedBank(7)
+        runner = ChainScenarioRunner(
+            scenario,
+            instance_count=60,
+            fingerprint_size=10,
+            seed_bank=bank,
+        )
+        naive = runner.run_naive(40)
+        jigsaw = runner.run_jigsaw(40)
+        assert jigsaw.final_metrics.expectation == pytest.approx(
+            naive.final_metrics.expectation, abs=3.0
+        )
+
+    def test_jigsaw_saves_invocations(self, scenario):
+        bank = SeedBank(7)
+        runner = ChainScenarioRunner(
+            scenario, instance_count=80, fingerprint_size=10, seed_bank=bank
+        )
+        naive = runner.run_naive(30)
+        jigsaw = runner.run_jigsaw(30)
+        assert (
+            jigsaw.markov.step_invocations < naive.markov.step_invocations
+        )
+
+    def test_requires_exactly_one_chain(self):
+        registry = release_registry()
+        source = """
+        DECLARE PARAMETER @w AS RANGE 0 TO 4 STEP BY 1;
+        SELECT DemandModel(@w, 50) AS demand INTO results;
+        """
+        scenario = compile_query(source, registry).scenario
+        with pytest.raises(MarkovError):
+            ChainScenarioRunner(scenario)
+
+    def test_release_converges_to_threshold_crossing(self, scenario):
+        runner = ChainScenarioRunner(
+            scenario, instance_count=60, fingerprint_size=10
+        )
+        result = runner.run_naive(52)
+        # Demand mean ~week crosses 30 around week 30.
+        assert 20.0 <= result.final_metrics.expectation <= 40.0

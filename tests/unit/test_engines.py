@@ -1,0 +1,80 @@
+"""Unit tests for the Figure 7 prototype engines."""
+
+import pytest
+
+from repro.bench.engines import CoreEngine, WrapperEngine, default_query_for
+from repro.bench.workloads import (
+    capacity_workload,
+    demand_workload,
+    user_selection_workload,
+)
+from repro.blackbox import DemandModel, UserSelectionModel
+from repro.core.seeds import SeedBank
+
+
+class TestDefaultQuery:
+    def test_declares_each_parameter(self):
+        box = DemandModel()
+        query = default_query_for(box)
+        assert "@current_week" in query
+        assert "@feature_release" in query
+        assert "Demand(" in query
+
+
+class TestEnginesAgree:
+    """Both engines must compute identical estimates for the same seeds —
+    the prototypes differ in cost, never in answer (paper section 6.1)."""
+
+    def test_demand_estimates_match(self):
+        bank = SeedBank(13)
+        box = DemandModel()
+        point = {"current_week": 6.0, "feature_release": 50.0}
+        core = CoreEngine(box, samples_per_point=30, seed_bank=bank)
+        wrapper = WrapperEngine(
+            box,
+            default_query_for(box),
+            samples_per_point=30,
+            seed_bank=bank,
+        )
+        core_run = core.evaluate_point(point)
+        wrapper_run = wrapper.evaluate_point(point)
+        assert core_run.metrics.approx_equals(
+            wrapper_run.metrics, rel_tol=1e-9
+        )
+        assert core_run.samples_drawn == wrapper_run.samples_drawn == 30
+
+    def test_user_selection_estimates_match(self):
+        bank = SeedBank(13)
+        box = UserSelectionModel(user_count=20)
+        point = {"current_week": 2.0}
+        core = CoreEngine(box, samples_per_point=10, seed_bank=bank)
+        wrapper = WrapperEngine(
+            box,
+            default_query_for(box),
+            samples_per_point=10,
+            seed_bank=bank,
+        )
+        assert core.evaluate_point(point).metrics.approx_equals(
+            wrapper.evaluate_point(point).metrics, rel_tol=1e-6
+        )
+
+
+class TestWorkloads:
+    def test_demand_space_size(self):
+        workload = demand_workload(weeks=10, features=(1.0, 2.0))
+        assert len(workload.points) == 11 * 2
+
+    def test_capacity_space_size(self):
+        workload = capacity_workload(weeks=8, purchase_step=4)
+        assert len(workload.points) == 9 * 3 * 3
+
+    def test_user_selection_space(self):
+        workload = user_selection_workload(weeks=4, user_count=10)
+        assert len(workload.points) == 5
+        assert workload.box.user_count == 10
+
+    def test_simulation_callable(self):
+        workload = demand_workload(weeks=2, features=(1.0,))
+        simulation = workload.simulation()
+        value = simulation(workload.points[0], 5)
+        assert isinstance(value, float)

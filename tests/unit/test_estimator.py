@@ -1,0 +1,132 @@
+"""Unit tests for the Estimator and metric remapping (Mest)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    Estimator,
+    MetricSet,
+    merge_metric_sets,
+    remap_samples,
+)
+from repro.core.mapping import AffineMapping, PiecewiseLinearMapping
+from repro.errors import EstimatorError
+
+SAMPLES = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0])
+
+
+class TestEstimate:
+    def test_basic_metrics(self):
+        metrics = Estimator().estimate(SAMPLES)
+        assert metrics.count == 10
+        assert metrics.expectation == pytest.approx(5.5)
+        assert metrics.stddev == pytest.approx(SAMPLES.std())
+        assert metrics.minimum == 1.0
+        assert metrics.maximum == 10.0
+
+    def test_quantiles_match_numpy(self):
+        metrics = Estimator((0.25, 0.5, 0.75)).estimate(SAMPLES)
+        assert metrics.quantile(0.5) == pytest.approx(np.quantile(SAMPLES, 0.5))
+        assert metrics.quantile(0.25) == pytest.approx(
+            np.quantile(SAMPLES, 0.25)
+        )
+
+    def test_missing_quantile_raises(self):
+        metrics = Estimator((0.5,)).estimate(SAMPLES)
+        with pytest.raises(EstimatorError):
+            metrics.quantile(0.9)
+
+    def test_no_quantiles_configured(self):
+        metrics = Estimator(()).estimate(SAMPLES)
+        assert metrics.quantiles == ()
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(EstimatorError):
+            Estimator().estimate([])
+
+    def test_bad_quantile_probability_rejected(self):
+        with pytest.raises(EstimatorError):
+            Estimator((1.5,))
+
+    def test_probability(self):
+        estimator = Estimator()
+        assert estimator.probability(SAMPLES, 5.0) == pytest.approx(0.5)
+        assert estimator.probability(SAMPLES, 0.0) == 1.0
+        assert estimator.probability(SAMPLES, 10.0) == 0.0
+
+    def test_probability_empty_rejected(self):
+        with pytest.raises(EstimatorError):
+            Estimator().probability([], 0.0)
+
+
+class TestRemap:
+    """Closed-form Mest must equal re-estimating mapped samples."""
+
+    @pytest.mark.parametrize("alpha,beta", [(2.0, 3.0), (-1.5, 0.5), (0.5, -7.0)])
+    def test_remap_matches_recompute(self, alpha, beta):
+        estimator = Estimator()
+        mapping = AffineMapping(alpha, beta)
+        direct = estimator.estimate(mapping.apply_array(SAMPLES))
+        remapped = estimator.estimate(SAMPLES).remap(mapping)
+        assert remapped.expectation == pytest.approx(direct.expectation)
+        assert remapped.stddev == pytest.approx(direct.stddev)
+        assert remapped.minimum == pytest.approx(direct.minimum)
+        assert remapped.maximum == pytest.approx(direct.maximum)
+        for (pa, va), (pb, vb) in zip(remapped.quantiles, direct.quantiles):
+            assert pa == pytest.approx(pb)
+            assert va == pytest.approx(vb, rel=1e-6)
+
+    def test_negative_alpha_swaps_extrema(self):
+        metrics = Estimator().estimate(SAMPLES).remap(AffineMapping(-1.0, 0.0))
+        assert metrics.minimum == -10.0
+        assert metrics.maximum == -1.0
+
+    def test_negative_alpha_reverses_quantile_probabilities(self):
+        metrics = Estimator((0.1, 0.9)).estimate(SAMPLES)
+        remapped = metrics.remap(AffineMapping(-1.0, 0.0))
+        probabilities = [p for p, _ in remapped.quantiles]
+        assert probabilities == sorted(probabilities)
+        assert probabilities == pytest.approx([0.1, 0.9])
+
+    def test_non_affine_remap_rejected(self):
+        metrics = Estimator().estimate(SAMPLES)
+        piecewise = PiecewiseLinearMapping((0.0, 1.0), (0.0, 1.0))
+        with pytest.raises(EstimatorError):
+            metrics.remap(piecewise)
+
+    def test_remap_samples_general_mapping(self):
+        piecewise = PiecewiseLinearMapping((0.0, 10.0), (0.0, 20.0))
+        mapped = remap_samples(SAMPLES, piecewise)
+        np.testing.assert_allclose(mapped, SAMPLES * 2.0)
+
+
+class TestApproxEquals:
+    def test_equal_metrics(self):
+        a = Estimator().estimate(SAMPLES)
+        b = Estimator().estimate(SAMPLES.copy())
+        assert a.approx_equals(b)
+
+    def test_different_metrics(self):
+        a = Estimator().estimate(SAMPLES)
+        b = Estimator().estimate(SAMPLES * 2)
+        assert not a.approx_equals(b)
+
+    def test_different_quantile_sets(self):
+        a = Estimator((0.5,)).estimate(SAMPLES)
+        b = Estimator((0.25, 0.5)).estimate(SAMPLES)
+        assert not a.approx_equals(b)
+
+
+class TestMerge:
+    def test_merge_matches_pooled_estimate(self):
+        estimator = Estimator(())
+        left, right = SAMPLES[:4], SAMPLES[4:]
+        merged = merge_metric_sets(
+            estimator.estimate(left), estimator.estimate(right)
+        )
+        pooled = estimator.estimate(SAMPLES)
+        assert merged.count == pooled.count
+        assert merged.expectation == pytest.approx(pooled.expectation)
+        assert merged.stddev == pytest.approx(pooled.stddev)
+        assert merged.minimum == pooled.minimum
+        assert merged.maximum == pooled.maximum

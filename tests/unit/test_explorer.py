@@ -1,0 +1,142 @@
+"""Unit tests for batch parameter exploration with fingerprint reuse."""
+
+import pytest
+
+from repro.blackbox.base import param_key
+from repro.blackbox.demand import DemandModel
+from repro.blackbox.rng import DeterministicRng
+from repro.core.explorer import NaiveExplorer, ParameterExplorer
+from repro.core.seeds import SeedBank
+
+
+def linear_family_simulation(params, seed):
+    """All points are affine images of one another: one basis suffices."""
+    rng = DeterministicRng(seed)
+    return rng.normal(params["mu"], params["sigma"])
+
+
+def two_code_paths_simulation(params, seed):
+    """Two genuinely different shapes: exactly two bases."""
+    rng = DeterministicRng(seed)
+    first = rng.normal()
+    second = rng.normal()
+    if params["mode"] < 1.0:
+        return first
+    return first * second + first
+
+
+SPACE_LINEAR = [
+    {"mu": float(mu), "sigma": float(sigma)}
+    for mu in range(5)
+    for sigma in (1.0, 2.0)
+]
+
+
+class TestReuse:
+    def test_single_basis_for_affine_family(self):
+        explorer = ParameterExplorer(
+            linear_family_simulation, samples_per_point=60
+        )
+        result = explorer.run(SPACE_LINEAR)
+        assert result.stats.bases_created == 1
+        assert result.stats.points_reused == len(SPACE_LINEAR) - 1
+
+    def test_two_bases_for_two_code_paths(self):
+        points = [{"mode": 0.0}, {"mode": 1.0}, {"mode": 0.0}, {"mode": 1.0}]
+        explorer = ParameterExplorer(
+            two_code_paths_simulation, samples_per_point=40
+        )
+        result = explorer.run(points)
+        assert result.stats.bases_created == 2
+        assert result.stats.points_reused == 2
+
+    def test_reused_point_records_mapping_and_basis(self):
+        explorer = ParameterExplorer(
+            linear_family_simulation, samples_per_point=60
+        )
+        result = explorer.run(SPACE_LINEAR)
+        reused = [p for p in result.points.values() if p.reused]
+        assert reused
+        for point in reused:
+            assert point.mapping is not None
+            assert point.basis_id == 0
+
+    def test_sample_accounting(self):
+        explorer = ParameterExplorer(
+            linear_family_simulation,
+            samples_per_point=60,
+            fingerprint_size=10,
+        )
+        result = explorer.run(SPACE_LINEAR)
+        expected_fingerprint = 10 * len(SPACE_LINEAR)
+        expected_full = (60 - 10) * result.stats.bases_created
+        assert result.stats.fingerprint_samples == expected_fingerprint
+        assert result.stats.full_samples == expected_full
+        assert result.stats.samples_drawn == (
+            expected_fingerprint + expected_full
+        )
+
+    def test_reuse_fraction(self):
+        explorer = ParameterExplorer(
+            linear_family_simulation, samples_per_point=60
+        )
+        result = explorer.run(SPACE_LINEAR)
+        assert result.stats.reuse_fraction == pytest.approx(
+            (len(SPACE_LINEAR) - 1) / len(SPACE_LINEAR)
+        )
+
+
+class TestEquivalenceWithNaive:
+    """Paper section 6.2: Jigsaw outputs are equivalent to full simulation."""
+
+    def test_metrics_match_naive_exactly(self):
+        bank = SeedBank(99)
+        explorer = ParameterExplorer(
+            linear_family_simulation, samples_per_point=80, seed_bank=bank
+        )
+        naive = NaiveExplorer(
+            linear_family_simulation, samples_per_point=80, seed_bank=bank
+        )
+        jigsaw_result = explorer.run(SPACE_LINEAR)
+        naive_result = naive.run(SPACE_LINEAR)
+        for point in SPACE_LINEAR:
+            jig = jigsaw_result.metrics(point)
+            ref = naive_result[param_key(point)]
+            assert jig.approx_equals(ref, rel_tol=1e-8), point
+
+    def test_demand_model_equivalence(self):
+        box = DemandModel()
+        points = [
+            {"current_week": float(week), "feature_release": 6.0}
+            for week in range(12)
+        ]
+        explorer = ParameterExplorer(box.sample, samples_per_point=50)
+        naive = NaiveExplorer(box.sample, samples_per_point=50)
+        jigsaw_result = explorer.run(points)
+        naive_result = naive.run(points)
+        for point in points:
+            assert jigsaw_result.metrics(point).approx_equals(
+                naive_result[param_key(point)], rel_tol=1e-8
+            )
+
+
+class TestValidation:
+    def test_fingerprint_size_bounds(self):
+        with pytest.raises(ValueError):
+            ParameterExplorer(linear_family_simulation, fingerprint_size=0)
+        with pytest.raises(ValueError):
+            ParameterExplorer(
+                linear_family_simulation,
+                samples_per_point=5,
+                fingerprint_size=10,
+            )
+
+    def test_result_lookup_api(self):
+        explorer = ParameterExplorer(
+            linear_family_simulation, samples_per_point=30
+        )
+        result = explorer.run(SPACE_LINEAR[:3])
+        assert len(result) == 3
+        point = SPACE_LINEAR[0]
+        assert result.result(point).params == point
+        assert result.metrics(point).count == 30

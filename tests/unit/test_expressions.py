@@ -1,0 +1,163 @@
+"""Unit tests for the probdb expression AST."""
+
+import pytest
+
+from repro.blackbox import FunctionBlackBox
+from repro.errors import QueryError
+from repro.probdb.expressions import (
+    BinaryOp,
+    BlackBoxCall,
+    CaseWhen,
+    ColumnRef,
+    Constant,
+    EvalContext,
+    FunctionCall,
+    ParameterRef,
+    UnaryOp,
+)
+
+CTX = EvalContext(
+    row={"x": 4.0, "y": -1.0},
+    params={"week": 7.0},
+    world_seed=99,
+)
+
+
+class TestLeaves:
+    def test_constant(self):
+        assert Constant(3.5).evaluate(CTX) == 3.5
+        assert Constant(3.5).references() == ()
+
+    def test_column_ref(self):
+        assert ColumnRef("x").evaluate(CTX) == 4.0
+        assert ColumnRef("x").references() == ("x",)
+
+    def test_unknown_column(self):
+        with pytest.raises(QueryError):
+            ColumnRef("z").evaluate(CTX)
+
+    def test_parameter_ref(self):
+        assert ParameterRef("week").evaluate(CTX) == 7.0
+        assert ParameterRef("week").references() == ("@week",)
+
+    def test_unbound_parameter(self):
+        with pytest.raises(QueryError):
+            ParameterRef("missing").evaluate(CTX)
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("+", 3.0),
+            ("-", 5.0),
+            ("*", -4.0),
+            ("/", -4.0),
+            ("<", False),
+            (">", True),
+            ("<=", False),
+            (">=", True),
+            ("=", False),
+            ("<>", True),
+        ],
+    )
+    def test_binary_ops(self, op, expected):
+        expression = BinaryOp(op, ColumnRef("x"), ColumnRef("y"))
+        assert expression.evaluate(CTX) == expected
+
+    def test_logical_ops(self):
+        true = Constant(True)
+        false = Constant(False)
+        assert BinaryOp("and", true, false).evaluate(CTX) is False
+        assert BinaryOp("or", true, false).evaluate(CTX) is True
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            BinaryOp("**", Constant(1), Constant(2))
+
+    def test_unary(self):
+        assert UnaryOp("-", ColumnRef("x")).evaluate(CTX) == -4.0
+        assert UnaryOp("not", Constant(False)).evaluate(CTX) is True
+        with pytest.raises(QueryError):
+            UnaryOp("~", Constant(1)).evaluate(CTX)
+
+    def test_references_propagate(self):
+        expression = BinaryOp("+", ColumnRef("x"), ParameterRef("week"))
+        assert set(expression.references()) == {"x", "@week"}
+
+
+class TestCaseWhen:
+    def test_branches(self):
+        expression = CaseWhen(
+            BinaryOp("<", ColumnRef("y"), Constant(0.0)),
+            Constant(1.0),
+            Constant(0.0),
+        )
+        assert expression.evaluate(CTX) == 1.0
+
+    def test_else_branch(self):
+        expression = CaseWhen(Constant(False), Constant(1.0), Constant(2.0))
+        assert expression.evaluate(CTX) == 2.0
+
+    def test_references(self):
+        expression = CaseWhen(
+            ColumnRef("x"), ColumnRef("y"), ParameterRef("week")
+        )
+        assert set(expression.references()) == {"x", "y", "@week"}
+
+
+class TestBlackBoxCall:
+    def make_box(self):
+        return FunctionBlackBox(
+            lambda p, s: p["a"] * 10 + s % 7,
+            name="Probe",
+            parameter_names=("a",),
+        )
+
+    def test_invocation_with_argument_binding(self):
+        call = BlackBoxCall(
+            box=self.make_box(),
+            argument_names=("a",),
+            arguments=(ColumnRef("x"),),
+        )
+        value = call.evaluate(CTX)
+        assert value >= 40.0
+
+    def test_deterministic_per_world(self):
+        call = BlackBoxCall(
+            box=self.make_box(),
+            argument_names=("a",),
+            arguments=(Constant(1.0),),
+        )
+        assert call.evaluate(CTX) == call.evaluate(CTX)
+
+    def test_salt_decorrelates_call_sites(self):
+        box = self.make_box()
+        first = BlackBoxCall(box, ("a",), (Constant(1.0),), call_salt=0)
+        second = BlackBoxCall(box, ("a",), (Constant(1.0),), call_salt=1)
+        assert first.evaluate(CTX) != second.evaluate(CTX)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            BlackBoxCall(self.make_box(), ("a", "b"), (Constant(1.0),))
+
+    def test_non_numeric_argument_rejected(self):
+        call = BlackBoxCall(
+            self.make_box(), ("a",), (Constant("oops"),)
+        )
+        with pytest.raises(QueryError):
+            call.evaluate(CTX)
+
+
+class TestFunctionCall:
+    def test_abs(self):
+        assert FunctionCall("abs", (ColumnRef("y"),)).evaluate(CTX) == 1.0
+
+    def test_least_greatest(self):
+        args = (ColumnRef("x"), ColumnRef("y"), Constant(2.0))
+        assert FunctionCall("least", args).evaluate(CTX) == -1.0
+        assert FunctionCall("greatest", args).evaluate(CTX) == 4.0
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryError):
+            FunctionCall("sqrt", (Constant(4.0),)).evaluate(CTX)

@@ -1,0 +1,102 @@
+"""Unit tests for fingerprint indexes (paper section 3.2)."""
+
+import pytest
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.index import (
+    ArrayIndex,
+    NormalizationIndex,
+    SortedSIDIndex,
+    make_index,
+)
+from repro.errors import IndexError_
+
+
+def affine(fp, alpha, beta):
+    return Fingerprint(tuple(alpha * v + beta for v in fp.values))
+
+
+BASE = Fingerprint((0.0, 1.2, 2.3, 1.3, 1.5))
+
+
+class TestArrayIndex:
+    def test_returns_everything(self):
+        index = ArrayIndex()
+        index.insert(BASE, 0)
+        index.insert(affine(BASE, 2.0, 1.0), 1)
+        probe = Fingerprint((9.0, 9.0, 9.0, 9.0, 9.0))
+        assert index.candidates(probe) == [0, 1]
+
+    def test_len_tracks_inserts(self):
+        index = ArrayIndex()
+        assert len(index) == 0
+        index.insert(BASE, 0)
+        assert len(index) == 1
+
+
+class TestNormalizationIndex:
+    def test_affine_image_found(self):
+        index = NormalizationIndex()
+        index.insert(BASE, 7)
+        assert index.candidates(affine(BASE, 3.0, -2.0)) == [7]
+
+    def test_negative_scale_image_found(self):
+        index = NormalizationIndex()
+        index.insert(BASE, 7)
+        assert index.candidates(affine(BASE, -1.5, 4.0)) == [7]
+
+    def test_unrelated_shape_not_returned(self):
+        index = NormalizationIndex()
+        index.insert(BASE, 7)
+        probe = Fingerprint((0.0, 1.0, 0.3, 0.9, 0.1))
+        assert index.candidates(probe) == []
+
+    def test_constant_fingerprints_bucket_together(self):
+        index = NormalizationIndex()
+        index.insert(Fingerprint((4.0,) * 5), 1)
+        assert index.candidates(Fingerprint((9.0,) * 5)) == [1]
+
+    def test_multiple_in_bucket(self):
+        index = NormalizationIndex()
+        index.insert(BASE, 1)
+        index.insert(affine(BASE, 5.0, 0.0), 2)
+        assert set(index.candidates(BASE)) == {1, 2}
+
+
+class TestSortedSIDIndex:
+    def test_increasing_map_found(self):
+        index = SortedSIDIndex()
+        index.insert(BASE, 3)
+        cubed = Fingerprint(tuple(v**3 for v in BASE.values))
+        assert index.candidates(cubed) == [3]
+
+    def test_decreasing_map_found_via_reversed_key(self):
+        index = SortedSIDIndex()
+        index.insert(BASE, 3)
+        negated = Fingerprint(tuple(-v for v in BASE.values))
+        assert index.candidates(negated) == [3]
+
+    def test_different_order_not_returned(self):
+        index = SortedSIDIndex()
+        index.insert(Fingerprint((1.0, 2.0, 3.0)), 1)
+        assert index.candidates(Fingerprint((2.0, 1.0, 3.0))) == []
+
+    def test_no_duplicate_candidates_for_symmetric_orders(self):
+        index = SortedSIDIndex()
+        fp = Fingerprint((1.0, 2.0))
+        index.insert(fp, 1)
+        # A constant probe cannot collide; a matching probe appears once.
+        assert index.candidates(fp).count(1) == 1
+
+
+class TestFactory:
+    def test_strategy_names(self):
+        assert isinstance(make_index("array"), ArrayIndex)
+        assert isinstance(make_index("normalization"), NormalizationIndex)
+        assert isinstance(make_index("sorted_sid"), SortedSIDIndex)
+        assert isinstance(make_index("sorted-sid"), SortedSIDIndex)
+        assert isinstance(make_index("SID"), SortedSIDIndex)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(IndexError_):
+            make_index("btree")

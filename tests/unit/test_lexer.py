@@ -1,0 +1,97 @@
+"""Unit tests for the query-language tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        assert texts("SELECT Select select") == ["select"] * 3
+
+    def test_identifiers_preserve_case(self):
+        assert texts("DemandModel") == ["DemandModel"]
+
+    def test_parameter_tokens(self):
+        tokens = tokenize("@current_week")
+        assert tokens[0].kind == "param"
+        assert tokens[0].text == "current_week"
+
+    def test_bare_at_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("@ week")
+
+    def test_numbers(self):
+        assert texts("1 2.5 0.01 1e3 2.5E-2") == [
+            "1",
+            "2.5",
+            "0.01",
+            "1e3",
+            "2.5E-2",
+        ]
+
+    def test_leading_dot_number(self):
+        assert texts(".5") == [".5"]
+
+    def test_operators_maximal_munch(self):
+        assert texts("<= >= <> < > =") == ["<=", ">=", "<>", "<", ">", "="]
+
+    def test_punctuation(self):
+        assert texts("( ) , ; :") == ["(", ")", ",", ";", ":"]
+
+    def test_comments_skipped(self):
+        assert texts("select -- the whole line\n1") == ["select", "1"]
+
+    def test_comment_at_eof(self):
+        assert texts("1 -- trailing") == ["1"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("select $")
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("select")
+        assert tokens[-1].kind == "eof"
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("select\n  @p")
+        param = [t for t in tokens if t.kind == "param"][0]
+        assert param.line == 2
+        assert param.column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("ok\n   $")
+        assert excinfo.value.line == 2
+
+
+class TestFigureQueries:
+    def test_figure1_tokenizes(self):
+        source = """
+        DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+        SELECT DemandModel(@current_week, @feature_release) AS demand
+        INTO results;
+        OPTIMIZE SELECT @feature_release FROM results
+        WHERE MAX(EXPECT overload) < 0.01
+        GROUP BY feature_release FOR MAX @purchase1;
+        """
+        tokens = tokenize(source)
+        assert tokens[-1].kind == "eof"
+        assert any(t.matches("keyword", "optimize") for t in tokens)
+
+    def test_graph_clause_tokenizes(self):
+        source = "GRAPH OVER @current_week EXPECT overload WITH bold red;"
+        tokens = tokenize(source)
+        assert any(t.matches("keyword", "graph") for t in tokens)
+        assert any(t.matches("ident", "bold") for t in tokens)

@@ -1,0 +1,229 @@
+"""Unit tests for mapping functions and families (paper Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.mapping import (
+    IDENTITY,
+    AffineMapping,
+    IdentityMappingFamily,
+    LinearMappingFamily,
+    MonotoneMappingFamily,
+    PiecewiseLinearMapping,
+    ScaleMappingFamily,
+    ShiftMappingFamily,
+    find_linear_mapping,
+)
+from repro.errors import MappingError
+
+
+class TestAffineMapping:
+    def test_apply(self):
+        m = AffineMapping(2.0, 3.0)
+        assert m.apply(4.0) == 11.0
+
+    def test_apply_array(self):
+        m = AffineMapping(2.0, 3.0)
+        np.testing.assert_allclose(
+            m.apply_array(np.array([0.0, 1.0])), [3.0, 5.0]
+        )
+
+    def test_inverse_round_trip(self):
+        m = AffineMapping(2.5, -3.0)
+        inverse = m.inverse()
+        assert inverse.apply(m.apply(7.0)) == pytest.approx(7.0)
+
+    def test_degenerate_has_no_inverse(self):
+        with pytest.raises(MappingError):
+            AffineMapping(0.0, 1.0).inverse()
+
+    def test_compose(self):
+        outer = AffineMapping(2.0, 1.0)
+        inner = AffineMapping(3.0, -1.0)
+        composed = outer.compose(inner)
+        for x in (-2.0, 0.0, 5.5):
+            assert composed.apply(x) == pytest.approx(
+                outer.apply(inner.apply(x))
+            )
+
+    def test_identity_flags(self):
+        assert IDENTITY.is_identity
+        assert IDENTITY.is_affine
+        assert not AffineMapping(2.0, 0.0).is_identity
+
+
+class TestFindLinearMapping:
+    """Paper Algorithm 2 with float tolerance."""
+
+    def test_paper_example(self):
+        # θ1=(0,1.2,2.3,1.3,1.5), θ2=θ1+0.1 — the paper's worked example.
+        theta1 = [0.0, 1.2, 2.3, 1.3, 1.5]
+        theta2 = [v + 0.1 for v in theta1]
+        mapping = find_linear_mapping(theta1, theta2)
+        assert mapping is not None
+        assert mapping.alpha == pytest.approx(1.0)
+        assert mapping.beta == pytest.approx(0.1)
+
+    def test_recovers_scale_and_shift(self):
+        source = [1.0, 2.0, -1.0, 4.0]
+        target = [3.0 * v - 2.0 for v in source]
+        mapping = find_linear_mapping(source, target)
+        assert mapping.alpha == pytest.approx(3.0)
+        assert mapping.beta == pytest.approx(-2.0)
+
+    def test_rejects_nonlinear_relation(self):
+        source = [1.0, 2.0, 3.0]
+        target = [1.0, 4.0, 9.0]
+        assert find_linear_mapping(source, target) is None
+
+    def test_validates_every_entry(self):
+        # First two entries define the map; a later entry breaks it.
+        source = [0.0, 1.0, 2.0]
+        target = [0.0, 1.0, 2.5]
+        assert find_linear_mapping(source, target) is None
+
+    def test_constant_source_to_constant_target_is_shift(self):
+        mapping = find_linear_mapping([5.0, 5.0, 5.0], [8.0, 8.0, 8.0])
+        assert mapping is not None
+        assert mapping.alpha == 1.0
+        assert mapping.beta == pytest.approx(3.0)
+
+    def test_constant_source_to_varying_target_fails(self):
+        assert find_linear_mapping([5.0, 5.0], [1.0, 2.0]) is None
+
+    def test_size_mismatch_fails(self):
+        family = LinearMappingFamily()
+        assert (
+            family.find(Fingerprint((1.0, 2.0)), Fingerprint((1.0, 2.0, 3.0)))
+            is None
+        )
+
+    def test_negative_alpha_found(self):
+        source = [1.0, 2.0, 3.0]
+        target = [-2.0 * v + 1.0 for v in source]
+        mapping = find_linear_mapping(source, target)
+        assert mapping.alpha == pytest.approx(-2.0)
+
+    def test_tolerates_float_noise(self):
+        source = [1.0, 2.0, 3.0, 4.0]
+        target = [2.0 * v + 1.0 + 1e-13 for v in source]
+        assert find_linear_mapping(source, target) is not None
+
+
+class TestIdentityFamily:
+    def test_equal_fingerprints_match(self):
+        family = IdentityMappingFamily()
+        fp = Fingerprint((0.0, 1.0, 0.0, 1.0))
+        mapping = family.find(fp, Fingerprint(fp.values))
+        assert mapping is IDENTITY
+
+    def test_shifted_fingerprints_do_not_match(self):
+        family = IdentityMappingFamily()
+        assert (
+            family.find(Fingerprint((0.0, 1.0)), Fingerprint((1.0, 2.0)))
+            is None
+        )
+
+
+class TestShiftFamily:
+    def test_finds_pure_shift(self):
+        family = ShiftMappingFamily()
+        mapping = family.find(
+            Fingerprint((1.0, 2.0, 3.0)), Fingerprint((4.0, 5.0, 6.0))
+        )
+        assert mapping.alpha == 1.0
+        assert mapping.beta == pytest.approx(3.0)
+
+    def test_rejects_scaling(self):
+        family = ShiftMappingFamily()
+        assert (
+            family.find(Fingerprint((1.0, 2.0)), Fingerprint((2.0, 4.0)))
+            is None
+        )
+
+
+class TestScaleFamily:
+    def test_finds_pure_scale(self):
+        family = ScaleMappingFamily()
+        mapping = family.find(
+            Fingerprint((1.0, 2.0, -3.0)), Fingerprint((2.0, 4.0, -6.0))
+        )
+        assert mapping.alpha == pytest.approx(2.0)
+        assert mapping.beta == 0.0
+
+    def test_rejects_shift(self):
+        family = ScaleMappingFamily()
+        assert (
+            family.find(Fingerprint((1.0, 2.0)), Fingerprint((2.0, 3.0)))
+            is None
+        )
+
+    def test_zero_source_to_zero_target(self):
+        family = ScaleMappingFamily()
+        mapping = family.find(
+            Fingerprint((0.0, 0.0)), Fingerprint((0.0, 0.0))
+        )
+        assert mapping is IDENTITY
+
+
+class TestMonotoneFamily:
+    def test_finds_increasing_nonlinear_map(self):
+        family = MonotoneMappingFamily()
+        source = Fingerprint((1.0, 3.0, 2.0, 5.0))
+        target = Fingerprint(tuple(v**3 for v in source.values))
+        mapping = family.find(source, target)
+        assert mapping is not None
+        for s, t in zip(source.values, target.values):
+            assert mapping.apply(s) == pytest.approx(t)
+
+    def test_finds_decreasing_map(self):
+        family = MonotoneMappingFamily()
+        source = Fingerprint((1.0, 3.0, 2.0))
+        target = Fingerprint(tuple(-(v**3) for v in source.values))
+        mapping = family.find(source, target)
+        assert mapping is not None
+        for s, t in zip(source.values, target.values):
+            assert mapping.apply(s) == pytest.approx(t)
+
+    def test_rejects_order_scrambling(self):
+        family = MonotoneMappingFamily()
+        source = Fingerprint((1.0, 2.0, 3.0))
+        target = Fingerprint((1.0, 3.0, 2.0))
+        assert family.find(source, target) is None
+
+    def test_equal_source_entries_must_map_equally(self):
+        family = MonotoneMappingFamily()
+        source = Fingerprint((1.0, 1.0, 2.0))
+        target = Fingerprint((1.0, 1.5, 2.0))
+        assert family.find(source, target) is None
+
+
+class TestPiecewiseLinearMapping:
+    def test_interpolates(self):
+        m = PiecewiseLinearMapping((0.0, 1.0, 2.0), (0.0, 10.0, 40.0))
+        assert m.apply(0.5) == pytest.approx(5.0)
+        assert m.apply(1.5) == pytest.approx(25.0)
+
+    def test_extrapolates_from_edges(self):
+        m = PiecewiseLinearMapping((0.0, 1.0), (0.0, 2.0))
+        assert m.apply(2.0) == pytest.approx(4.0)
+        assert m.apply(-1.0) == pytest.approx(-2.0)
+
+    def test_inverse(self):
+        m = PiecewiseLinearMapping((0.0, 1.0, 3.0), (1.0, 2.0, 10.0))
+        inverse = m.inverse()
+        for x in (0.0, 0.7, 2.5):
+            assert inverse.apply(m.apply(x)) == pytest.approx(x)
+
+    def test_rejects_unsorted_knots(self):
+        with pytest.raises(MappingError):
+            PiecewiseLinearMapping((1.0, 0.0), (0.0, 1.0))
+
+    def test_rejects_single_knot(self):
+        with pytest.raises(MappingError):
+            PiecewiseLinearMapping((1.0,), (0.0,))
+
+    def test_rejects_mismatched_knots(self):
+        with pytest.raises(MappingError):
+            PiecewiseLinearMapping((0.0, 1.0), (0.0,))

@@ -1,0 +1,236 @@
+"""Unit tests for Markov-jump evaluation (paper Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.blackbox.base import MarkovModel
+from repro.blackbox.markov_branch import MarkovBranchModel
+from repro.blackbox.markov_step import MarkovStepModel
+from repro.core.markov import (
+    FrozenStateEstimator,
+    MarkovJumpRunner,
+    NaiveMarkovRunner,
+)
+from repro.core.mapping import LinearMappingFamily, ShiftMappingFamily
+from repro.core.seeds import SeedBank
+from repro.errors import MarkovError
+
+
+class DriftModel(MarkovModel):
+    """Deterministic uniform drift: every instance gains `rate` per step.
+
+    The frozen-state estimator predicts 'no change'; a pure shift mapping
+    absorbs the drift, so the jump evaluator should skip every step.
+    """
+
+    name = "Drift"
+
+    def __init__(self, rate=1.0):
+        super().__init__()
+        self.rate = rate
+
+    def initial_state(self):
+        return 0.0
+
+    def _step(self, state, step_index, seed):
+        return state + self.rate
+
+
+class StaircaseModel(MarkovModel):
+    """Global discontinuities at known steps, flat elsewhere."""
+
+    name = "Staircase"
+
+    def __init__(self, jump_steps=(10, 20)):
+        super().__init__()
+        self.jump_steps = set(jump_steps)
+
+    def initial_state(self):
+        return 0.0
+
+    def _step(self, state, step_index, seed):
+        if step_index in self.jump_steps:
+            return state + 5.0
+        return state
+
+
+class TestNaiveRunner:
+    def test_invocation_count(self):
+        model = DriftModel()
+        result = NaiveMarkovRunner(model, instance_count=7).run(13)
+        assert result.step_invocations == 7 * 13
+        assert result.full_steps == 13
+
+    def test_drift_final_states(self):
+        model = DriftModel(rate=2.0)
+        result = NaiveMarkovRunner(model, instance_count=3).run(10)
+        np.testing.assert_allclose(result.states, 20.0)
+
+    def test_zero_steps(self):
+        model = DriftModel()
+        result = NaiveMarkovRunner(model, instance_count=3).run(0)
+        np.testing.assert_allclose(result.states, 0.0)
+        assert result.step_invocations == 0
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(MarkovError):
+            NaiveMarkovRunner(DriftModel(), instance_count=3).run(-1)
+
+    def test_instance_count_validated(self):
+        with pytest.raises(MarkovError):
+            NaiveMarkovRunner(DriftModel(), instance_count=0)
+
+
+class TestFrozenStateEstimator:
+    def test_fingerprint_is_frozen_outputs(self):
+        model = DriftModel()
+        estimator = FrozenStateEstimator(
+            model, np.array([1.0, 2.0, 3.0]), at_step=5
+        )
+        assert estimator.fingerprint(2, step=9).values == (1.0, 2.0)
+
+    def test_rebuild_applies_mapping(self):
+        from repro.core.mapping import AffineMapping
+
+        model = DriftModel()
+        estimator = FrozenStateEstimator(
+            model, np.array([1.0, 2.0]), at_step=0
+        )
+        rebuilt = estimator.rebuild_states(AffineMapping(1.0, 4.0))
+        np.testing.assert_allclose(rebuilt, [5.0, 6.0])
+
+    def test_snapshot_is_copied(self):
+        states = np.array([1.0, 2.0])
+        estimator = FrozenStateEstimator(DriftModel(), states, at_step=0)
+        states[0] = 99.0
+        assert estimator.frozen_states[0] == 1.0
+
+
+class TestJumpRunner:
+    def test_uniform_drift_fully_jumped(self):
+        model = DriftModel(rate=1.5)
+        runner = MarkovJumpRunner(
+            model, instance_count=50, fingerprint_size=5
+        )
+        result = runner.run(64)
+        np.testing.assert_allclose(result.states, 64 * 1.5)
+        assert result.full_steps == 0
+        # Only fingerprint instances were ever stepped.
+        assert result.step_invocations < 50 * 64
+
+    def test_staircase_matches_naive_exactly(self):
+        naive = NaiveMarkovRunner(StaircaseModel(), instance_count=30).run(32)
+        jump = MarkovJumpRunner(
+            StaircaseModel(), instance_count=30, fingerprint_size=5
+        ).run(32)
+        np.testing.assert_allclose(jump.states, naive.states)
+
+    def test_zero_branching_matches_naive_exactly(self):
+        bank = SeedBank(4)
+        naive = NaiveMarkovRunner(
+            MarkovBranchModel(branching=0.0),
+            instance_count=40,
+            seed_bank=bank,
+        ).run(50)
+        jump = MarkovJumpRunner(
+            MarkovBranchModel(branching=0.0),
+            instance_count=40,
+            fingerprint_size=8,
+            seed_bank=bank,
+        ).run(50)
+        np.testing.assert_allclose(jump.states, naive.states)
+
+    def test_fingerprint_instances_always_exact(self):
+        """The first m instances are genuinely evolved, never estimated."""
+        bank = SeedBank(4)
+        m = 10
+        naive = NaiveMarkovRunner(
+            MarkovBranchModel(branching=0.02),
+            instance_count=60,
+            seed_bank=bank,
+        ).run(80)
+        jump = MarkovJumpRunner(
+            MarkovBranchModel(branching=0.02),
+            instance_count=60,
+            fingerprint_size=m,
+            seed_bank=bank,
+        ).run(80)
+        np.testing.assert_allclose(jump.states[:m], naive.states[:m])
+
+    def test_invocation_savings_at_low_branching(self):
+        bank = SeedBank(4)
+        naive = NaiveMarkovRunner(
+            MarkovBranchModel(branching=0.001),
+            instance_count=200,
+            seed_bank=bank,
+        ).run(100)
+        jump = MarkovJumpRunner(
+            MarkovBranchModel(branching=0.001),
+            instance_count=200,
+            fingerprint_size=10,
+            seed_bank=bank,
+        ).run(100)
+        assert jump.step_invocations < naive.step_invocations / 4
+
+    def test_jump_records(self):
+        result = MarkovJumpRunner(
+            DriftModel(), instance_count=20, fingerprint_size=4
+        ).run(40)
+        assert result.jumped_steps == 40
+        assert all(j.length > 0 for j in result.jumps)
+        assert result.jumps[-1].to_step == 40
+
+    def test_target_zero(self):
+        result = MarkovJumpRunner(
+            DriftModel(), instance_count=5, fingerprint_size=5
+        ).run(0)
+        assert result.steps == 0
+        np.testing.assert_allclose(result.states, 0.0)
+
+    def test_mapping_family_override(self):
+        runner = MarkovJumpRunner(
+            DriftModel(),
+            instance_count=20,
+            fingerprint_size=4,
+            mapping_family=LinearMappingFamily(),
+        )
+        result = runner.run(16)
+        np.testing.assert_allclose(result.states, 16.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(MarkovError):
+            MarkovJumpRunner(DriftModel(), instance_count=0)
+        with pytest.raises(MarkovError):
+            MarkovJumpRunner(
+                DriftModel(), instance_count=5, fingerprint_size=6
+            )
+        with pytest.raises(MarkovError):
+            MarkovJumpRunner(DriftModel(), instance_count=5).run(-2)
+
+
+class TestMarkovStepIntegrationShape:
+    def test_release_happens_and_clusters(self):
+        """Release week states settle near the demand threshold crossing."""
+        model = MarkovStepModel(release_threshold=20.0)
+        result = NaiveMarkovRunner(model, instance_count=50).run(40)
+        # All instances should have released (demand mean reaches 40 > 20).
+        assert (result.states < model.pending_release).all()
+        assert 10.0 <= result.states.mean() <= 30.0
+
+    def test_jump_tracks_naive_release_distribution(self):
+        bank = SeedBank(12)
+        naive = NaiveMarkovRunner(
+            MarkovStepModel(release_threshold=20.0),
+            instance_count=60,
+            seed_bank=bank,
+        ).run(40)
+        jump = MarkovJumpRunner(
+            MarkovStepModel(release_threshold=20.0),
+            instance_count=60,
+            fingerprint_size=10,
+            seed_bank=bank,
+        ).run(40)
+        assert jump.states.mean() == pytest.approx(
+            naive.states.mean(), abs=3.0
+        )
+        assert jump.step_invocations < naive.step_invocations

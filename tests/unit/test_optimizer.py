@@ -1,0 +1,176 @@
+"""Unit tests for the OPTIMIZE Selector."""
+
+import pytest
+
+from repro.core.estimator import MetricSet
+from repro.core.optimizer import (
+    Constraint,
+    Objective,
+    Selector,
+)
+from repro.errors import OptimizationError
+
+
+def metric(expectation, stddev=1.0):
+    return MetricSet(
+        count=100,
+        expectation=expectation,
+        stddev=stddev,
+        minimum=expectation - 2 * stddev,
+        maximum=expectation + 2 * stddev,
+        quantiles=((0.5, expectation),),
+    )
+
+
+def rows_for_grid():
+    """Rows over (p in {1,2,3}) x (week in {0,1,2}): risk rises with p."""
+    rows = []
+    for p in (1.0, 2.0, 3.0):
+        for week in (0.0, 1.0, 2.0):
+            risk = 0.01 * p * (week + 1)
+            rows.append(
+                (
+                    {"p": p, "week": week},
+                    {"overload": metric(risk), "cost": metric(10.0 - p)},
+                )
+            )
+    return rows
+
+
+class TestConstraint:
+    def test_max_expect_under_threshold(self):
+        constraint = Constraint("max", "expect", "overload", "<", 0.05)
+        rows = [r for r in rows_for_grid() if r[0]["p"] == 1.0]
+        ok, value = constraint.evaluate(rows)
+        assert ok
+        assert value == pytest.approx(0.03)
+
+    def test_max_expect_over_threshold(self):
+        constraint = Constraint("max", "expect", "overload", "<", 0.05)
+        rows = [r for r in rows_for_grid() if r[0]["p"] == 3.0]
+        ok, value = constraint.evaluate(rows)
+        assert not ok
+        assert value == pytest.approx(0.09)
+
+    def test_avg_and_min_aggregates(self):
+        rows = [r for r in rows_for_grid() if r[0]["p"] == 2.0]
+        avg = Constraint("avg", "expect", "overload", "<", 1.0)
+        assert avg.evaluate(rows)[1] == pytest.approx(0.04)
+        low = Constraint("min", "expect", "overload", ">=", 0.02)
+        assert low.evaluate(rows)[0]
+
+    def test_stddev_and_median_metrics(self):
+        rows = [({"p": 1.0}, {"x": metric(5.0, stddev=2.0)})]
+        stddev = Constraint("max", "stddev", "x", "<=", 2.0)
+        assert stddev.evaluate(rows) == (True, 2.0)
+        median = Constraint("max", "median", "x", "=", 5.0)
+        assert median.evaluate(rows)[0]
+
+    def test_unknown_column_raises(self):
+        constraint = Constraint("max", "expect", "missing", "<", 1.0)
+        with pytest.raises(OptimizationError):
+            constraint.evaluate([({"p": 1.0}, {"x": metric(0.0)})])
+
+    def test_bad_aggregate_metric_op_rejected(self):
+        with pytest.raises(OptimizationError):
+            Constraint("mode", "expect", "x", "<", 1.0)
+        with pytest.raises(OptimizationError):
+            Constraint("max", "skew", "x", "<", 1.0)
+        with pytest.raises(OptimizationError):
+            Constraint("max", "expect", "x", "!!", 1.0)
+
+
+class TestSelector:
+    def test_picks_latest_feasible(self):
+        selector = Selector(
+            group_by=["p"],
+            constraints=[Constraint("max", "expect", "overload", "<", 0.07)],
+            objectives=[Objective("p", "max")],
+        )
+        answer = selector.solve(rows_for_grid())
+        # p=3 violates (0.09); p=2 is the largest feasible (0.06 < 0.07).
+        assert answer.best_parameters() == {"p": 2.0}
+        assert len(answer.feasible_groups) == 2
+
+    def test_min_objective(self):
+        selector = Selector(
+            group_by=["p"],
+            constraints=[],
+            objectives=[Objective("p", "min")],
+        )
+        answer = selector.solve(rows_for_grid())
+        assert answer.best_parameters() == {"p": 1.0}
+
+    def test_lexicographic_objectives(self):
+        rows = [
+            ({"a": 1.0, "b": 9.0}, {"x": metric(0.0)}),
+            ({"a": 2.0, "b": 1.0}, {"x": metric(0.0)}),
+            ({"a": 2.0, "b": 5.0}, {"x": metric(0.0)}),
+        ]
+        selector = Selector(
+            group_by=["a", "b"],
+            constraints=[],
+            objectives=[Objective("a", "max"), Objective("b", "max")],
+        )
+        answer = selector.solve(rows)
+        assert answer.best_parameters() == {"a": 2.0, "b": 5.0}
+
+    def test_infeasible_returns_none_best(self):
+        selector = Selector(
+            group_by=["p"],
+            constraints=[Constraint("max", "expect", "overload", "<", 0.0)],
+            objectives=[Objective("p", "max")],
+        )
+        answer = selector.solve(rows_for_grid())
+        assert answer.best is None
+        with pytest.raises(OptimizationError):
+            answer.best_parameters()
+
+    def test_group_outcomes_expose_constraint_values(self):
+        selector = Selector(
+            group_by=["p"],
+            constraints=[Constraint("max", "expect", "overload", "<", 0.07)],
+            objectives=[Objective("p", "max")],
+        )
+        answer = selector.solve(rows_for_grid())
+        for outcome in answer.groups:
+            assert len(outcome.constraint_values) == 1
+            assert len(outcome.rows) == 3
+
+    def test_group_key_value_lookup_error(self):
+        selector = Selector(
+            group_by=["p"],
+            constraints=[],
+            objectives=[Objective("p", "max")],
+        )
+        answer = selector.solve(rows_for_grid())
+        with pytest.raises(OptimizationError):
+            answer.groups[0].value_of("week")
+
+
+class TestSelectorValidation:
+    def test_requires_group_by(self):
+        with pytest.raises(OptimizationError):
+            Selector([], [], [Objective("p", "max")])
+
+    def test_requires_objectives(self):
+        with pytest.raises(OptimizationError):
+            Selector(["p"], [], [])
+
+    def test_objective_must_be_grouped(self):
+        with pytest.raises(OptimizationError):
+            Selector(["p"], [], [Objective("q", "max")])
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(OptimizationError):
+            Objective("p", "sideways")
+
+    def test_empty_rows_rejected(self):
+        selector = Selector(["p"], [], [Objective("p", "max")])
+        with pytest.raises(OptimizationError):
+            selector.solve([])
+
+    def test_row_missing_group_parameter(self):
+        selector = Selector(["p"], [], [Objective("p", "max")])
+        with pytest.raises(OptimizationError):
+            selector.solve([({"q": 1.0}, {"x": metric(0.0)})])

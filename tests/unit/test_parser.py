@@ -1,0 +1,253 @@
+"""Unit tests for the query-language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    BinaryNode,
+    CallNode,
+    CaseNode,
+    ChainSpec,
+    Identifier,
+    NumberLit,
+    ParamNode,
+    RangeSpec,
+    SetSpec,
+    UnaryNode,
+)
+from repro.lang.parser import parse_expression, parse_script
+
+
+class TestDeclare:
+    def test_range(self):
+        script = parse_script(
+            "DECLARE PARAMETER @week AS RANGE 0 TO 52 STEP BY 4;"
+        )
+        declare = script.declares()[0]
+        assert declare.name == "week"
+        assert declare.spec == RangeSpec(0.0, 52.0, 4.0)
+
+    def test_negative_range_bounds(self):
+        script = parse_script(
+            "DECLARE PARAMETER @x AS RANGE -10 TO -2 STEP BY 2;"
+        )
+        assert script.declares()[0].spec == RangeSpec(-10.0, -2.0, 2.0)
+
+    def test_set(self):
+        script = parse_script("DECLARE PARAMETER @f AS SET (12, 36, 44);")
+        assert script.declares()[0].spec == SetSpec((12.0, 36.0, 44.0))
+
+    def test_chain(self):
+        script = parse_script(
+            "DECLARE PARAMETER @release AS CHAIN release_week "
+            "FROM @current_week : @current_week - 1 INITIAL VALUE 52;"
+        )
+        spec = script.declares()[0].spec
+        assert isinstance(spec, ChainSpec)
+        assert spec.source_column == "release_week"
+        assert spec.driver == "current_week"
+        assert spec.initial_value == 52.0
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_script("DECLARE PARAMETER @x AS RANGE 0 TO 1 STEP BY 1")
+
+    def test_bad_spec(self):
+        with pytest.raises(ParseError):
+            parse_script("DECLARE PARAMETER @x AS GRID 1 2 3;")
+
+
+class TestSelect:
+    def test_aliases(self):
+        script = parse_script("SELECT 1 AS one, two INTO results;")
+        select = script.selects()[0]
+        assert select.items[0].alias == "one"
+        # A bare identifier aliases to itself.
+        assert select.items[1].alias == "two"
+        assert select.into == "results"
+
+    def test_unaliased_expression(self):
+        script = parse_script("SELECT 1 + 2;")
+        assert script.selects()[0].items[0].alias is None
+
+    def test_nested_from(self):
+        script = parse_script(
+            "SELECT a FROM (SELECT 1 AS a) INTO results;"
+        )
+        select = script.selects()[0]
+        assert select.subquery is not None
+        assert select.subquery.items[0].alias == "a"
+
+    def test_figure1_select(self):
+        script = parse_script(
+            """
+            SELECT DemandModel(@current_week, @feature_release) AS demand,
+                   CapacityModel(@current_week, @purchase1, @purchase2)
+                       AS capacity,
+                   CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+            INTO results;
+            """
+        )
+        select = script.selects()[0]
+        assert [i.alias for i in select.items] == [
+            "demand",
+            "capacity",
+            "overload",
+        ]
+        assert isinstance(select.items[2].expression, CaseNode)
+
+
+class TestOptimize:
+    def test_figure1_optimize(self):
+        script = parse_script(
+            """
+            OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+            FROM results
+            WHERE MAX(EXPECT overload) < 0.01
+            GROUP BY feature_release, purchase1, purchase2
+            FOR MAX @purchase1, MAX @purchase2;
+            """
+        )
+        optimize = script.optimizes()[0]
+        assert optimize.select_params == (
+            "feature_release",
+            "purchase1",
+            "purchase2",
+        )
+        assert optimize.source_table == "results"
+        constraint = optimize.constraints[0]
+        assert (constraint.aggregate, constraint.metric) == ("max", "expect")
+        assert (constraint.column, constraint.op) == ("overload", "<")
+        assert constraint.threshold == 0.01
+        assert [o.direction for o in optimize.objectives] == ["max", "max"]
+
+    def test_multiple_constraints(self):
+        script = parse_script(
+            """
+            OPTIMIZE SELECT @p FROM results
+            WHERE MAX(EXPECT overload) < 0.01
+              AND MIN(STDDEV demand) >= 0.5
+            GROUP BY p FOR MIN @p;
+            """
+        )
+        assert len(script.optimizes()[0].constraints) == 2
+
+    def test_no_where_clause(self):
+        script = parse_script(
+            "OPTIMIZE SELECT @p FROM results GROUP BY p FOR MAX @p;"
+        )
+        assert script.optimizes()[0].constraints == ()
+
+    def test_bad_metric(self):
+        with pytest.raises(ParseError):
+            parse_script(
+                "OPTIMIZE SELECT @p FROM r WHERE MAX(SKEW x) < 1 "
+                "GROUP BY p FOR MAX @p;"
+            )
+
+    def test_missing_objective(self):
+        with pytest.raises(ParseError):
+            parse_script("OPTIMIZE SELECT @p FROM r GROUP BY p FOR;")
+
+
+class TestGraph:
+    def test_figure2_graph(self):
+        script = parse_script(
+            """
+            GRAPH OVER @current_week
+            EXPECT overload WITH bold red,
+            EXPECT capacity WITH blue y2,
+            EXPECT_STDDEV demand WITH orange y2;
+            """
+        )
+        graph = script.graphs()[0]
+        assert graph.x_parameter == "current_week"
+        assert len(graph.series) == 3
+        assert graph.series[0].metric == "expect"
+        assert graph.series[0].style == ("bold", "red")
+        assert graph.series[2].metric == "expect_stddev"
+
+    def test_series_without_style(self):
+        script = parse_script("GRAPH OVER @p EXPECT x;")
+        assert script.graphs()[0].series[0].style == ()
+
+
+class TestExpressions:
+    def test_precedence_multiplication_over_addition(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert isinstance(expression, BinaryNode)
+        assert expression.op == "+"
+        assert isinstance(expression.right, BinaryNode)
+        assert expression.right.op == "*"
+
+    def test_parentheses_override(self):
+        expression = parse_expression("(1 + 2) * 3")
+        assert expression.op == "*"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expression = parse_expression("a + 1 < b * 2")
+        assert expression.op == "<"
+
+    def test_logical_operators(self):
+        expression = parse_expression("a < 1 and b > 2 or not c = 3")
+        assert expression.op == "or"
+
+    def test_unary_minus(self):
+        expression = parse_expression("-x + 1")
+        assert isinstance(expression.left, UnaryNode)
+
+    def test_call_with_params(self):
+        expression = parse_expression("Model(@a, b, 1.5)")
+        assert isinstance(expression, CallNode)
+        assert isinstance(expression.arguments[0], ParamNode)
+        assert isinstance(expression.arguments[1], Identifier)
+        assert isinstance(expression.arguments[2], NumberLit)
+
+    def test_call_no_arguments(self):
+        expression = parse_expression("Model()")
+        assert expression.arguments == ()
+
+    def test_case_expression(self):
+        expression = parse_expression(
+            "CASE WHEN a < b THEN 1 ELSE 0 END"
+        )
+        assert isinstance(expression, CaseNode)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra")
+
+    def test_unclosed_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(1 + 2")
+
+    def test_empty_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_script("42;")
+
+
+class TestScriptShape:
+    def test_full_figure1_script(self):
+        script = parse_script(
+            """
+            -- DEFINITION --
+            DECLARE PARAMETER @current_week AS RANGE 0 TO 52 STEP BY 1;
+            DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 4;
+            DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 4;
+            DECLARE PARAMETER @feature_release AS SET (12,36,44);
+            SELECT DemandModel(@current_week, @feature_release) AS demand,
+                   CapacityModel(@current_week, @purchase1, @purchase2)
+                       AS capacity,
+                   CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+            INTO results;
+            -- BATCH MODE --
+            OPTIMIZE SELECT @feature_release, @purchase1, @purchase2
+            FROM results
+            WHERE MAX(EXPECT overload) < 0.01
+            GROUP BY feature_release, purchase1, purchase2
+            FOR MAX @purchase1, MAX @purchase2;
+            """
+        )
+        assert len(script.declares()) == 4
+        assert len(script.selects()) == 1
+        assert len(script.optimizes()) == 1

@@ -1,0 +1,67 @@
+"""Unit tests for ASCII chart rendering (the GRAPH OVER display)."""
+
+import pytest
+
+from repro.interactive.plotting import ascii_chart, render_graph
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [0.0, 1.0, 2.0],
+            {"demand": [0.0, 1.0, 2.0]},
+            width=20,
+            height=6,
+            title="demo",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert "*" in chart
+        assert "demand" in chart
+
+    def test_two_series_two_glyphs(self):
+        chart = ascii_chart(
+            [0.0, 1.0],
+            {"a": [0.0, 1.0], "b": [1.0, 0.0]},
+            width=20,
+            height=6,
+        )
+        assert "*" in chart and "o" in chart
+        assert "a" in chart.splitlines()[-1]
+        assert "b" in chart.splitlines()[-1]
+
+    def test_y_axis_labels(self):
+        chart = ascii_chart([0.0, 1.0], {"s": [5.0, 15.0]}, width=20, height=6)
+        assert "15" in chart
+        assert "5" in chart
+
+    def test_x_axis_endpoints(self):
+        chart = ascii_chart([2.0, 8.0], {"s": [0.0, 1.0]}, width=24, height=5)
+        assert "2" in chart and "8" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart([0.0, 1.0], {"s": [3.0, 3.0]})
+        assert "s" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            ascii_chart([0.0], {})
+        with pytest.raises(ValueError):
+            ascii_chart([0.0, 1.0], {"s": [1.0]})
+
+    def test_minimum_dimensions_enforced(self):
+        chart = ascii_chart([0.0, 1.0], {"s": [0.0, 1.0]}, width=1, height=1)
+        assert len(chart.splitlines()) >= 6
+
+
+class TestRenderGraph:
+    def test_title_names_parameter(self):
+        text = render_graph(
+            "current_week",
+            [0.0, 1.0, 2.0],
+            {"expect overload": [0.0, 0.5, 1.0]},
+        )
+        assert "GRAPH OVER @current_week" in text
+        assert "expect overload" in text

@@ -1,0 +1,196 @@
+"""Unit tests for probdb logical query operators."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.probdb.expressions import (
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Constant,
+    ParameterRef,
+)
+from repro.probdb.query import (
+    Filter,
+    GeneratorScan,
+    GroupAggregate,
+    Limit,
+    NestedLoopJoin,
+    Project,
+    SingletonScan,
+    TableScan,
+    WorldContext,
+)
+from repro.probdb.relation import Relation
+from repro.probdb.schema import Schema
+
+WORLD = WorldContext(params={"week": 3.0}, world_seed=17)
+
+PEOPLE = Relation(
+    Schema.of("person_id:int", "team:str", "load"),
+    [(1, "a", 10.0), (2, "a", 20.0), (3, "b", 30.0), (4, "b", 40.0)],
+)
+
+
+class TestScans:
+    def test_table_scan(self):
+        plan = TableScan(PEOPLE)
+        assert plan.schema().names == ("person_id", "team", "load")
+        assert len(plan.execute(WORLD)) == 4
+
+    def test_singleton_scan(self):
+        plan = SingletonScan()
+        result = plan.execute(WORLD)
+        assert len(result) == 1
+        assert result.rows == ((),)
+
+    def test_generator_scan(self):
+        plan = GeneratorScan(
+            Schema.of("n"),
+            lambda world: [(world.world_seed,)],
+        )
+        assert plan.execute(WORLD).rows == ((17.0,),)
+
+
+class TestProject:
+    def test_computes_expressions(self):
+        plan = Project(
+            TableScan(PEOPLE),
+            (("double_load", BinaryOp("*", ColumnRef("load"), Constant(2.0))),),
+        )
+        assert plan.execute(WORLD).column_values("double_load") == [
+            20.0,
+            40.0,
+            60.0,
+            80.0,
+        ]
+
+    def test_later_items_see_earlier_aliases(self):
+        """Paper Figure 1: overload reads the capacity/demand aliases."""
+        plan = Project(
+            SingletonScan(),
+            (
+                ("demand", Constant(5.0)),
+                ("capacity", Constant(3.0)),
+                (
+                    "overload",
+                    CaseWhen(
+                        BinaryOp("<", ColumnRef("capacity"), ColumnRef("demand")),
+                        Constant(1.0),
+                        Constant(0.0),
+                    ),
+                ),
+            ),
+        )
+        result = plan.execute(WORLD)
+        assert result.column_values("overload") == [1.0]
+
+    def test_parameters_visible(self):
+        plan = Project(SingletonScan(), (("w", ParameterRef("week")),))
+        assert plan.execute(WORLD).column_values("w") == [3.0]
+
+    def test_schema(self):
+        plan = Project(SingletonScan(), (("a", Constant(1.0)),))
+        assert plan.schema().names == ("a",)
+
+
+class TestFilter:
+    def test_keeps_matching_rows(self):
+        plan = Filter(
+            TableScan(PEOPLE),
+            BinaryOp(">", ColumnRef("load"), Constant(25.0)),
+        )
+        assert len(plan.execute(WORLD)) == 2
+
+    def test_schema_passthrough(self):
+        plan = Filter(TableScan(PEOPLE), Constant(True))
+        assert plan.schema().names == PEOPLE.schema.names
+
+
+class TestGroupAggregate:
+    def test_grouped_sum_avg(self):
+        plan = GroupAggregate(
+            TableScan(PEOPLE),
+            group_by=("team",),
+            aggregates=(
+                ("total", "sum", ColumnRef("load")),
+                ("average", "avg", ColumnRef("load")),
+            ),
+        )
+        result = plan.execute(WORLD)
+        as_dicts = {d["team"]: d for d in result.to_dicts()}
+        assert as_dicts["a"]["total"] == 30.0
+        assert as_dicts["b"]["average"] == 35.0
+
+    def test_global_group(self):
+        plan = GroupAggregate(
+            TableScan(PEOPLE),
+            group_by=(),
+            aggregates=(("n", "count", ColumnRef("load")),),
+        )
+        assert plan.execute(WORLD).column_values("n") == [4.0]
+
+    def test_min_max(self):
+        plan = GroupAggregate(
+            TableScan(PEOPLE),
+            group_by=(),
+            aggregates=(
+                ("lo", "min", ColumnRef("load")),
+                ("hi", "max", ColumnRef("load")),
+            ),
+        )
+        row = plan.execute(WORLD).to_dicts()[0]
+        assert (row["lo"], row["hi"]) == (10.0, 40.0)
+
+    def test_unknown_aggregate_rejected(self):
+        plan = GroupAggregate(
+            TableScan(PEOPLE),
+            group_by=(),
+            aggregates=(("bad", "mode", ColumnRef("load")),),
+        )
+        with pytest.raises(QueryError):
+            plan.execute(WORLD)
+
+    def test_schema(self):
+        plan = GroupAggregate(
+            TableScan(PEOPLE),
+            group_by=("team",),
+            aggregates=(("total", "sum", ColumnRef("load")),),
+        )
+        assert plan.schema().names == ("team", "total")
+
+
+class TestJoin:
+    def test_cross_join(self):
+        other = Relation(Schema.of("k"), [(1,), (2,)])
+        plan = NestedLoopJoin(TableScan(PEOPLE), TableScan(other))
+        assert len(plan.execute(WORLD)) == 8
+
+    def test_predicate_join(self):
+        other = Relation(Schema.of("wanted:int"), [(1,), (3,)])
+        plan = NestedLoopJoin(
+            TableScan(PEOPLE),
+            TableScan(other),
+            predicate=BinaryOp(
+                "=", ColumnRef("person_id"), ColumnRef("wanted")
+            ),
+        )
+        result = plan.execute(WORLD)
+        assert result.column_values("person_id") == [1, 3]
+
+    def test_duplicate_columns_rejected_by_schema(self):
+        with pytest.raises(SchemaError):
+            NestedLoopJoin(TableScan(PEOPLE), TableScan(PEOPLE)).schema()
+
+
+class TestLimit:
+    def test_prefix(self):
+        plan = Limit(TableScan(PEOPLE), 2)
+        assert len(plan.execute(WORLD)) == 2
+
+    def test_zero(self):
+        assert len(Limit(TableScan(PEOPLE), 0).execute(WORLD)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(QueryError):
+            Limit(TableScan(PEOPLE), -1).execute(WORLD)

@@ -1,0 +1,136 @@
+"""Unit tests for deterministic variate generation.
+
+The linearity tests are the crux: for a *fixed seed*, normal/uniform/
+exponential draws must be exact location-scale transforms of their standard
+draws, because that property is what makes fingerprints of different
+parameter values affinely mappable (paper section 3.1).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.blackbox.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(123)
+        b = DeterministicRng(123)
+        assert [a.normal() for _ in range(10)] == [
+            b.normal() for _ in range(10)
+        ]
+
+    def test_different_seeds_different_streams(self):
+        assert DeterministicRng(1).normal() != DeterministicRng(2).normal()
+
+    def test_seed_property(self):
+        assert DeterministicRng(77).seed == 77
+
+
+class TestLocationScaleLinearity:
+    """Draw k from two RNGs with the same seed but different parameters:
+    outputs must be exact affine images of each other."""
+
+    def test_normal_affine_in_mean_and_stddev(self):
+        base = [DeterministicRng(5).normal(0.0, 1.0) for _ in range(1)][0]
+        shifted = DeterministicRng(5).normal(10.0, 3.0)
+        assert shifted == pytest.approx(10.0 + 3.0 * base, rel=1e-12)
+
+    def test_uniform_affine_in_bounds(self):
+        base = DeterministicRng(5).uniform(0.0, 1.0)
+        mapped = DeterministicRng(5).uniform(-2.0, 6.0)
+        assert mapped == pytest.approx(-2.0 + 8.0 * base, rel=1e-12)
+
+    def test_exponential_linear_in_mean(self):
+        base = DeterministicRng(5).exponential(1.0)
+        scaled = DeterministicRng(5).exponential(4.0)
+        assert scaled == pytest.approx(4.0 * base, rel=1e-12)
+
+    def test_normal_from_variance_matches_sqrt(self):
+        direct = DeterministicRng(5).normal(2.0, math.sqrt(0.49))
+        via_variance = DeterministicRng(5).normal_from_variance(2.0, 0.49)
+        assert direct == via_variance
+
+
+class TestDistributions:
+    def test_uniform_within_bounds(self):
+        rng = DeterministicRng(11)
+        for _ in range(200):
+            value = rng.uniform(3.0, 4.0)
+            assert 3.0 <= value < 4.0
+
+    def test_normal_moments(self):
+        rng = DeterministicRng(11)
+        draws = np.array([rng.normal(5.0, 2.0) for _ in range(4000)])
+        assert draws.mean() == pytest.approx(5.0, abs=0.15)
+        assert draws.std() == pytest.approx(2.0, abs=0.15)
+
+    def test_exponential_mean(self):
+        rng = DeterministicRng(11)
+        draws = np.array([rng.exponential(3.0) for _ in range(4000)])
+        assert draws.mean() == pytest.approx(3.0, abs=0.25)
+        assert (draws >= 0).all()
+
+    def test_bernoulli_frequency(self):
+        rng = DeterministicRng(11)
+        hits = sum(rng.bernoulli(0.3) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRng(11)
+        assert not any(rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_poisson_mean(self):
+        rng = DeterministicRng(11)
+        draws = [rng.poisson(4.0) for _ in range(4000)]
+        assert sum(draws) / 4000 == pytest.approx(4.0, abs=0.2)
+
+    def test_choice_range(self):
+        rng = DeterministicRng(11)
+        values = {rng.choice(5) for _ in range(500)}
+        assert values == {0, 1, 2, 3, 4}
+
+    def test_bulk_draws_shapes(self):
+        rng = DeterministicRng(11)
+        assert rng.standard_normals(7).shape == (7,)
+        assert rng.uniforms(7).shape == (7,)
+        assert rng.standard_normals(0).shape == (0,)
+
+
+class TestValidation:
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).uniform(2.0, 1.0)
+
+    def test_normal_rejects_negative_stddev(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).normal(0.0, -1.0)
+
+    def test_variance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).normal_from_variance(0.0, -0.1)
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).exponential(0.0)
+
+    def test_bernoulli_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).bernoulli(1.5)
+
+    def test_poisson_rejects_negative_mean(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).poisson(-1.0)
+
+    def test_choice_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).choice(0)
+
+    def test_bulk_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).standard_normals(-1)
+        with pytest.raises(ValueError):
+            DeterministicRng(1).uniforms(-1)

@@ -1,0 +1,153 @@
+"""Unit tests for scenarios and the multi-column batch runner."""
+
+import pytest
+
+from repro.blackbox import (
+    BlackBoxRegistry,
+    CapacityModel,
+    DemandModel,
+)
+from repro.core.seeds import SeedBank
+from repro.errors import QueryError
+from repro.lang.binder import compile_query
+from repro.scenario import (
+    ScenarioRunner,
+    boolean_column_families,
+)
+
+
+def registry():
+    reg = BlackBoxRegistry()
+    reg.register(DemandModel(), "DemandModel")
+    reg.register(
+        CapacityModel(base_capacity=10.0, purchase_volume=10.0),
+        "CapacityModel",
+    )
+    return reg
+
+
+SOURCE = """
+DECLARE PARAMETER @current_week AS RANGE 0 TO 8 STEP BY 2;
+DECLARE PARAMETER @purchase1 AS SET (0, 4);
+SELECT DemandModel(@current_week, 50) AS demand,
+       CapacityModel(@current_week, @purchase1, 50) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+"""
+
+
+@pytest.fixture
+def scenario():
+    return compile_query(SOURCE, registry()).scenario
+
+
+class TestScenario:
+    def test_simulate_returns_all_columns(self, scenario):
+        row = scenario.simulate(
+            {"current_week": 2.0, "purchase1": 0.0}, seed=3
+        )
+        assert set(row) == {"demand", "capacity", "overload"}
+
+    def test_simulate_deterministic(self, scenario):
+        point = {"current_week": 2.0, "purchase1": 0.0}
+        assert scenario.simulate(point, 9) == scenario.simulate(point, 9)
+
+    def test_column_simulation_view(self, scenario):
+        simulation = scenario.column_simulation("demand")
+        point = {"current_week": 4.0, "purchase1": 0.0}
+        assert simulation(point, 5) == scenario.simulate(point, 5)["demand"]
+
+    def test_column_simulation_unknown_column(self, scenario):
+        with pytest.raises(QueryError):
+            scenario.column_simulation("nope")
+
+    def test_parameter_lookup(self, scenario):
+        assert scenario.parameter("purchase1").values() == (0.0, 4.0)
+        with pytest.raises(QueryError):
+            scenario.parameter("nope")
+
+    def test_space_size(self, scenario):
+        assert scenario.space.size() == 5 * 2
+
+
+class TestScenarioRunner:
+    def test_runs_whole_space(self, scenario):
+        runner = ScenarioRunner(
+            scenario, samples_per_point=30, fingerprint_size=10
+        )
+        result = runner.run()
+        assert len(result) == 10
+        assert result.stats.points_total == 10
+
+    def test_reuse_requires_every_column_to_match(self, scenario):
+        runner = ScenarioRunner(
+            scenario,
+            samples_per_point=30,
+            fingerprint_size=10,
+            column_families=boolean_column_families(scenario, ("overload",)),
+        )
+        result = runner.run()
+        # Some reuse must happen, but the boolean column limits it.
+        assert 0 < result.stats.points_reused < result.stats.points_total
+
+    def test_metrics_contain_every_column(self, scenario):
+        runner = ScenarioRunner(scenario, samples_per_point=25)
+        result = runner.run()
+        for metrics in result.metrics.values():
+            assert set(metrics) == {"demand", "capacity", "overload"}
+
+    def test_naive_mode_matches_fingerprint_mode(self, scenario):
+        bank = SeedBank(31)
+        fingerprinting = ScenarioRunner(
+            scenario,
+            samples_per_point=40,
+            seed_bank=bank,
+            column_families=boolean_column_families(scenario, ("overload",)),
+        ).run()
+        naive = ScenarioRunner(
+            scenario,
+            samples_per_point=40,
+            seed_bank=bank,
+            use_fingerprints=False,
+        ).run()
+        for key, columns in naive.metrics.items():
+            for column, reference in columns.items():
+                assert fingerprinting.metrics[key][column].approx_equals(
+                    reference, rel_tol=1e-8
+                ), (key, column)
+
+    def test_rounds_accounting(self, scenario):
+        runner = ScenarioRunner(
+            scenario, samples_per_point=30, fingerprint_size=10
+        )
+        result = runner.run()
+        full_points = result.stats.points_total - result.stats.points_reused
+        expected = (
+            result.stats.points_total * 10 + full_points * (30 - 10)
+        )
+        assert result.stats.rounds_executed == expected
+
+    def test_rows_feed_selector(self, scenario):
+        runner = ScenarioRunner(scenario, samples_per_point=25)
+        result = runner.run()
+        rows = result.rows()
+        assert len(rows) == 10
+        params, columns = rows[0]
+        assert "current_week" in params
+        assert "overload" in columns
+
+    def test_validation(self, scenario):
+        with pytest.raises(ValueError):
+            ScenarioRunner(scenario, samples_per_point=5, fingerprint_size=10)
+        with pytest.raises(ValueError):
+            ScenarioRunner(scenario, fingerprint_size=0)
+
+    def test_boolean_family_unknown_column(self, scenario):
+        with pytest.raises(ValueError):
+            boolean_column_families(scenario, ("nope",))
+
+    def test_store_per_column(self, scenario):
+        runner = ScenarioRunner(scenario, samples_per_point=25)
+        runner.run()
+        assert len(runner.store_for("demand")) >= 1
+        assert len(runner.store_for("capacity")) >= 1

@@ -1,0 +1,102 @@
+"""Unit tests for probdb schemas and relations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.probdb.relation import Relation
+from repro.probdb.schema import Column, Schema
+
+
+class TestColumn:
+    def test_valid_column(self):
+        column = Column("demand", "float")
+        assert column.coerce("3.5") == 3.5
+
+    def test_types(self):
+        assert Column("n", "int").coerce(3.9) == 3
+        assert Column("b", "bool").coerce(1) is True
+        assert Column("s", "str").coerce(5) == "5"
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("2bad", "float")
+        with pytest.raises(SchemaError):
+            Column("", "float")
+
+    def test_invalid_type(self):
+        with pytest.raises(SchemaError):
+            Column("x", "decimal")
+
+    def test_coerce_failure(self):
+        with pytest.raises(SchemaError):
+            Column("x", "float").coerce("not-a-number")
+
+
+class TestSchema:
+    def test_of_strings(self):
+        schema = Schema.of("a", "b:int", Column("c", "str"))
+        assert schema.names == ("a", "b", "c")
+        assert schema.column("b").type == "int"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_index_and_contains(self):
+        schema = Schema.of("a", "b")
+        assert schema.index_of("b") == 1
+        assert "a" in schema
+        assert "z" not in schema
+        with pytest.raises(SchemaError):
+            schema.index_of("z")
+
+    def test_project(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_concat(self):
+        merged = Schema.of("a").concat(Schema.of("b"))
+        assert merged.names == ("a", "b")
+
+    def test_concat_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").concat(Schema.of("a"))
+
+    def test_len(self):
+        assert len(Schema.of("a", "b")) == 2
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(42)
+
+
+class TestRelation:
+    def test_rows_coerced(self):
+        relation = Relation(Schema.of("a", "b:int"), [("1.5", "2")])
+        assert relation.rows == ((1.5, 2),)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation(Schema.of("a", "b"), [(1.0,)])
+
+    def test_column_values_and_array(self):
+        relation = Relation(Schema.of("a", "b"), [(1, 2), (3, 4)])
+        assert relation.column_values("b") == [2.0, 4.0]
+        np.testing.assert_allclose(relation.column_array("a"), [1.0, 3.0])
+
+    def test_dict_round_trip(self):
+        schema = Schema.of("a", "b")
+        relation = Relation(schema, [(1, 2)])
+        dicts = relation.to_dicts()
+        assert dicts == [{"a": 1.0, "b": 2.0}]
+        back = Relation.from_dicts(schema, dicts)
+        assert back.rows == relation.rows
+
+    def test_iteration_and_len(self):
+        relation = Relation(Schema.of("a"), [(1,), (2,)])
+        assert len(relation) == 2
+        assert [row[0] for row in relation] == [1.0, 2.0]
+
+    def test_repr(self):
+        assert "rows=2" in repr(Relation(Schema.of("a"), [(1,), (2,)]))

@@ -1,0 +1,113 @@
+"""Unit tests for adaptive search over fingerprint-reusing exploration."""
+
+import pytest
+
+from repro.blackbox.rng import DeterministicRng
+from repro.core.explorer import ParameterExplorer
+from repro.core.search import ExhaustiveSearch, HillClimbSearch
+from repro.errors import OptimizationError
+from repro.scenario.parameter import RangeParameter
+from repro.scenario.space import ParameterSpace
+
+
+def quadratic_simulation(params, seed):
+    """Noisy concave bowl peaking at (a=6, b=4)."""
+    rng = DeterministicRng(seed)
+    mean = 100.0 - (params["a"] - 6.0) ** 2 - (params["b"] - 4.0) ** 2
+    return rng.normal(mean, 1.0)
+
+
+def space():
+    return ParameterSpace(
+        [
+            RangeParameter("a", 0.0, 10.0, 1.0),
+            RangeParameter("b", 0.0, 8.0, 1.0),
+        ]
+    )
+
+
+def explorer():
+    return ParameterExplorer(
+        quadratic_simulation, samples_per_point=40, fingerprint_size=10
+    )
+
+
+def objective(metrics):
+    return metrics.expectation
+
+
+class TestHillClimb:
+    def test_finds_global_optimum_of_concave_objective(self):
+        search = HillClimbSearch(
+            explorer(), space(), objective, restarts=2
+        )
+        result = search.run()
+        assert result.best_point == {"a": 6.0, "b": 4.0}
+        assert result.best_score == pytest.approx(100.0, abs=1.0)
+
+    def test_visits_fewer_points_than_exhaustive(self):
+        climb = HillClimbSearch(
+            explorer(), space(), objective, restarts=2
+        ).run()
+        exhaustive = ExhaustiveSearch(explorer(), space(), objective).run()
+        assert climb.trace.evaluations < exhaustive.trace.evaluations
+        assert climb.best_point == exhaustive.best_point
+
+    def test_feasibility_constraint_respected(self):
+        def feasible(metrics):
+            return metrics.expectation < 99.0  # exclude the peak
+
+        result = HillClimbSearch(
+            explorer(), space(), objective, feasible=feasible, restarts=3
+        ).run()
+        assert result.best_point is not None
+        assert result.best_point != {"a": 6.0, "b": 4.0}
+        assert result.best_metrics.expectation < 99.0
+
+    def test_fingerprint_reuse_occurs_during_search(self):
+        """Adaptive search still flows through the basis store (the point
+        of paper section 2.3's note): correlated candidates reuse work."""
+        result = HillClimbSearch(
+            explorer(), space(), objective, restarts=3
+        ).run()
+        assert result.explorer_stats_reused > 0
+
+    def test_trace_improvements_monotone(self):
+        result = HillClimbSearch(
+            explorer(), space(), objective, restarts=1
+        ).run()
+        scores = [score for _, score in result.trace.improvements]
+        assert scores == sorted(scores)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            HillClimbSearch(explorer(), space(), objective, restarts=0)
+        with pytest.raises(OptimizationError):
+            HillClimbSearch(explorer(), space(), objective, max_steps=0)
+
+    def test_empty_space_degenerates_to_single_point(self):
+        empty = ParameterSpace([])
+        constant_explorer = ParameterExplorer(
+            lambda params, seed: DeterministicRng(seed).normal(5.0),
+            samples_per_point=20,
+            fingerprint_size=10,
+        )
+        # The empty space has the single all-defaults point and no axes;
+        # the search degenerates to evaluating that point.
+        result = HillClimbSearch(constant_explorer, empty, objective).run()
+        assert result.best_point == {}
+        assert result.best_score == pytest.approx(5.0, abs=1.0)
+
+
+class TestExhaustive:
+    def test_covers_whole_space(self):
+        result = ExhaustiveSearch(explorer(), space(), objective).run()
+        assert result.trace.evaluations == space().size()
+        assert result.best_point == {"a": 6.0, "b": 4.0}
+
+    def test_infeasible_everywhere(self):
+        result = ExhaustiveSearch(
+            explorer(), space(), objective, feasible=lambda m: False
+        ).run()
+        assert result.best_point is None
+        assert result.best_score == float("-inf")

@@ -1,0 +1,126 @@
+"""Unit tests for symbolic execution over mapped variables (section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import BasisStore
+from repro.core.fingerprint import Fingerprint
+from repro.core.mapping import AffineMapping
+from repro.core.symbolic import MappedVariable, SampleVariable
+
+SAMPLES = np.linspace(-2.0, 2.0, 101)
+
+
+@pytest.fixture
+def basis():
+    store = BasisStore()
+    return store.add(Fingerprint(tuple(SAMPLES[:10])), SAMPLES)
+
+
+@pytest.fixture
+def other_basis():
+    store = BasisStore()
+    shifted = SAMPLES**2  # a different distribution entirely
+    return store.add(Fingerprint(tuple(shifted[:10])), shifted)
+
+
+class TestSameBasisAlgebra:
+    def test_paper_example_sum(self, basis):
+        """X = 2f+2, Y = 3f+3 => X + Y = 5f+5 without sampling."""
+        x = MappedVariable.of(basis, AffineMapping(2.0, 2.0))
+        y = MappedVariable.of(basis, AffineMapping(3.0, 3.0))
+        total = x + y
+        assert isinstance(total, MappedVariable)
+        assert total.mapping.alpha == pytest.approx(5.0)
+        assert total.mapping.beta == pytest.approx(5.0)
+
+    def test_scalar_arithmetic(self, basis):
+        x = MappedVariable.of(basis, AffineMapping(2.0, 0.0))
+        assert (x + 1.0).mapping.beta == 1.0
+        assert (1.0 + x).mapping.beta == 1.0
+        assert (x - 1.0).mapping.beta == -1.0
+        assert (x * 3.0).mapping.alpha == 6.0
+        assert (3.0 * x).mapping.alpha == 6.0
+        assert (-x).mapping.alpha == -2.0
+
+    def test_subtraction_same_basis_is_deterministic(self, basis):
+        x = MappedVariable.of(basis, AffineMapping(2.0, 5.0))
+        y = MappedVariable.of(basis, AffineMapping(2.0, 1.0))
+        difference = x - y
+        assert isinstance(difference, MappedVariable)
+        assert difference.mapping.alpha == 0.0
+        assert difference.mapping.beta == pytest.approx(4.0)
+
+    def test_expectation_and_stddev(self, basis):
+        x = MappedVariable.of(basis, AffineMapping(2.0, 3.0))
+        assert x.expectation() == pytest.approx(2.0 * SAMPLES.mean() + 3.0)
+        assert x.stddev() == pytest.approx(2.0 * SAMPLES.std())
+
+    def test_samples_materialization(self, basis):
+        x = MappedVariable.of(basis, AffineMapping(-1.0, 0.0))
+        np.testing.assert_allclose(x.samples(), -SAMPLES)
+
+
+class TestProbabilities:
+    def test_probability_above_constant(self, basis):
+        x = MappedVariable.of(basis)
+        empirical = float((SAMPLES > 0.5).mean())
+        assert x.probability_greater(0.5) == pytest.approx(empirical)
+
+    def test_probability_with_negative_alpha(self, basis):
+        x = MappedVariable.of(basis, AffineMapping(-1.0, 0.0))
+        empirical = float((-SAMPLES > 0.5).mean())
+        assert x.probability_greater(0.5) == pytest.approx(empirical)
+
+    def test_same_basis_comparison_closed_form(self, basis):
+        x = MappedVariable.of(basis, AffineMapping(2.0, 0.1))
+        y = MappedVariable.of(basis, AffineMapping(2.0, 0.0))
+        # x - y = 0.1 > 0 always.
+        assert x.probability_greater(y) == 1.0
+        assert y.probability_greater(x) == 0.0
+
+    def test_same_basis_sign_dependent_comparison(self, basis):
+        x = MappedVariable.of(basis, AffineMapping(2.0, 0.0))
+        y = MappedVariable.of(basis, AffineMapping(1.0, 0.0))
+        # x - y = f: positive exactly when the basis sample is.
+        expected = float((SAMPLES > 0).mean())
+        assert x.probability_greater(y) == pytest.approx(expected)
+
+    def test_cross_basis_comparison_pairs_worlds(self, basis, other_basis):
+        x = MappedVariable.of(basis)
+        y = MappedVariable.of(other_basis)
+        expected = float((SAMPLES > SAMPLES**2).mean())
+        assert x.probability_greater(y) == pytest.approx(expected)
+
+    def test_degenerate_alpha_zero(self, basis):
+        x = MappedVariable.of(basis, AffineMapping(0.0, 5.0))
+        assert x.probability_greater(4.0) == 1.0
+        assert x.probability_greater(6.0) == 0.0
+
+
+class TestCrossBasis:
+    def test_cross_basis_sum_falls_back_to_samples(self, basis, other_basis):
+        x = MappedVariable.of(basis)
+        y = MappedVariable.of(other_basis)
+        total = x + y
+        assert isinstance(total, SampleVariable)
+        np.testing.assert_allclose(total.values, SAMPLES + SAMPLES**2)
+
+    def test_sample_variable_metrics(self, basis, other_basis):
+        total = MappedVariable.of(basis) + MappedVariable.of(other_basis)
+        assert total.expectation() == pytest.approx(
+            (SAMPLES + SAMPLES**2).mean()
+        )
+        assert total.metrics().count == len(SAMPLES)
+
+    def test_sample_variable_probability(self, basis, other_basis):
+        total = MappedVariable.of(basis) + MappedVariable.of(other_basis)
+        expected = float(((SAMPLES + SAMPLES**2) > 1.0).mean())
+        assert total.probability_greater(1.0) == pytest.approx(expected)
+
+    def test_metrics_via_remap(self, basis):
+        x = MappedVariable.of(basis, AffineMapping(3.0, 1.0))
+        metrics = x.metrics()
+        assert metrics.expectation == pytest.approx(
+            3.0 * SAMPLES.mean() + 1.0
+        )

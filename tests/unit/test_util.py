@@ -1,0 +1,159 @@
+"""Unit tests for shared utilities: stats, timing, tables."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.stats import RunningStats, histogram, quantiles
+from repro.util.tables import format_table
+from repro.util.timing import InvocationCounter, Stopwatch
+
+DATA = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+
+
+class TestRunningStats:
+    def test_matches_numpy(self):
+        stats = RunningStats()
+        stats.add_many(DATA)
+        array = np.asarray(DATA)
+        assert stats.count == len(DATA)
+        assert stats.mean == pytest.approx(array.mean())
+        assert stats.variance == pytest.approx(array.var())
+        assert stats.sample_variance == pytest.approx(array.var(ddof=1))
+        assert stats.stddev == pytest.approx(array.std())
+        assert stats.minimum == array.min()
+        assert stats.maximum == array.max()
+
+    def test_merge_equals_pooled(self):
+        left = RunningStats()
+        left.add_many(DATA[:3])
+        right = RunningStats()
+        right.add_many(DATA[3:])
+        merged = left.merge(right)
+        pooled = RunningStats()
+        pooled.add_many(DATA)
+        assert merged.count == pooled.count
+        assert merged.mean == pytest.approx(pooled.mean)
+        assert merged.variance == pytest.approx(pooled.variance)
+        assert merged.minimum == pooled.minimum
+        assert merged.maximum == pooled.maximum
+
+    def test_merge_with_empty(self):
+        filled = RunningStats()
+        filled.add_many(DATA)
+        empty = RunningStats()
+        assert filled.merge(empty).mean == pytest.approx(filled.mean)
+        assert empty.merge(filled).count == filled.count
+
+    def test_copy_independent(self):
+        original = RunningStats()
+        original.add(1.0)
+        duplicate = original.copy()
+        duplicate.add(100.0)
+        assert original.count == 1
+
+    def test_empty_accessors_raise(self):
+        empty = RunningStats()
+        for accessor in ("mean", "variance", "minimum", "maximum"):
+            with pytest.raises(ValueError):
+                getattr(empty, accessor)
+
+    def test_sample_variance_needs_two(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            stats.sample_variance
+
+
+class TestQuantilesHistogram:
+    def test_quantiles_match_numpy(self):
+        result = quantiles(DATA, [0.25, 0.5, 0.75])
+        expected = np.quantile(DATA, [0.25, 0.5, 0.75])
+        assert result == pytest.approx(list(expected))
+
+    def test_quantiles_validation(self):
+        with pytest.raises(ValueError):
+            quantiles([], [0.5])
+        with pytest.raises(ValueError):
+            quantiles(DATA, [1.5])
+
+    def test_histogram_counts_sum(self):
+        counts, edges = histogram(DATA, bins=4)
+        assert sum(counts) == len(DATA)
+        assert len(edges) == 5
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            histogram([], bins=4)
+        with pytest.raises(ValueError):
+            histogram(DATA, bins=0)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.01
+
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.005)
+        assert watch.elapsed > first
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+
+class TestInvocationCounter:
+    def test_record_and_count(self):
+        counter = InvocationCounter()
+        counter.record("samples")
+        counter.record("samples", 5)
+        assert counter.count("samples") == 6
+        assert counter.count("other") == 0
+
+    def test_as_dict_and_reset(self):
+        counter = InvocationCounter()
+        counter.record("a")
+        assert counter.as_dict() == {"a": 1}
+        counter.reset()
+        assert counter.as_dict() == {}
+
+    def test_repr(self):
+        counter = InvocationCounter()
+        counter.record("x", 3)
+        assert "x=3" in repr(counter)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 20]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.00001], [12345.6789], [0.5], [0.0]])
+        assert "1e-05" in text
+        assert "0.5" in text
+        assert "0" in text

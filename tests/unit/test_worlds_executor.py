@@ -1,0 +1,180 @@
+"""Unit tests for possible-worlds sampling and the Monte Carlo executor."""
+
+import numpy as np
+import pytest
+
+from repro.blackbox import FunctionBlackBox
+from repro.core.seeds import SeedBank
+from repro.errors import QueryError, SchemaError
+from repro.probdb.executor import MonteCarloExecutor
+from repro.probdb.expressions import (
+    BinaryOp,
+    BlackBoxCall,
+    ColumnRef,
+    Constant,
+)
+from repro.probdb.query import (
+    GeneratorScan,
+    Project,
+    SingletonScan,
+    TableScan,
+    WorldContext,
+)
+from repro.probdb.relation import Relation
+from repro.probdb.schema import Schema
+from repro.probdb.worlds import RandomRelation, VGColumn, WorldSampler
+
+from repro.blackbox.rng import DeterministicRng
+
+
+def noise_box():
+    return FunctionBlackBox(
+        lambda p, s: p["base"] + DeterministicRng(s).normal(),
+        name="Noise",
+        parameter_names=("base",),
+    )
+
+
+class TestRandomRelation:
+    def base_table(self):
+        return Relation(Schema.of("row_id:int", "base"), [(0, 10.0), (1, 20.0)])
+
+    def test_instantiate_appends_vg_columns(self):
+        random_relation = RandomRelation(
+            self.base_table(),
+            [VGColumn("sampled", noise_box(), ("base",), ("base",))],
+        )
+        world = WorldContext(params={}, world_seed=5)
+        realized = random_relation.instantiate(world)
+        assert realized.schema.names == ("row_id", "base", "sampled")
+        values = realized.column_values("sampled")
+        assert values[0] != values[1]
+
+    def test_same_world_same_realization(self):
+        random_relation = RandomRelation(
+            self.base_table(),
+            [VGColumn("sampled", noise_box(), ("base",), ("base",))],
+        )
+        world = WorldContext(params={}, world_seed=5)
+        first = random_relation.instantiate(world)
+        second = random_relation.instantiate(world)
+        assert first.rows == second.rows
+
+    def test_different_worlds_differ(self):
+        random_relation = RandomRelation(
+            self.base_table(),
+            [VGColumn("sampled", noise_box(), ("base",), ("base",))],
+        )
+        a = random_relation.instantiate(WorldContext(params={}, world_seed=1))
+        b = random_relation.instantiate(WorldContext(params={}, world_seed=2))
+        assert a.rows != b.rows
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            RandomRelation(
+                self.base_table(),
+                [VGColumn("base", noise_box(), ("base",), ("base",))],
+            )
+
+    def test_unknown_argument_column_rejected(self):
+        with pytest.raises(SchemaError):
+            RandomRelation(
+                self.base_table(),
+                [VGColumn("sampled", noise_box(), ("base",), ("missing",))],
+            )
+
+    def test_vg_column_arity_check(self):
+        with pytest.raises(SchemaError):
+            VGColumn("v", noise_box(), ("a", "b"), ("base",))
+
+
+class TestWorldSampler:
+    def test_worlds_use_seed_bank(self):
+        bank = SeedBank(8)
+        sampler = WorldSampler(params={"p": 1.0}, seed_bank=bank)
+        worlds = list(sampler.worlds(3))
+        assert [w.world_seed for w in worlds] == bank.seeds(3)
+        assert worlds[0].params == {"p": 1.0}
+
+    def test_world_start_offset(self):
+        bank = SeedBank(8)
+        sampler = WorldSampler(seed_bank=bank)
+        worlds = list(sampler.worlds(2, start=5))
+        assert [w.world_seed for w in worlds] == bank.seeds(2, start=5)
+
+
+def scalar_plan():
+    box = noise_box()
+    return Project(
+        SingletonScan(),
+        (
+            (
+                "value",
+                BlackBoxCall(box, ("base",), (Constant(100.0),)),
+            ),
+        ),
+    )
+
+
+class TestMonteCarloExecutor:
+    def test_run_scalar_metrics(self):
+        executor = MonteCarloExecutor(world_count=400)
+        metrics = executor.run_scalar(scalar_plan(), "value")
+        assert metrics.count == 400
+        assert metrics.expectation == pytest.approx(100.0, abs=0.2)
+
+    def test_scalar_samples_deterministic(self):
+        executor = MonteCarloExecutor(world_count=50)
+        a = executor.scalar_samples(scalar_plan(), "value")
+        b = executor.scalar_samples(scalar_plan(), "value")
+        np.testing.assert_allclose(a, b)
+
+    def test_scalar_samples_start_world(self):
+        executor = MonteCarloExecutor(world_count=10)
+        full = executor.scalar_samples(
+            scalar_plan(), "value", world_count=10
+        )
+        tail = executor.scalar_samples(
+            scalar_plan(), "value", world_count=5, start_world=5
+        )
+        np.testing.assert_allclose(tail, full[5:])
+
+    def test_run_distribution(self):
+        executor = MonteCarloExecutor(world_count=30)
+        table = Relation(Schema.of("base"), [(10.0,), (20.0,)])
+        box = noise_box()
+        plan = Project(
+            TableScan(table),
+            (
+                ("noisy", BlackBoxCall(box, ("base",), (ColumnRef("base"),))),
+            ),
+        )
+        distribution = executor.run_distribution(plan)
+        assert distribution.row_count == 2
+        assert distribution.world_count == 30
+        assert distribution.samples["noisy"].shape == (30, 2)
+        assert distribution.expectation("noisy", 0) == pytest.approx(
+            10.0, abs=1.0
+        )
+        assert distribution.metrics("noisy", 1).expectation == pytest.approx(
+            20.0, abs=1.0
+        )
+
+    def test_varying_cardinality_rejected(self):
+        executor = MonteCarloExecutor(world_count=4)
+        plan = GeneratorScan(
+            Schema.of("x"),
+            lambda world: [(1.0,)] * (1 + world.world_seed % 2),
+        )
+        with pytest.raises(QueryError):
+            executor.run_distribution(plan)
+
+    def test_multi_row_scalar_rejected(self):
+        executor = MonteCarloExecutor(world_count=2)
+        plan = GeneratorScan(Schema.of("x"), lambda world: [(1.0,), (2.0,)])
+        with pytest.raises(QueryError):
+            executor.run_scalar(plan, "x")
+
+    def test_world_count_validated(self):
+        with pytest.raises(QueryError):
+            MonteCarloExecutor(world_count=0)
