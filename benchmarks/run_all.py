@@ -4,15 +4,24 @@
 Usage::
 
     python benchmarks/run_all.py [--scale quick|paper] [--out results.txt]
+                                 [--bench-out BENCH_run_all.json]
 
-``quick`` (default) runs laptop-sized sweeps in a few minutes; ``paper``
-runs the paper-sized configurations (1000 samples/point over the full
-parameter spaces) and can take an hour or more in pure Python.  Either way
-the *shapes* — who wins, by roughly what factor, where crossovers fall —
-are the reproduced quantity; absolute times depend on the host.
+``quick`` (default) runs laptop-sized sweeps in seconds on the batch
+sampling engine; ``paper`` runs the paper-sized configurations (1000
+samples/point over the full parameter spaces).  Either way the *shapes* —
+who wins, by roughly what factor, where crossovers fall — are the
+reproduced quantity; absolute times depend on the host.
+
+Alongside the text report, a machine-readable ``BENCH_run_all.json`` is
+written with per-figure wall-clock seconds and work counters (samples
+drawn, reuse fraction) so future changes have a perf trajectory to regress
+against.
 """
 
 import argparse
+import json
+import os
+import platform
 import sys
 import time
 
@@ -25,6 +34,8 @@ from repro.bench.figures import (
     run_fig12,
 )
 
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
@@ -32,12 +43,17 @@ def main(argv=None):
         "--scale",
         choices=("quick", "paper"),
         default="quick",
-        help="workload sizes: quick (minutes) or paper (hour+)",
+        help="workload sizes: quick (seconds) or paper (minutes)",
     )
     parser.add_argument(
         "--out",
         default=None,
         help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default=os.path.join(_REPO_ROOT, "BENCH_run_all.json"),
+        help="machine-readable per-figure timings (empty string disables)",
     )
     parser.add_argument(
         "--only",
@@ -48,11 +64,11 @@ def main(argv=None):
 
     runners = {
         "fig7": lambda: run_fig7(args.scale),
-        "fig8": lambda: run_fig8(args.scale).to_text(),
-        "fig9": lambda: run_fig9(args.scale).to_text(),
-        "fig10": lambda: run_fig10(args.scale).to_text(),
-        "fig11": lambda: run_fig11(args.scale).to_text(),
-        "fig12": lambda: run_fig12(args.scale).to_text(),
+        "fig8": lambda: run_fig8(args.scale),
+        "fig9": lambda: run_fig9(args.scale),
+        "fig10": lambda: run_fig10(args.scale),
+        "fig11": lambda: run_fig11(args.scale),
+        "fig12": lambda: run_fig12(args.scale),
     }
     if args.only is not None:
         if args.only not in runners:
@@ -63,12 +79,29 @@ def main(argv=None):
         runners = {args.only: runners[args.only]}
 
     sections = []
+    bench = {
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "figures": {},
+    }
+    total_seconds = 0.0
     for name, runner in runners.items():
         started = time.perf_counter()
         print(f"running {name} ({args.scale} scale)...", file=sys.stderr)
-        text = runner()
+        result = runner()
         elapsed = time.perf_counter() - started
+        total_seconds += elapsed
+        if isinstance(result, str):
+            text, counters = result, {}
+        else:
+            text, counters = result.to_text(), dict(result.counters)
+        entry = {"seconds": round(elapsed, 4)}
+        entry.update(
+            {key: round(float(value), 6) for key, value in counters.items()}
+        )
+        bench["figures"][name] = entry
         sections.append(f"{text}\n  [regenerated in {elapsed:.1f}s]")
+    bench["total_seconds"] = round(total_seconds, 4)
 
     report = ("\n\n" + "=" * 76 + "\n\n").join(sections)
     print(report)
@@ -76,6 +109,11 @@ def main(argv=None):
         with open(args.out, "w") as handle:
             handle.write(report + "\n")
         print(f"\nwritten to {args.out}", file=sys.stderr)
+    if args.bench_out:
+        with open(args.bench_out, "w") as handle:
+            json.dump(bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"bench counters written to {args.bench_out}", file=sys.stderr)
 
 
 if __name__ == "__main__":

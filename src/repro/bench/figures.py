@@ -125,6 +125,10 @@ def _explore_pair(
     extras = {
         "bases": float(result.stats.bases_created),
         "reuse_fraction": result.stats.reuse_fraction,
+        "naive_samples": float(
+            len(workload.points) * workload.samples_per_point
+        ),
+        "jigsaw_samples": float(result.stats.samples_drawn),
     }
     return naive_seconds, jigsaw_seconds, extras
 
@@ -132,7 +136,11 @@ def _explore_pair(
 def run_fig8(scale: str = "quick") -> FigureResult:
     """Jigsaw vs full evaluation on Usage, Capacity, Overload, MarkovStep."""
     paper = _paper_scale(scale)
-    samples = 1000 if paper else 150
+    # The paper's 1000 samples/point are affordable even at quick scale with
+    # the batch sampling engine; quick now shrinks only the parameter spaces.
+    # Full evaluation cost scales with samples/point while reused points do
+    # not, so this is also what Figure 8 is actually about.
+    samples = 1000
     result = FigureResult(
         figure="Figure 8",
         caption="Jigsaw vs fully exploring the parameter space",
@@ -168,6 +176,7 @@ def run_fig8(scale: str = "quick") -> FigureResult:
             IdentityMappingFamily(),
         ),
     ]
+    reuse_fractions = []
     for label_index, (label, workload, family) in enumerate(workloads):
         workload.samples_per_point = samples
         naive_seconds, jigsaw_seconds, extras = _explore_pair(
@@ -175,12 +184,19 @@ def run_fig8(scale: str = "quick") -> FigureResult:
         )
         full_series.add(float(label_index), naive_seconds)
         jigsaw_series.add(float(label_index), jigsaw_seconds)
+        result.counters["samples_drawn"] = result.counters.get(
+            "samples_drawn", 0.0
+        ) + extras["naive_samples"] + extras["jigsaw_samples"]
+        reuse_fractions.append(extras["reuse_fraction"])
         result.notes.append(
             f"{label}: {len(workload.points)} points, "
             f"{int(extras['bases'])} bases, "
             f"reuse {extras['reuse_fraction']:.1%}, "
             f"speedup {naive_seconds / jigsaw_seconds:.1f}x"
         )
+    result.counters["reuse_fraction"] = sum(reuse_fractions) / len(
+        reuse_fractions
+    )
 
     # MarkovStep: chain evaluation, naive vs jump.
     steps = 2500 if paper else 160
@@ -206,6 +222,9 @@ def run_fig8(scale: str = "quick") -> FigureResult:
         f"MarkovStep: {steps} steps, {len(jump_result.jumps)} jumps, "
         f"{jump_result.full_steps} full steps, "
         f"speedup {naive_seconds / jigsaw_seconds:.1f}x"
+    )
+    result.counters["markov_step_invocations"] = float(
+        jump_result.step_invocations
     )
     result.notes.append(
         "x axis order: 0=Usage 1=Capacity 2=Overload 3=MarkovStep"
@@ -256,6 +275,19 @@ def run_fig9(
                 float(structure_size),
                 1000.0 * elapsed / len(workload.points),
             )
+            result.counters["samples_drawn"] = result.counters.get(
+                "samples_drawn", 0.0
+            ) + float(run.stats.samples_drawn)
+            result.counters["points_total"] = result.counters.get(
+                "points_total", 0.0
+            ) + float(run.stats.points_total)
+            result.counters["points_reused"] = result.counters.get(
+                "points_reused", 0.0
+            ) + float(run.stats.points_reused)
+            result.counters["reuse_fraction"] = (
+                result.counters["points_reused"]
+                / result.counters["points_total"]
+            )
             if strategy == "array":
                 result.notes.append(
                     f"structure={structure_size}: "
@@ -300,8 +332,21 @@ def run_fig10(
                 index_strategy=strategy,
             )
             start = time.perf_counter()
-            explorer.run(workload.points)
+            run = explorer.run(workload.points)
             timings[strategy] = time.perf_counter() - start
+            result.counters["samples_drawn"] = result.counters.get(
+                "samples_drawn", 0.0
+            ) + float(run.stats.samples_drawn)
+            result.counters["points_total"] = result.counters.get(
+                "points_total", 0.0
+            ) + float(run.stats.points_total)
+            result.counters["points_reused"] = result.counters.get(
+                "points_reused", 0.0
+            ) + float(run.stats.points_reused)
+            result.counters["reuse_fraction"] = (
+                result.counters["points_reused"]
+                / result.counters["points_total"]
+            )
         for strategy in strategies:
             series[strategy].add(
                 float(basis_count), timings[strategy] / timings["array"]
@@ -341,10 +386,23 @@ def run_fig11(
                 index_strategy=strategy,
             )
             start = time.perf_counter()
-            explorer.run(workload.points)
+            run = explorer.run(workload.points)
             elapsed = time.perf_counter() - start
             series[strategy].add(
                 float(basis_count), elapsed / point_count
+            )
+            result.counters["samples_drawn"] = result.counters.get(
+                "samples_drawn", 0.0
+            ) + float(run.stats.samples_drawn)
+            result.counters["points_total"] = result.counters.get(
+                "points_total", 0.0
+            ) + float(run.stats.points_total)
+            result.counters["points_reused"] = result.counters.get(
+                "points_reused", 0.0
+            ) + float(run.stats.points_reused)
+            result.counters["reuse_fraction"] = (
+                result.counters["points_reused"]
+                / result.counters["points_total"]
             )
     result.series = [series[s] for s in strategies]
     return result
@@ -366,7 +424,10 @@ def run_fig12(
             else (1e-4, 1e-3, 1e-2, 0.1)
         )
     steps = 128
-    instances = 1000 if paper else 250
+    # The batch stepping engine makes the paper's full instance population
+    # affordable even at quick scale, and the population size is what the
+    # naive-vs-jump comparison actually measures (n versus m lanes).
+    instances = 1000
     result = FigureResult(
         figure="Figure 12",
         caption="Performance for a Markov process",
@@ -394,6 +455,9 @@ def run_fig12(
 
         naive_series.add(branching, naive_ms)
         jigsaw_series.add(branching, jigsaw_ms)
+        result.counters["step_invocations"] = result.counters.get(
+            "step_invocations", 0.0
+        ) + float(instances * steps + jump_result.step_invocations)
         result.notes.append(
             f"branching={branching:g}: {len(jump_result.jumps)} jumps, "
             f"{jump_result.full_steps} full steps, "

@@ -66,6 +66,9 @@ class FigureResult:
     y_label: str
     series: List[Series] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Machine-readable work counters (samples drawn, reuse fraction, ...)
+    #: aggregated over the figure's runs; consumed by BENCH_run_all.json.
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def series_named(self, name: str) -> Series:
         for candidate in self.series:

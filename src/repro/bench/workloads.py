@@ -37,7 +37,9 @@ class SweepWorkload:
     fingerprint_size: int = PAPER_FINGERPRINT_SIZE
 
     def simulation(self) -> Callable[[Params, int], float]:
-        return self.box.sample
+        # The box itself: callable as a scalar ``(params, seed)`` simulation
+        # and batch-capable via ``sample_batch`` (the explorers detect it).
+        return self.box
 
 
 def demand_workload(

@@ -10,6 +10,7 @@ from repro.blackbox.base import (
 )
 from repro.blackbox.capacity import CapacityModel
 from repro.blackbox.demand import DemandModel
+from repro.blackbox.draws import DEFAULT_DRAW_CACHE, StandardDrawCache
 from repro.blackbox.markov_branch import MarkovBranchModel
 from repro.blackbox.markov_step import DemandObservedMarkovStep, MarkovStepModel
 from repro.blackbox.overload import OverloadModel
@@ -26,6 +27,8 @@ __all__ = [
     "param_key",
     "CapacityModel",
     "DemandModel",
+    "DEFAULT_DRAW_CACHE",
+    "StandardDrawCache",
     "MarkovBranchModel",
     "MarkovStepModel",
     "DemandObservedMarkovStep",

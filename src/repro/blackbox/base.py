@@ -13,7 +13,9 @@ implement :class:`MarkovModel`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 Params = Mapping[str, float]
 ParamKey = Tuple[Tuple[str, float], ...]
@@ -51,24 +53,69 @@ class BlackBox(ABC):
     def reset_invocations(self) -> None:
         self._invocations = 0
 
-    def sample(self, params: Params, seed: int) -> float:
-        """Draw one sample at parameter point ``params`` using ``seed``.
-
-        Deterministic: identical ``(params, seed)`` always yields the same
-        value.  Raises ``KeyError`` if a required parameter is missing.
-        """
+    def _require_params(self, params: Params) -> None:
+        """Validate required parameters once per point (not once per sample)."""
         for name in self.parameter_names:
             if name not in params:
                 raise KeyError(
                     f"{self.name} requires parameter {name!r}; "
                     f"got {sorted(params)}"
                 )
+
+    def sample(self, params: Params, seed: int) -> float:
+        """Draw one sample at parameter point ``params`` using ``seed``.
+
+        Deterministic: identical ``(params, seed)`` always yields the same
+        value.  Raises ``KeyError`` if a required parameter is missing.
+        """
+        self._require_params(params)
         self._invocations += 1
         return float(self._sample(params, seed))
+
+    def sample_batch(
+        self, params: Params, seeds: Union[Sequence[int], np.ndarray]
+    ) -> np.ndarray:
+        """Draw one sample per seed at a single parameter point.
+
+        Entry ``k`` is bit-identical to ``sample(params, seeds[k])``; the
+        built-in boxes override :meth:`_sample_batch` to produce the whole
+        vector with array arithmetic over shared standard draws.  Parameters
+        are validated once for the entire batch.
+        """
+        self._require_params(params)
+        if (
+            isinstance(seeds, np.ndarray)
+            and seeds.dtype == np.uint64
+            and seeds.ndim == 1
+        ):
+            seed_array = seeds
+        else:
+            seed_array = np.atleast_1d(np.asarray(seeds, dtype=np.uint64))
+        values = self._sample_batch(params, seed_array)
+        if values is None:
+            values = np.array(
+                [float(self._sample(params, int(seed))) for seed in seed_array],
+                dtype=np.float64,
+            )
+        else:
+            values = np.asarray(values, dtype=np.float64)
+        self._invocations += int(seed_array.shape[0])
+        return values
 
     @abstractmethod
     def _sample(self, params: Params, seed: int) -> float:
         """Model-specific sampling logic."""
+
+    def _sample_batch(
+        self, params: Params, seeds: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Vectorized sampling hook; return None to use the scalar loop.
+
+        Overrides must be bit-identical to the scalar path: build each
+        variate from the same standard draws with the same location-scale
+        arithmetic, in the same order.
+        """
+        return None
 
     def __call__(self, params: Params, seed: int) -> float:
         return self.sample(params, seed)
@@ -121,13 +168,126 @@ class MarkovModel(ABC):
         self._step_invocations += 1
         return float(self._step(state, step_index, seed))
 
+    def step_batch(
+        self,
+        states: np.ndarray,
+        step_index: int,
+        seeds: Union[Sequence[int], np.ndarray],
+        draws: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Advance many instances through one step as arrays.
+
+        Entry ``i`` is bit-identical to ``step(states[i], step_index,
+        seeds[i])``.  ``draws`` optionally carries standard draws
+        precomputed by :meth:`plan_step_draws` for a block of steps, letting
+        runners amortize stream seeding across steps.
+        """
+        state_array = np.asarray(states, dtype=np.float64)
+        if (
+            isinstance(seeds, np.ndarray)
+            and seeds.dtype == np.uint64
+            and seeds.ndim == 1
+        ):
+            seed_array = seeds
+        else:
+            seed_array = np.atleast_1d(np.asarray(seeds, dtype=np.uint64))
+        if state_array.shape[0] != seed_array.shape[0]:
+            raise ValueError("states and seeds must have equal length")
+        advanced = self._step_batch(state_array, step_index, seed_array, draws)
+        if advanced is None:
+            advanced = np.array(
+                [
+                    float(self._step(float(state), step_index, int(seed)))
+                    for state, seed in zip(state_array, seed_array)
+                ],
+                dtype=np.float64,
+            )
+        else:
+            advanced = np.asarray(advanced, dtype=np.float64)
+        self._step_invocations += int(state_array.shape[0])
+        return advanced
+
     @abstractmethod
     def _step(self, state: float, step_index: int, seed: int) -> float:
         """Model-specific transition logic."""
 
+    def _step_batch(
+        self,
+        states: np.ndarray,
+        step_index: int,
+        seeds: np.ndarray,
+        draws: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        """Vectorized transition hook; return None to use the scalar loop."""
+        return None
+
+    def run_block(
+        self,
+        states: np.ndarray,
+        start_step: int,
+        seed_matrix: np.ndarray,
+        draws: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Advance all instances through a block of steps in one call.
+
+        Returns the ``(steps, instances)`` trajectory; row ``t`` holds the
+        states after step ``start_step + t``, chained exactly like repeated
+        :meth:`step_batch` calls (bit-identical results, one Python call for
+        the whole block instead of one per step).
+        """
+        current = np.asarray(states, dtype=np.float64)
+        seed_matrix = np.asarray(seed_matrix, dtype=np.uint64)
+        steps = int(seed_matrix.shape[0])
+        trajectory = np.empty((steps, current.shape[0]), dtype=np.float64)
+        for offset in range(steps):
+            step_index = start_step + offset
+            advanced = self._step_batch(
+                current,
+                step_index,
+                seed_matrix[offset],
+                None if draws is None else draws[offset],
+            )
+            if advanced is None:
+                advanced = np.array(
+                    [
+                        float(self._step(float(state), step_index, int(seed)))
+                        for state, seed in zip(current, seed_matrix[offset])
+                    ],
+                    dtype=np.float64,
+                )
+            else:
+                advanced = np.asarray(advanced, dtype=np.float64)
+            trajectory[offset] = advanced
+            current = trajectory[offset]
+        self._step_invocations += steps * int(current.shape[0])
+        return trajectory
+
+    def plan_step_draws(
+        self, seed_matrix: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Precompute standard draws for a (steps, instances) seed block.
+
+        Runners pass row ``t`` of the result as ``step_batch``'s ``draws``
+        for the block's t-th step.  Returning None (the default) makes
+        :meth:`step_batch` derive its own draws per step.
+        """
+        return None
+
     def output(self, state: float, step_index: int) -> float:
         """Observable value of a state (defaults to the state itself)."""
         return state
+
+    def output_batch(
+        self, states: np.ndarray, step_index: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`output` (fingerprint construction path)."""
+        state_array = np.asarray(states, dtype=np.float64)
+        if type(self).output is MarkovModel.output:
+            return state_array.copy()
+        return np.array(
+            [float(self.output(float(state), step_index)) for state in state_array],
+            dtype=np.float64,
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

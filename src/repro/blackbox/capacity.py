@@ -16,9 +16,13 @@ observes sub-linear basis growth.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.blackbox.base import BlackBox, Params
+from repro.blackbox.draws import DEFAULT_DRAW_CACHE
+from repro.blackbox.fastrng import KIND_EXPONENTIAL, KIND_NORMAL
 from repro.blackbox.rng import DeterministicRng
 
 
@@ -76,4 +80,30 @@ class CapacityModel(BlackBox):
                 online_delay = 0.0
             if week >= purchase_week + online_delay:
                 capacity += self.purchase_volume
+        return capacity
+
+    def _sample_batch(
+        self, params: Params, seeds: np.ndarray
+    ) -> Optional[np.ndarray]:
+        week = float(params["current_week"])
+        purchases = (float(params["purchase1"]), float(params["purchase2"]))
+        if self.structure_size > 0:
+            kinds = (KIND_NORMAL, KIND_EXPONENTIAL, KIND_EXPONENTIAL)
+        else:
+            kinds = (KIND_NORMAL,)
+        draws = DEFAULT_DRAW_CACHE.matrix(seeds, kinds)
+        surviving = self.base_capacity * (
+            (1.0 - self.weekly_failure_rate) ** max(week, 0.0)
+        )
+        capacity = surviving + (0.0 + self.noise_stddev * draws[:, 0])
+        for position, purchase_week in enumerate(purchases):
+            if self.structure_size > 0:
+                online_delay = self.structure_size * draws[:, 1 + position]
+            else:
+                online_delay = np.zeros(seeds.shape[0])
+            capacity = np.where(
+                week >= purchase_week + online_delay,
+                capacity + self.purchase_volume,
+                capacity,
+            )
         return capacity

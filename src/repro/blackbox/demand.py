@@ -19,9 +19,13 @@ one basis distribution.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.blackbox.base import BlackBox, Params
+from repro.blackbox.draws import DEFAULT_DRAW_CACHE
+from repro.blackbox.fastrng import KIND_NORMAL
 from repro.blackbox.rng import DeterministicRng
 
 
@@ -62,3 +66,41 @@ class DemandModel(BlackBox):
         # parameter value — which is exactly why the paper reports a single
         # basis distribution covering Demand's entire ~5000-point space.
         return rng.normal_from_variance(mean, variance)
+
+    def _sample_batch(
+        self, params: Params, seeds: np.ndarray
+    ) -> Optional[np.ndarray]:
+        week = float(params["current_week"])
+        feature = float(params["feature_release"])
+        z = DEFAULT_DRAW_CACHE.matrix(seeds, (KIND_NORMAL,))[:, 0]
+        return self.values_from_draws(
+            week, np.full(seeds.shape[0], feature), z
+        )
+
+    def values_from_draws(
+        self, week: float, features: np.ndarray, z: np.ndarray
+    ) -> np.ndarray:
+        """Demand values from standard-normal draws, one per instance.
+
+        The per-instance ``features`` vector is what lets the Markov-step
+        model (whose feature release is chain state) share this math.
+        Mirrors ``_sample``'s arithmetic exactly: same means, variances, and
+        ``mean + sqrt(variance) * z`` composition per lane.
+        """
+        base_mean = self.base_growth * week
+        base_variance = self.base_variance * week
+        weeks_since_release = week - features
+        released = week > features
+        mean = np.where(
+            released,
+            base_mean + self.feature_growth * weeks_since_release,
+            base_mean,
+        )
+        variance = np.where(
+            released,
+            base_variance + self.feature_variance * weeks_since_release,
+            base_variance,
+        )
+        if np.any(variance < 0):
+            raise ValueError("variance must be non-negative")
+        return mean + np.sqrt(variance) * z

@@ -13,7 +13,13 @@ approaches ~0.05 (one step in twenty), jumps stop paying off (Figure 12).
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.blackbox.base import MarkovModel
+from repro.blackbox.draws import DEFAULT_DRAW_CACHE
+from repro.blackbox.fastrng import KIND_UNIFORM, draw_matrix
 from repro.blackbox.rng import DeterministicRng
 
 
@@ -49,3 +55,25 @@ class MarkovBranchModel(MarkovModel):
         if branched:
             return state + self.increment
         return state
+
+    def _step_batch(
+        self,
+        states: np.ndarray,
+        step_index: int,
+        seeds: np.ndarray,
+        draws: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        # Busy-work draws beyond the first never influence the output, so
+        # the batch path only materializes the branching uniform.
+        if draws is None:
+            u = draw_matrix(seeds, (KIND_UNIFORM,))[:, 0]
+        else:
+            u = np.asarray(draws, dtype=np.float64)
+        return np.where(u < self.branching, states + self.increment, states)
+
+    def plan_step_draws(
+        self, seed_matrix: np.ndarray
+    ) -> Optional[np.ndarray]:
+        flat = np.asarray(seed_matrix, dtype=np.uint64).reshape(-1)
+        u = DEFAULT_DRAW_CACHE.matrix(flat, (KIND_UNIFORM,))[:, 0]
+        return u.reshape(np.asarray(seed_matrix).shape)

@@ -16,8 +16,14 @@ valid — the structure the Markov-jump algorithm (Algorithm 4) exploits.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.blackbox.base import MarkovModel
 from repro.blackbox.demand import DemandModel
+from repro.blackbox.draws import DEFAULT_DRAW_CACHE
+from repro.blackbox.fastrng import KIND_NORMAL, draw_matrix
 
 
 class MarkovStepModel(MarkovModel):
@@ -57,6 +63,43 @@ class MarkovStepModel(MarkovModel):
         if not released and demand_value > self.release_threshold:
             return float(step_index)
         return state
+
+    def demand_at_batch(
+        self, states: np.ndarray, step_index: int, z: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`demand_at` from precomputed standard normals."""
+        values = self.demand.values_from_draws(float(step_index), states, z)
+        # Mirror the scalar path's bookkeeping: one Demand sample per lane.
+        self.demand._invocations += int(states.shape[0])
+        return values
+
+    def _step_batch(
+        self,
+        states: np.ndarray,
+        step_index: int,
+        seeds: np.ndarray,
+        draws: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        if draws is None:
+            z = draw_matrix(seeds, (KIND_NORMAL,))[:, 0]
+        else:
+            z = np.asarray(draws, dtype=np.float64)
+        demand_values = self.demand_at_batch(states, step_index, z)
+        released = states < self.pending_release
+        triggered = ~released & (demand_values > self.release_threshold)
+        return np.where(triggered, float(step_index), states)
+
+    def plan_step_draws(
+        self, seed_matrix: np.ndarray
+    ) -> Optional[np.ndarray]:
+        flat = np.asarray(seed_matrix, dtype=np.uint64).reshape(-1)
+        z = DEFAULT_DRAW_CACHE.matrix(flat, (KIND_NORMAL,))[:, 0]
+        return z.reshape(np.asarray(seed_matrix).shape)
+
+    def output_batch(
+        self, states: np.ndarray, step_index: int
+    ) -> np.ndarray:
+        return np.asarray(states, dtype=np.float64).copy()
 
     def output(self, state: float, step_index: int) -> float:
         """Observable: the release week driving downstream demand.

@@ -16,9 +16,12 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.blackbox.base import BlackBox, Params
 from repro.blackbox.capacity import CapacityModel
 from repro.blackbox.demand import DemandModel
+from repro.blackbox.draws import derived_seed_array_cached
 from repro.core.seeds import derive_seed
 
 
@@ -65,3 +68,24 @@ class OverloadModel(BlackBox):
             derive_seed(seed, 2),
         )
         return 1.0 if demand_value > capacity_value else 0.0
+
+    def _sample_batch(
+        self, params: Params, seeds: np.ndarray
+    ) -> Optional[np.ndarray]:
+        week = float(params["current_week"])
+        demand_values = self.demand.sample_batch(
+            {
+                "current_week": week,
+                "feature_release": self.ignored_feature_release,
+            },
+            derived_seed_array_cached(seeds, 1),
+        )
+        capacity_values = self.capacity.sample_batch(
+            {
+                "current_week": week,
+                "purchase1": float(params["purchase1"]),
+                "purchase2": float(params["purchase2"]),
+            },
+            derived_seed_array_cached(seeds, 2),
+        )
+        return np.where(demand_values > capacity_values, 1.0, 0.0)

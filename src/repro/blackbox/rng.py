@@ -80,6 +80,18 @@ class DeterministicRng:
             raise ValueError("choice requires count > 0")
         return int(self._generator.integers(0, count))
 
+    def standard_uniform(self) -> float:
+        """One raw standard-uniform draw (stream-identical to uniform())."""
+        return float(self._generator.random())
+
+    def standard_normal(self) -> float:
+        """One raw standard-normal draw (what normal() location-scales)."""
+        return float(self._generator.standard_normal())
+
+    def standard_exponential(self) -> float:
+        """One raw standard-exponential draw (what exponential() scales)."""
+        return float(self._generator.standard_exponential())
+
     def standard_normals(self, count: int) -> np.ndarray:
         """Vector of standard normal draws (bulk path for vectorized models)."""
         if count < 0:

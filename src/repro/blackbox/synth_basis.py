@@ -18,9 +18,13 @@ all fingerprint entries of different blends.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.blackbox.base import BlackBox, Params
+from repro.blackbox.draws import DEFAULT_DRAW_CACHE
+from repro.blackbox.fastrng import KIND_NORMAL
 from repro.blackbox.rng import DeterministicRng
 
 
@@ -59,6 +63,24 @@ class SynthBasisModel(BlackBox):
             rng.normal()
         # Class-dependent nonlinear blend: affine within a class (via the
         # point-dependent scale below), non-affine across classes.
+        blend = first + (residue + 1) * first * second
+        class_index = point // self.basis_count
+        scale = 1.0 + self.scale_step * class_index
+        return scale * blend + 0.5 * class_index
+
+    def _sample_batch(
+        self, params: Params, seeds: np.ndarray
+    ) -> Optional[np.ndarray]:
+        point = int(params["point"])
+        if point < 0:
+            raise ValueError("point must be non-negative")
+        residue = point % self.basis_count
+        # The busy-work columns are drawn (and discarded) so the knob keeps
+        # emulating a costlier model on the batch path too.
+        kinds = (KIND_NORMAL,) * (self.work_per_sample + 1)
+        draws = DEFAULT_DRAW_CACHE.matrix(seeds, kinds)
+        first = 0.0 + 1.0 * draws[:, 0]
+        second = 0.0 + 1.0 * draws[:, 1]
         blend = first + (residue + 1) * first * second
         class_index = point // self.basis_count
         scale = 1.0 + self.scale_step * class_index

@@ -11,11 +11,13 @@ preserving that crossover.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.blackbox.base import BlackBox, Params
+from repro.blackbox.draws import DEFAULT_DRAW_CACHE
+from repro.blackbox.fastrng import KIND_UNIFORM
 from repro.blackbox.rng import DeterministicRng
 
 
@@ -76,6 +78,30 @@ class UserSelectionModel(BlackBox):
             if active:
                 total += max(requirement, 0.0) * growth
         return total
+
+    def _sample_batch(
+        self, params: Params, seeds: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """All seeds at once: one (seeds × 2·users) standard-uniform matrix.
+
+        Per-user arithmetic matches :meth:`_sample` lane for lane, and the
+        user contributions are accumulated left to right (``add.accumulate``)
+        so the floating-point sum is bit-identical to the scalar loop.
+        """
+        week = float(params["current_week"])
+        growth = self._growth_factor(week)
+        kinds = (KIND_UNIFORM,) * (2 * self.user_count)
+        draws = DEFAULT_DRAW_CACHE.matrix(seeds, kinds)
+        activity_draws = draws[:, 0::2]
+        requirement_draws = draws[:, 1::2]
+        active = activity_draws < self.activity_probability
+        requirement = self.mean_requirement + (
+            self.requirement_spread * _normal_ppf(requirement_draws)
+        )
+        contributions = np.where(
+            active, np.maximum(requirement, 0.0) * growth, 0.0
+        )
+        return np.add.accumulate(contributions, axis=1)[:, -1]
 
     def sample_vectorized(self, params: Params, seed: int) -> float:
         """Set-at-a-time evaluation: the bulk path a DBMS engine would take.

@@ -10,6 +10,7 @@ of being recomputed, which is the entire point of fingerprinting.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
@@ -92,8 +93,13 @@ class MetricSet:
     histogram: Optional[Histogram] = None
 
     def quantile(self, probability: float) -> float:
+        # Tolerant match: probabilities that round-trip through a remap
+        # (e.g. 1.0 - p under a negative-α mapping) differ from the
+        # requested value by a ulp or two and must stay retrievable.
         for p, value in self.quantiles:
-            if p == probability:
+            if p == probability or math.isclose(
+                p, probability, rel_tol=1e-12, abs_tol=1e-12
+            ):
                 return value
         raise EstimatorError(
             f"quantile {probability} was not computed; available: "

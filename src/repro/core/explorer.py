@@ -19,7 +19,7 @@ from typing import Callable, Dict, Iterable, Optional
 
 import numpy as np
 
-from repro.blackbox.base import ParamKey, Params, param_key
+from repro.blackbox.base import BlackBox, ParamKey, Params, param_key
 from repro.core.basis import BasisStore
 from repro.core.estimator import Estimator, MetricSet
 from repro.core.fingerprint import Fingerprint
@@ -29,6 +29,38 @@ from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank
 #: A simulation is any deterministic-under-seed scalar function of a
 #: parameter point — typically an entire PDB query over black boxes.
 Simulation = Callable[[Params, int], float]
+
+#: A batch simulation evaluates one point under many seeds in one call.
+BatchSimulation = Callable[[Params, np.ndarray], np.ndarray]
+
+
+def make_batch_simulation(simulation) -> BatchSimulation:
+    """Adapt any simulation to the batched ``(params, seeds) -> vector`` form.
+
+    Black boxes (or objects exposing ``sample_batch``) use their native
+    vectorized path; bound ``BlackBox.sample`` methods are unwrapped to
+    their box's batch path; everything else falls back to a scalar loop that
+    is bit-identical to calling ``simulation(params, seed)`` per seed.
+    """
+    if isinstance(simulation, BlackBox):
+        return simulation.sample_batch
+    bound_self = getattr(simulation, "__self__", None)
+    if (
+        isinstance(bound_self, BlackBox)
+        and getattr(simulation, "__name__", "") == "sample"
+    ):
+        return bound_self.sample_batch
+    batch = getattr(simulation, "sample_batch", None)
+    if batch is not None:
+        return batch
+
+    def fallback(params: Params, seeds: np.ndarray) -> np.ndarray:
+        return np.array(
+            [float(simulation(params, int(seed))) for seed in np.atleast_1d(seeds)],
+            dtype=np.float64,
+        )
+
+    return fallback
 
 
 @dataclass
@@ -102,6 +134,7 @@ class ParameterExplorer:
                 "rounds double as the first simulation rounds)"
             )
         self.simulation = simulation
+        self._batch_simulation = make_batch_simulation(simulation)
         self.samples_per_point = samples_per_point
         self.fingerprint_size = fingerprint_size
         self.estimator = estimator or Estimator()
@@ -109,14 +142,25 @@ class ParameterExplorer:
             index_strategy=index_strategy, estimator=self.estimator
         )
         self.seed_bank = seed_bank or DEFAULT_SEED_BANK
+        self._fingerprint_seeds = self.seed_bank.seed_array(
+            self.fingerprint_size
+        )
+        self._completion_seeds = self.seed_bank.seed_array(
+            self.samples_per_point - self.fingerprint_size,
+            start=self.fingerprint_size,
+        )
 
     def explore_point(self, params: Params) -> PointResult:
-        """Evaluate one parameter point with reuse (paper Algorithm 3)."""
-        fingerprint_values = [
-            self.simulation(params, seed)
-            for seed in self.seed_bank.seeds(self.fingerprint_size)
-        ]
-        fingerprint = Fingerprint(tuple(fingerprint_values))
+        """Evaluate one parameter point with reuse (paper Algorithm 3).
+
+        The fingerprint rounds and (on a miss) the completion rounds are
+        each one batched call: two array operations per fully simulated
+        point, one for a reused point.
+        """
+        fingerprint_values = self._batch_simulation(
+            params, self._fingerprint_seeds
+        )
+        fingerprint = Fingerprint(fingerprint_values)
         matched = self.store.match(fingerprint)
         if matched is not None:
             basis, mapping = matched
@@ -129,14 +173,10 @@ class ParameterExplorer:
                 mapping=mapping,
                 fingerprint=fingerprint,
             )
-        remaining = [
-            self.simulation(params, seed)
-            for seed in self.seed_bank.seeds(
-                self.samples_per_point - self.fingerprint_size,
-                start=self.fingerprint_size,
-            )
-        ]
-        samples = np.asarray(fingerprint_values + remaining, dtype=float)
+        remaining = self._batch_simulation(params, self._completion_seeds)
+        samples = np.concatenate(
+            [np.asarray(fingerprint_values, dtype=float), remaining]
+        )
         basis = self.store.add(fingerprint, samples)
         return PointResult(
             params=dict(params),
@@ -182,15 +222,14 @@ class NaiveExplorer:
         estimator: Optional[Estimator] = None,
     ):
         self.simulation = simulation
+        self._batch_simulation = make_batch_simulation(simulation)
         self.samples_per_point = samples_per_point
         self.seed_bank = seed_bank or DEFAULT_SEED_BANK
         self.estimator = estimator or Estimator()
+        self._seeds = self.seed_bank.seed_array(self.samples_per_point)
 
     def explore_point(self, params: Params) -> MetricSet:
-        samples = [
-            self.simulation(params, seed)
-            for seed in self.seed_bank.seeds(self.samples_per_point)
-        ]
+        samples = self._batch_simulation(params, self._seeds)
         return self.estimator.estimate(samples)
 
     def run(self, space: Iterable[Params]) -> Dict[ParamKey, MetricSet]:

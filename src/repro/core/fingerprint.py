@@ -7,13 +7,22 @@ fixed global seed sequence.  Because the seeds are shared, two parameter
 points whose output distributions are related by a mapping function produce
 fingerprints related *entrywise* by that same mapping — turning a hard
 distribution-matching problem into a cheap vector comparison.
+
+Fingerprints are array-backed: construction accepts any float sequence
+(including ``numpy`` sample vectors straight from the batch sampling path),
+``array`` exposes the entries as a read-only ``float64`` vector for the
+vectorized mapping/validation kernels, and the index keys
+(:meth:`Fingerprint.normal_form`, :meth:`Fingerprint.sid_order`) are
+computed once and cached — index insert and probe never recompute them.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.seeds import SeedBank
 from repro.errors import FingerprintError
@@ -27,6 +36,8 @@ DEFAULT_ABS_TOL = 1e-12
 #: Decimal places normalized entries are rounded to when used as hash keys.
 #: Normal forms are O(1) by construction, so absolute rounding is safe.
 NORMAL_FORM_DECIMALS = 6
+
+FingerprintValues = Union[Sequence[float], np.ndarray]
 
 
 def values_close(
@@ -44,10 +55,29 @@ class Fingerprint:
     """An immutable m-entry output vector under the global seed set."""
 
     values: Tuple[float, ...]
+    _cache: Dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
 
     def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            object.__setattr__(
+                self,
+                "values",
+                tuple(float(v) for v in np.asarray(self.values, dtype=float)),
+            )
         if len(self.values) == 0:
             raise FingerprintError("a fingerprint needs at least one entry")
+
+    @property
+    def array(self) -> np.ndarray:
+        """Entries as a shared read-only float64 vector (do not mutate)."""
+        cached = self._cache.get("array")
+        if cached is None:
+            cached = np.asarray(self.values, dtype=np.float64)
+            cached.setflags(write=False)
+            self._cache["array"] = cached
+        return cached  # type: ignore[return-value]
 
     @property
     def size(self) -> int:
@@ -64,15 +94,15 @@ class Fingerprint:
 
     def scale(self) -> float:
         """Characteristic magnitude used to set relative comparison scales."""
-        return max(abs(v) for v in self.values) or 1.0
+        cached = self._cache.get("scale")
+        if cached is None:
+            cached = float(np.max(np.abs(self.array))) or 1.0
+            self._cache["scale"] = cached
+        return cached  # type: ignore[return-value]
 
     def is_constant(self, rel_tol: float = DEFAULT_REL_TOL) -> bool:
         """True when every entry equals the first (up to tolerance)."""
-        first = self.values[0]
-        tol_scale = max(self.scale(), 1.0)
-        return all(
-            abs(v - first) <= rel_tol * tol_scale for v in self.values
-        )
+        return self.first_distinct_pair(rel_tol) is None
 
     def first_distinct_pair(
         self, rel_tol: float = DEFAULT_REL_TOL
@@ -82,12 +112,15 @@ class Fingerprint:
         Algorithm 2 anchors the candidate linear map on two distinct values;
         returns ``None`` for constant fingerprints (no such pair exists).
         """
-        tol_scale = max(self.scale(), 1.0)
-        first = self.values[0]
-        for j in range(1, len(self.values)):
-            if abs(self.values[j] - first) > rel_tol * tol_scale:
-                return (0, j)
-        return None
+        key = ("distinct", rel_tol)
+        if key not in self._cache:
+            array = self.array
+            tol = rel_tol * max(self.scale(), 1.0)
+            distinct = np.abs(array - array[0]) > tol
+            distinct[0] = False
+            position = int(np.argmax(distinct))
+            self._cache[key] = (0, position) if distinct[position] else None
+        return self._cache[key]  # type: ignore[return-value]
 
     def normal_form(
         self, rel_tol: float = DEFAULT_REL_TOL
@@ -102,18 +135,27 @@ class Fingerprint:
         the key).  A negative-α image reflects the form (x -> 1 - x), so the
         lexicographically smaller of the form and its reflection is chosen,
         making the key invariant under *any* non-degenerate affine map.
-        Constant fingerprints normalize to all zeros.
+        Constant fingerprints normalize to all zeros.  The result is cached:
+        index insert and probe reuse one computation.
         """
+        key = ("normal_form", rel_tol)
+        if key not in self._cache:
+            self._cache[key] = self._compute_normal_form(rel_tol)
+        return self._cache[key]  # type: ignore[return-value]
+
+    def _compute_normal_form(self, rel_tol: float) -> Tuple[float, ...]:
         if self.first_distinct_pair(rel_tol) is None:
             return tuple(0.0 for _ in self.values)
-        lowest = min(self.values)
-        highest = max(self.values)
+        array = self.array
+        lowest = float(array.min())
+        highest = float(array.max())
         span = highest - lowest
-        forward = tuple(
-            _stable_round((v - lowest) / span) for v in self.values
-        )
-        reflected = tuple(_stable_round(1.0 - v) for v in forward)
-        return min(forward, reflected)
+        normalized = (array - lowest) / span
+        forward = np.round(normalized, NORMAL_FORM_DECIMALS)
+        forward[forward == 0] = 0.0  # collapse -0.0 and 0.0 keys
+        reflected = np.round(1.0 - forward, NORMAL_FORM_DECIMALS)
+        reflected[reflected == 0] = 0.0
+        return min(tuple(forward.tolist()), tuple(reflected.tolist()))
 
     def sid_order(self, descending: bool = False) -> Tuple[int, ...]:
         """Sample-identifier order (paper section 3.2, Sorted SID).
@@ -125,29 +167,19 @@ class Fingerprint:
         ``descending`` order.  Ties must break by ascending index in *both*
         orders — a mapping sends equal entries to equal entries, so the tie
         order is never reversed (plain list reversal would get this wrong).
+        Both orders are cached after first computation.
         """
-        if descending:
-            indexed = sorted(
-                range(len(self.values)),
-                key=lambda k: (-self.values[k], k),
-            )
-        else:
-            indexed = sorted(
-                range(len(self.values)),
-                key=lambda k: (self.values[k], k),
-            )
-        return tuple(indexed)
+        key = ("sid_desc" if descending else "sid_asc")
+        if key not in self._cache:
+            array = -self.array if descending else self.array
+            order = np.argsort(array, kind="stable")
+            self._cache[key] = tuple(int(i) for i in order)
+        return self._cache[key]  # type: ignore[return-value]
 
     def __repr__(self) -> str:
         preview = ", ".join(f"{v:.4g}" for v in self.values[:4])
         suffix = ", ..." if len(self.values) > 4 else ""
         return f"Fingerprint([{preview}{suffix}], m={len(self.values)})"
-
-
-def _stable_round(value: float) -> float:
-    rounded = round(value, NORMAL_FORM_DECIMALS)
-    # Avoid distinct -0.0 / 0.0 keys.
-    return 0.0 if rounded == 0 else rounded
 
 
 def compute_fingerprint(
@@ -163,6 +195,6 @@ def compute_fingerprint(
     )
 
 
-def fingerprint_from_values(values: Sequence[float]) -> Fingerprint:
+def fingerprint_from_values(values: FingerprintValues) -> Fingerprint:
     """Build a fingerprint from precomputed output values."""
     return Fingerprint(tuple(float(v) for v in values))

@@ -158,6 +158,23 @@ class MappingFamily(ABC):
     ) -> Optional[Mapping]:
         """Return M with M(source[k]) == target[k] for all k, else None."""
 
+    def find_arrays(
+        self,
+        source: np.ndarray,
+        target: np.ndarray,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> Optional[Mapping]:
+        """:meth:`find` on raw value vectors — same accept set.
+
+        The generic implementation wraps the vectors in fingerprints;
+        families on hot paths (the Markov jump probe loop) override it with
+        allocation-free array arithmetic.
+        """
+        return self.find(
+            Fingerprint(source), Fingerprint(target), rel_tol, abs_tol
+        )
+
     def name(self) -> str:
         return type(self).__name__
 
@@ -190,6 +207,14 @@ class LinearMappingFamily(MappingFamily):
             if not target.is_constant(rel_tol):
                 return None
             return AffineMapping(1.0, target[0] - source[0])
+        if target.is_constant(rel_tol):
+            # A non-constant source reaches a constant target only through a
+            # degenerate (α ≈ 0) member.  Those are excluded from the
+            # family: they are not invertible (sample recycling needs M⁻¹,
+            # paper section 5) and the normal-form index key is only
+            # invariant under non-degenerate maps, so admitting them would
+            # break the index's no-false-negative contract.
+            return None
         i, j = pair
         alpha = (target[j] - target[i]) / (source[j] - source[i])
         beta = target[i] - alpha * source[i]
@@ -243,6 +268,23 @@ class ShiftMappingFamily(MappingFamily):
         candidate = AffineMapping(1.0, target[0] - source[0])
         if _validates(candidate, source, target, rel_tol, abs_tol):
             return candidate
+        return None
+
+    def find_arrays(
+        self,
+        source: np.ndarray,
+        target: np.ndarray,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+    ) -> Optional[AffineMapping]:
+        if source.shape != target.shape:
+            return None
+        beta = float(target[0]) - float(source[0])
+        tol = max(
+            rel_tol * max(float(np.max(np.abs(target))) or 1.0, 1.0), abs_tol
+        )
+        if bool((np.abs(1.0 * source + beta - target) <= tol).all()):
+            return AffineMapping(1.0, beta)
         return None
 
 
@@ -354,9 +396,16 @@ def _validates(
     abs_tol: float,
 ) -> bool:
     """Check M(source[k]) == target[k] for every entry (Algorithm 2 loop)."""
-    tol_scale = max(target.scale(), 1.0)
+    tol = max(rel_tol * max(target.scale(), 1.0), abs_tol)
+    if isinstance(mapping, AffineMapping):
+        # Hot path of every index probe: one vector expression instead of a
+        # per-entry Python loop (same IEEE operations, same accept set).
+        deviation = np.abs(
+            mapping.alpha * source.array + mapping.beta - target.array
+        )
+        return bool((deviation <= tol).all())
     return all(
-        abs(mapping.apply(s) - t) <= max(rel_tol * tol_scale, abs_tol)
+        abs(mapping.apply(s) - t) <= tol
         for s, t in zip(source.values, target.values)
     )
 

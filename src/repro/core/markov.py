@@ -78,6 +78,10 @@ class NaiveMarkovRunner:
         self.instance_count = instance_count
         self.seed_bank = seed_bank or DEFAULT_SEED_BANK
 
+    #: Steps per draw-planning block: large enough to amortize stream
+    #: seeding, small enough to bound the precomputed draw matrix.
+    plan_block_steps = 256
+
     def run(self, target_steps: int) -> MarkovRunResult:
         if target_steps < 0:
             raise MarkovError("target_steps must be non-negative")
@@ -85,11 +89,19 @@ class NaiveMarkovRunner:
         states = np.full(
             self.instance_count, self.model.initial_state(), dtype=float
         )
-        for step in range(target_steps):
-            for i in range(self.instance_count):
-                states[i] = self.model.step(
-                    states[i], step, self.seed_bank.step_seed(i, step)
-                )
+        for block_start in range(0, target_steps, self.plan_block_steps):
+            block_steps = min(
+                self.plan_block_steps, target_steps - block_start
+            )
+            seed_matrix = self.seed_bank.step_seed_matrix(
+                self.instance_count, block_steps, start_step=block_start
+            )
+            draws = self.model.plan_step_draws(seed_matrix)
+            trajectory = self.model.run_block(
+                states, block_start, seed_matrix, draws
+            )
+            if block_steps:
+                states = trajectory[-1]
         return MarkovRunResult(
             states=states,
             steps=target_steps,
@@ -116,12 +128,11 @@ class FrozenStateEstimator:
 
     def fingerprint(self, size: int, step: int) -> Fingerprint:
         """Predicted outputs of the first ``size`` instances at ``step``."""
-        return Fingerprint(
-            tuple(
-                self.model.output(self.frozen_states[i], step)
-                for i in range(size)
-            )
-        )
+        return Fingerprint(self.fingerprint_array(size, step))
+
+    def fingerprint_array(self, size: int, step: int) -> np.ndarray:
+        """Raw predicted-output vector (probe loop's allocation-free path)."""
+        return self.model.output_batch(self.frozen_states[:size], step)
 
     def rebuild_states(self, mapping: Mapping) -> np.ndarray:
         """Jump the whole population: apply M to the frozen outputs.
@@ -173,6 +184,12 @@ class MarkovJumpRunner:
         full_steps = 0
         jumps: List[JumpRecord] = []
 
+        # The fingerprint instances' standard draws depend only on
+        # (instance, step) — never on chain state — so one plan covers every
+        # estimator region of the whole run.
+        fp_seed_matrix = self.seed_bank.step_seed_matrix(m, target_steps)
+        fp_draws = self.model.plan_step_draws(fp_seed_matrix)
+
         while current < target_steps:
             estimator = FrozenStateEstimator(self.model, states, current)
             # Evolve only the fingerprint instances forward, recording the
@@ -185,15 +202,18 @@ class MarkovJumpRunner:
             probe = current
             while probe < target_steps:
                 next_stop = min(current + span, target_steps)
-                while probe < next_stop:
-                    for i in range(m):
-                        fp_states[i] = self.model.step(
-                            fp_states[i],
-                            probe,
-                            self.seed_bank.step_seed(i, probe),
-                        )
-                    probe += 1
-                    trajectory.append((probe, fp_states.copy()))
+                chunk = next_stop - probe
+                if chunk > 0:
+                    block = self.model.run_block(
+                        fp_states,
+                        probe,
+                        fp_seed_matrix[probe:next_stop],
+                        None if fp_draws is None else fp_draws[probe:next_stop],
+                    )
+                    for offset in range(chunk):
+                        trajectory.append((probe + offset + 1, block[offset]))
+                    fp_states = block[-1]
+                    probe = next_stop
                 mapping = self._match(estimator, fp_states, probe)
                 if mapping is None:
                     break
@@ -205,12 +225,13 @@ class MarkovJumpRunner:
                 # step and retry with a fresh estimator (Alg 4 line 12).
                 valid_at = self._backtrack(estimator, trajectory, current)
                 if valid_at is None:
-                    for i in range(n):
-                        states[i] = self.model.step(
-                            states[i],
-                            current,
-                            self.seed_bank.step_seed(i, current),
-                        )
+                    states = self.model.step_batch(
+                        states,
+                        current,
+                        self.seed_bank.step_seed_array(
+                            np.arange(n), current
+                        ),
+                    )
                     current += 1
                     full_steps += 1
                     continue
@@ -251,14 +272,11 @@ class MarkovJumpRunner:
         fp_states: np.ndarray,
         step: int,
     ) -> Optional[Mapping]:
-        actual = Fingerprint(
-            tuple(
-                self.model.output(fp_states[i], step)
-                for i in range(self.fingerprint_size)
-            )
+        actual = self.model.output_batch(
+            fp_states[: self.fingerprint_size], step
         )
-        predicted = estimator.fingerprint(self.fingerprint_size, step)
-        return self.mapping_family.find(
+        predicted = estimator.fingerprint_array(self.fingerprint_size, step)
+        return self.mapping_family.find_arrays(
             predicted, actual, rel_tol=self.rel_tol, abs_tol=self.abs_tol
         )
 

@@ -13,7 +13,9 @@ seeds (section 4) can be derived from an instance seed without collisions.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Sequence, Union
+
+import numpy as np
 
 _MASK64 = (1 << 64) - 1
 
@@ -44,6 +46,40 @@ def derive_seed(*components: int) -> int:
     return state
 
 
+_IV64 = np.uint64(0x243F6A8885A308D3)
+_GAMMA64 = np.uint64(_GAMMA)
+_MIX1_64 = np.uint64(_MIX1)
+_MIX2_64 = np.uint64(_MIX2)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+SeedComponents = Union[int, Sequence[int], np.ndarray]
+
+
+def mix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mix64` over a uint64 array (bit-identical)."""
+    values = np.asarray(values, dtype=np.uint64)
+    values = (values ^ (values >> _S30)) * _MIX1_64
+    values = (values ^ (values >> _S27)) * _MIX2_64
+    return values ^ (values >> _S31)
+
+
+def derive_seed_array(*components: SeedComponents) -> np.ndarray:
+    """Vectorized :func:`derive_seed`: scalar and array components broadcast.
+
+    ``derive_seed_array(master, np.arange(n))[k] == derive_seed(master, k)``
+    exactly; used by the batch sampling paths so seed derivation stays out
+    of per-sample Python loops.
+    """
+    arrays = [np.atleast_1d(np.asarray(c, dtype=np.uint64)) for c in components]
+    shape = np.broadcast_shapes(*(a.shape for a in arrays))
+    state = np.broadcast_to(_IV64, shape)
+    for component in arrays:
+        state = mix64_array((state + _GAMMA64) ^ mix64_array(component))
+    return np.asarray(state, dtype=np.uint64)
+
+
 class SeedBank:
     """A fixed, indexable sequence of i.i.d. pseudorandom seeds.
 
@@ -71,6 +107,39 @@ class SeedBank:
     def seeds(self, count: int, start: int = 0) -> List[int]:
         """Return ``[σ_start, ..., σ_(start+count-1)]``."""
         return [self.seed(start + i) for i in range(count)]
+
+    def seed_array(self, count: int, start: int = 0) -> np.ndarray:
+        """Vectorized :meth:`seeds`: a uint64 array, bit-identical entries."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        indices = np.arange(start, start + count, dtype=np.uint64)
+        return derive_seed_array(self._master_seed, indices)
+
+    def step_seed_array(
+        self, instance_indices: np.ndarray, step: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`step_seed` for many instances at one step."""
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        indices = np.asarray(instance_indices, dtype=np.uint64)
+        return derive_seed_array(self._master_seed, indices, step + 1)
+
+    def step_seed_matrix(
+        self, instance_count: int, steps: int, start_step: int = 0
+    ) -> np.ndarray:
+        """(steps, instances) matrix of per-step seeds, bit-identical to
+        :meth:`step_seed` — the Markov runners' block-planning input."""
+        if instance_count < 1:
+            raise ValueError("instance_count must be positive")
+        if steps < 0 or start_step < 0:
+            raise ValueError("steps and start_step must be non-negative")
+        indices = np.arange(instance_count, dtype=np.uint64)[None, :]
+        step_ids = np.arange(
+            start_step + 1, start_step + steps + 1, dtype=np.uint64
+        )[:, None]
+        return derive_seed_array(self._master_seed, indices, step_ids)
 
     def iter_seeds(self, start: int = 0) -> Iterator[int]:
         """Yield σ_start, σ_start+1, ... without bound."""

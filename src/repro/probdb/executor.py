@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.estimator import Estimator, MetricSet
 from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank
 from repro.errors import QueryError
+from repro.probdb.expressions import BatchUnsupported
 from repro.probdb.query import Operator, WorldContext
 from repro.probdb.relation import Relation
 
@@ -85,9 +86,26 @@ class MonteCarloExecutor:
         world_count: Optional[int] = None,
         start_world: int = 0,
     ) -> np.ndarray:
-        """Raw i.i.d. samples of one scalar query cell across worlds."""
+        """Raw i.i.d. samples of one scalar query cell across worlds.
+
+        Single-row projection plans evaluate on the batch path: one
+        vectorized pass over all world seeds (bit-identical lanes) instead
+        of one operator-tree execution per world.
+        """
         params = dict(params or {})
         count = world_count if world_count is not None else self.world_count
+        try:
+            columns = plan.execute_batch(
+                params, self.seed_bank.seed_array(count, start=start_world)
+            )
+            value = columns[column] if column in columns else None
+            if value is None:
+                raise QueryError(f"unknown column {column!r}")
+            return np.broadcast_to(
+                np.asarray(value, dtype=float), (count,)
+            ).copy()
+        except BatchUnsupported:
+            pass
         values: List[float] = []
         for index in range(start_world, start_world + count):
             relation = plan.execute(self._world(params, index))

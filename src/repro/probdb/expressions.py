@@ -13,7 +13,10 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Tuple
 
+import numpy as np
+
 from repro.blackbox.base import BlackBox
+from repro.blackbox.draws import derived_seed_array_cached
 from repro.core.seeds import derive_seed
 from repro.errors import QueryError
 
@@ -32,12 +35,42 @@ class EvalContext:
     world_seed: int
 
 
+class BatchUnsupported(Exception):
+    """Raised when an expression (or its inputs) cannot batch over worlds.
+
+    Callers catch this and fall back to the per-world scalar loop, so batch
+    evaluation is a pure optimization — never a behavior change.
+    """
+
+
+@dataclass
+class BatchEvalContext:
+    """One row evaluated across *many* possible worlds at once.
+
+    ``row`` values are scalars (world-independent inputs) or per-world
+    vectors; ``world_seeds`` is the uint64 seed per world.
+    """
+
+    row: Mapping[str, object]
+    params: Mapping[str, float]
+    world_seeds: np.ndarray
+
+
 class Expression(ABC):
     """A scalar expression over (row, parameters, world)."""
 
     @abstractmethod
     def evaluate(self, context: EvalContext) -> object:
         """Value of this expression in the given context."""
+
+    def evaluate_batch(self, context: BatchEvalContext) -> object:
+        """Value(s) across every world: a scalar or a per-world vector.
+
+        Each lane of the result is identical to :meth:`evaluate` under the
+        corresponding world seed.  Raises :class:`BatchUnsupported` when the
+        expression cannot vectorize (callers fall back to the world loop).
+        """
+        raise BatchUnsupported(type(self).__name__)
 
     @abstractmethod
     def references(self) -> Tuple[str, ...]:
@@ -49,6 +82,9 @@ class Constant(Expression):
     value: object
 
     def evaluate(self, context: EvalContext) -> object:
+        return self.value
+
+    def evaluate_batch(self, context: BatchEvalContext) -> object:
         return self.value
 
     def references(self) -> Tuple[str, ...]:
@@ -68,6 +104,15 @@ class ColumnRef(Expression):
                 f"{sorted(context.row)}"
             ) from None
 
+    def evaluate_batch(self, context: BatchEvalContext) -> object:
+        try:
+            return context.row[self.name]
+        except KeyError:
+            raise QueryError(
+                f"unknown column {self.name!r}; row has "
+                f"{sorted(context.row)}"
+            ) from None
+
     def references(self) -> Tuple[str, ...]:
         return (self.name,)
 
@@ -79,6 +124,15 @@ class ParameterRef(Expression):
     name: str
 
     def evaluate(self, context: EvalContext) -> object:
+        try:
+            return context.params[self.name]
+        except KeyError:
+            raise QueryError(
+                f"unbound parameter @{self.name}; bound: "
+                f"{sorted(context.params)}"
+            ) from None
+
+    def evaluate_batch(self, context: BatchEvalContext) -> object:
         try:
             return context.params[self.name]
         except KeyError:
@@ -122,6 +176,17 @@ class BinaryOp(Expression):
             self.left.evaluate(context), self.right.evaluate(context)
         )
 
+    def evaluate_batch(self, context: BatchEvalContext) -> object:
+        left = self.left.evaluate_batch(context)
+        right = self.right.evaluate_batch(context)
+        if self.op == "and":
+            return np.logical_and(left, right)
+        if self.op == "or":
+            return np.logical_or(left, right)
+        # Arithmetic and comparisons vectorize through the same operators
+        # (identical IEEE semantics per lane).
+        return _BINARY_OPS[self.op](left, right)
+
     def references(self) -> Tuple[str, ...]:
         return self.left.references() + self.right.references()
 
@@ -137,6 +202,14 @@ class UnaryOp(Expression):
             return -value  # type: ignore[operator]
         if self.op == "not":
             return not bool(value)
+        raise QueryError(f"unknown unary operator {self.op!r}")
+
+    def evaluate_batch(self, context: BatchEvalContext) -> object:
+        value = self.operand.evaluate_batch(context)
+        if self.op == "-":
+            return -value  # type: ignore[operator]
+        if self.op == "not":
+            return np.logical_not(value)
         raise QueryError(f"unknown unary operator {self.op!r}")
 
     def references(self) -> Tuple[str, ...]:
@@ -155,6 +228,35 @@ class CaseWhen(Expression):
         if bool(self.condition.evaluate(context)):
             return self.then_value.evaluate(context)
         return self.else_value.evaluate(context)
+
+    def evaluate_batch(self, context: BatchEvalContext) -> object:
+        # Batch evaluation computes both branches and selects per lane;
+        # that changes black-box invocation counts versus the scalar
+        # short-circuit, so CASEs over stochastic branches stay scalar.
+        if _contains_blackbox(self.then_value) or _contains_blackbox(
+            self.else_value
+        ):
+            raise BatchUnsupported("CASE over a stochastic branch")
+        condition = self.condition.evaluate_batch(context)
+        try:
+            # Both branches evaluate eagerly here where the scalar path
+            # short-circuits; a branch that only errors when *not* taken
+            # (e.g. a division guarded by the condition) must fall back to
+            # the per-world loop rather than fail the whole query.  Lanes
+            # the condition discards may legitimately produce inf/nan, so
+            # their floating-point warnings are noise.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                then_value = self.then_value.evaluate_batch(context)
+                else_value = self.else_value.evaluate_batch(context)
+        except BatchUnsupported:
+            raise
+        except Exception as error:
+            raise BatchUnsupported(
+                f"CASE branch failed under eager evaluation: {error}"
+            ) from error
+        if np.isscalar(condition) or np.ndim(condition) == 0:
+            return then_value if bool(condition) else else_value
+        return np.where(condition, then_value, else_value)
 
     def references(self) -> Tuple[str, ...]:
         return (
@@ -199,11 +301,105 @@ class BlackBoxCall(Expression):
         seed = derive_seed(context.world_seed, self.call_salt)
         return self.box.sample(params, seed)
 
+    def evaluate_batch(self, context: BatchEvalContext) -> object:
+        params = {}
+        for name, argument in zip(self.argument_names, self.arguments):
+            value = argument.evaluate_batch(context)
+            if isinstance(value, np.ndarray) and value.ndim > 0:
+                # Per-world argument values would need one params dict per
+                # lane; the black box batches over seeds, not parameters.
+                raise BatchUnsupported(
+                    f"{self.box.name} argument {name!r} varies per world"
+                )
+            try:
+                params[name] = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise QueryError(
+                    f"{self.box.name} argument {name!r} is not numeric: "
+                    f"{value!r}"
+                ) from None
+        seeds = derived_seed_array_cached(context.world_seeds, self.call_salt)
+        return self.box.sample_batch(params, seeds)
+
     def references(self) -> Tuple[str, ...]:
         refs: Tuple[str, ...] = ()
         for argument in self.arguments:
             refs += argument.references()
         return refs
+
+
+def _children(expression: Expression):
+    for attr in (
+        "left",
+        "right",
+        "operand",
+        "condition",
+        "then_value",
+        "else_value",
+    ):
+        child = getattr(expression, attr, None)
+        if isinstance(child, Expression):
+            yield child
+    for child in getattr(expression, "arguments", ()) or ():
+        if isinstance(child, Expression):
+            yield child
+
+
+def _contains_blackbox(expression: Expression) -> bool:
+    """True when a black-box call occurs anywhere beneath ``expression``."""
+    if isinstance(expression, BlackBoxCall):
+        return True
+    return any(_contains_blackbox(child) for child in _children(expression))
+
+
+def _iter_blackbox_calls(expression: Expression):
+    """Yield every black-box call beneath ``expression`` (self included)."""
+    if isinstance(expression, BlackBoxCall):
+        yield expression
+    for child in _children(expression):
+        yield from _iter_blackbox_calls(child)
+
+
+_BATCHABLE_FUNCTIONS = frozenset({"abs", "least", "greatest"})
+
+
+def assert_batchable(
+    expression: Expression, stochastic_columns: frozenset
+) -> None:
+    """Statically reject expressions the batch engine cannot evaluate.
+
+    Run *before* executing any item of a projection: batch evaluation has
+    side effects (black-box invocation counters), so discovering
+    unsupported shapes mid-execution and falling back would double-count
+    work.  ``stochastic_columns`` names earlier select aliases whose
+    values vary per world — black-box arguments must not reference them
+    (one params dict cannot cover divergent lanes).
+    """
+    if isinstance(expression, BlackBoxCall):
+        for argument in expression.arguments:
+            if _contains_blackbox(argument):
+                raise BatchUnsupported(
+                    f"{expression.box.name} argument is itself stochastic"
+                )
+            varying = set(argument.references()) & stochastic_columns
+            if varying:
+                raise BatchUnsupported(
+                    f"{expression.box.name} argument references per-world "
+                    f"column(s) {sorted(varying)}"
+                )
+    elif isinstance(expression, CaseWhen):
+        if _contains_blackbox(expression.then_value) or _contains_blackbox(
+            expression.else_value
+        ):
+            raise BatchUnsupported("CASE over a stochastic branch")
+    elif isinstance(expression, FunctionCall):
+        if expression.name.lower() not in _BATCHABLE_FUNCTIONS:
+            raise BatchUnsupported(f"scalar function {expression.name!r}")
+    elif type(expression).evaluate_batch is Expression.evaluate_batch:
+        # Unknown expression type without a batch implementation.
+        raise BatchUnsupported(type(expression).__name__)
+    for child in _children(expression):
+        assert_batchable(child, stochastic_columns)
 
 
 @dataclass(frozen=True)
@@ -220,6 +416,25 @@ class FunctionCall(Expression):
         return function(
             *(argument.evaluate(context) for argument in self.arguments)
         )
+
+    def evaluate_batch(self, context: BatchEvalContext) -> object:
+        values = [
+            argument.evaluate_batch(context) for argument in self.arguments
+        ]
+        name = self.name.lower()
+        if name == "abs":
+            return np.abs(values[0])
+        if name == "least":
+            result = values[0]
+            for value in values[1:]:
+                result = np.minimum(result, value)
+            return result
+        if name == "greatest":
+            result = values[0]
+            for value in values[1:]:
+                result = np.maximum(result, value)
+            return result
+        raise BatchUnsupported(f"scalar function {self.name!r}")
 
     def references(self) -> Tuple[str, ...]:
         refs: Tuple[str, ...] = ()

@@ -12,8 +12,18 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import QueryError
-from repro.probdb.expressions import EvalContext, Expression
+from repro.probdb.expressions import (
+    BatchEvalContext,
+    BatchUnsupported,
+    EvalContext,
+    Expression,
+    _contains_blackbox,
+    _iter_blackbox_calls,
+    assert_batchable,
+)
 from repro.probdb.relation import Relation, Row
 from repro.probdb.schema import Column, Schema
 
@@ -44,6 +54,18 @@ class Operator(ABC):
     @abstractmethod
     def execute(self, world: WorldContext) -> Relation:
         """Materialize this operator's output for one possible world."""
+
+    def execute_batch(
+        self, params: Mapping[str, float], world_seeds: np.ndarray
+    ) -> Dict[str, object]:
+        """Evaluate a single-row plan across every world in one pass.
+
+        Returns column name → scalar (world-independent) or per-world
+        vector; lane ``k`` matches ``execute`` under ``world_seeds[k]``.
+        Raises :class:`BatchUnsupported` for plan shapes the batch engine
+        does not cover — callers fall back to the per-world loop.
+        """
+        raise BatchUnsupported(type(self).__name__)
 
 
 @dataclass
@@ -118,6 +140,54 @@ class Project(Operator):
                 values.append(value)
             output_rows.append(tuple(values))
         return Relation(self.schema(), output_rows)
+
+    def execute_batch(
+        self, params: Mapping[str, float], world_seeds: np.ndarray
+    ) -> Dict[str, object]:
+        # Batchable when the input row is single and world-independent —
+        # the shape of every scenario SELECT (FROM-less or over a one-row
+        # deterministic table).  Aliases stay visible to later items,
+        # mirroring the scalar left-to-right evaluation.
+        child = self.child
+        if isinstance(child, SingletonScan):
+            visible: Dict[str, object] = {}
+        elif isinstance(child, TableScan) and len(child.relation) == 1:
+            visible = dict(
+                zip(child.relation.schema.names, child.relation.rows[0])
+            )
+        else:
+            raise BatchUnsupported(type(child).__name__)
+        # Reject unsupported shapes *before* evaluating anything: batch
+        # evaluation samples black boxes (counted work), so a mid-stream
+        # fallback would redo — and double-count — that sampling.
+        stochastic: set = set()
+        for name, expression in self.items:
+            assert_batchable(expression, frozenset(stochastic))
+            if _contains_blackbox(expression) or (
+                set(expression.references()) & stochastic
+            ):
+                stochastic.add(name)
+        context = BatchEvalContext(
+            row=visible, params=params, world_seeds=world_seeds
+        )
+        # Runtime fallbacks (e.g. a CASE branch erroring under eager
+        # evaluation) rerun everything on the scalar path; rolling the
+        # invocation counters back keeps the machine-independent work
+        # accounting identical to a scalar-only execution.
+        boxes = [
+            call.box
+            for _, expression in self.items
+            for call in _iter_blackbox_calls(expression)
+        ]
+        snapshots = [(box, box.invocations) for box in boxes]
+        try:
+            for name, expression in self.items:
+                visible[name] = expression.evaluate_batch(context)
+        except BatchUnsupported:
+            for box, count in snapshots:
+                box._invocations = count
+            raise
+        return {name: visible[name] for name, _ in self.items}
 
 
 @dataclass

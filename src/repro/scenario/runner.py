@@ -28,6 +28,7 @@ from repro.core.mapping import (
 )
 from repro.core.optimizer import ResultRow, Selector
 from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank
+from repro.probdb.expressions import BatchUnsupported
 from repro.scenario.scenario import Scenario
 
 
@@ -126,6 +127,29 @@ class ScenarioRunner:
             result.stats.points_total += 1
         return result
 
+    def _simulate_rounds(
+        self, point: Dict[str, float], count: int, start: int
+    ) -> Dict[str, np.ndarray]:
+        """``count`` Monte Carlo rounds for every column, batched when the
+        scenario plan supports it (bit-identical to the per-seed loop)."""
+        seeds = self.seed_bank.seed_array(count, start=start)
+        try:
+            columns = self.scenario.simulate_batch(point, seeds)
+            return {
+                name: np.asarray(values, dtype=float)
+                for name, values in columns.items()
+            }
+        except BatchUnsupported:
+            rows = [
+                self.scenario.simulate(point, int(seed)) for seed in seeds
+            ]
+            return {
+                column: np.array(
+                    [row[column] for row in rows], dtype=float
+                )
+                for column in self.scenario.output_columns
+            }
+
     def _run_point(
         self, point: Dict[str, float], stats: RunnerStats
     ) -> Dict[str, MetricSet]:
@@ -133,17 +157,13 @@ class ScenarioRunner:
         m = self.fingerprint_size
 
         # Fingerprint rounds (double as the first m simulation rounds).
-        column_values: Dict[str, List[float]] = {c: [] for c in columns}
-        for seed in self.seed_bank.seeds(m):
-            row = self.scenario.simulate(point, seed)
-            for column in columns:
-                column_values[column].append(row[column])
+        column_values = self._simulate_rounds(point, m, start=0)
         stats.rounds_executed += m
 
         if self.use_fingerprints:
             matches: Dict[str, Tuple[object, Mapping]] = {}
             for column in columns:
-                fingerprint = Fingerprint(tuple(column_values[column]))
+                fingerprint = Fingerprint(column_values[column])
                 matched = self._stores[column].match(fingerprint)
                 if matched is None:
                     break
@@ -158,16 +178,17 @@ class ScenarioRunner:
                 }
 
         # Full simulation: complete the remaining rounds and register bases.
-        for seed in self.seed_bank.seeds(self.samples_per_point - m, start=m):
-            row = self.scenario.simulate(point, seed)
-            for column in columns:
-                column_values[column].append(row[column])
+        remaining = self._simulate_rounds(
+            point, self.samples_per_point - m, start=m
+        )
         stats.rounds_executed += self.samples_per_point - m
 
         metrics: Dict[str, MetricSet] = {}
         for column in columns:
-            samples = np.asarray(column_values[column], dtype=float)
-            fingerprint = Fingerprint(tuple(samples[:m]))
+            samples = np.concatenate(
+                [column_values[column], remaining[column]]
+            )
+            fingerprint = Fingerprint(samples[:m])
             if self.use_fingerprints:
                 basis = self._stores[column].add(fingerprint, samples)
                 stats.bases_created += 1

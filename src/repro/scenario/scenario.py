@@ -12,7 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
+import numpy as np
+
 from repro.errors import QueryError
+from repro.probdb.expressions import BatchUnsupported
 from repro.probdb.query import Operator, WorldContext
 from repro.scenario.parameter import ChainParameter, ParameterSpec
 from repro.scenario.space import ParameterSpace
@@ -74,13 +77,35 @@ class Scenario:
                 ) from None
         return result
 
+    def simulate_batch(
+        self, params: Mapping[str, float], seeds: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """All output columns across many worlds in one vectorized pass.
+
+        Column vectors are lane-for-lane identical to :meth:`simulate`
+        under each seed.  Raises
+        :class:`~repro.probdb.expressions.BatchUnsupported` when the plan
+        shape cannot batch; callers fall back to the scalar loop.
+        """
+        seeds = np.atleast_1d(np.asarray(seeds, dtype=np.uint64))
+        columns = self.plan.execute_batch(dict(params), seeds)
+        result: Dict[str, np.ndarray] = {}
+        for name in self.plan.schema().names:
+            value = columns[name]
+            result[name] = np.broadcast_to(
+                np.asarray(value, dtype=float), seeds.shape
+            )
+        return result
+
     def column_simulation(self, column: str):
         """A scalar ``(params, seed) -> float`` view of one output column.
 
         Suitable for :class:`repro.core.explorer.ParameterExplorer` when only
         one column matters; multi-column scenarios should use the
         :class:`repro.scenario.runner.ScenarioRunner`, which shares black-box
-        invocations across columns.
+        invocations across columns.  The returned callable also exposes
+        ``sample_batch`` so the explorer's batched path can vectorize over
+        the seed bank (falling back internally when the plan cannot batch).
         """
         if column not in self.output_columns:
             raise QueryError(
@@ -91,4 +116,21 @@ class Scenario:
         def simulation(params: Mapping[str, float], seed: int) -> float:
             return self.simulate(params, seed)[column]
 
+        def sample_batch(
+            params: Mapping[str, float], seeds: np.ndarray
+        ) -> np.ndarray:
+            try:
+                return np.array(
+                    self.simulate_batch(params, seeds)[column], dtype=float
+                )
+            except BatchUnsupported:
+                return np.array(
+                    [
+                        self.simulate(params, int(seed))[column]
+                        for seed in np.atleast_1d(seeds)
+                    ],
+                    dtype=float,
+                )
+
+        simulation.sample_batch = sample_batch  # type: ignore[attr-defined]
         return simulation
