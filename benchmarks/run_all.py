@@ -37,6 +37,93 @@ from repro.bench.figures import (
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+def _classify_baseline(bench_out, scale):
+    """Classify the file at ``bench_out`` for overwrite/merge decisions.
+
+    Returns ``(kind, existing)``; ``kind`` is ``"missing"`` (no file),
+    ``"unusable"`` (unparseable or unrecognized shape), ``"other-scale"``
+    (well-formed baseline for a different scale), or ``"compatible"``
+    (well-formed, same scale).  ``existing`` is the parsed document for
+    the last two kinds, else None.
+    """
+    if not os.path.exists(bench_out):
+        return "missing", None
+    try:
+        with open(bench_out) as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        return "unusable", None
+    if not (
+        isinstance(existing, dict)
+        and isinstance(existing.get("figures"), dict)
+        and all(
+            isinstance(entry, dict) for entry in existing["figures"].values()
+        )
+    ):
+        return "unusable", None
+    if existing.get("scale") != scale:
+        return "other-scale", existing
+    return "compatible", existing
+
+
+def _refuse_overwrite(bench_out, reason):
+    print(
+        f"not overwriting {bench_out}: {reason}; pass --bench-out to "
+        f"write elsewhere",
+        file=sys.stderr,
+    )
+
+
+def _merge_partial(bench_out, bench, all_figures):
+    """Fold a ``--only`` run into an existing full-suite baseline.
+
+    A partial run must never erase the other figures' entries: the JSON at
+    the default path is the perf-regression baseline that acceptance
+    criteria compare against.  If a compatible baseline exists (same scale,
+    well-formed figure entries), update just the selected figure and
+    recompute the total from the per-figure seconds.  Any existing file
+    that cannot be merged — unparseable, unrecognized shape, or a
+    different scale — is left untouched: returning None tells the caller
+    to skip writing rather than overwrite it.  Whenever the resulting file
+    covers fewer than all figures, it carries a ``partial`` key listing
+    what it does cover, and any figure entry stitched in by an ``--only``
+    run stays listed under ``merged_figures`` — so nobody mistakes the
+    file for one full-suite measurement (a plain full run writes neither
+    key).
+    """
+    kind, existing = _classify_baseline(bench_out, bench["scale"])
+    if kind == "unusable":
+        _refuse_overwrite(
+            bench_out, "existing file is unreadable or has an unrecognized shape"
+        )
+        return None
+    if kind == "other-scale":
+        _refuse_overwrite(
+            bench_out,
+            f"existing baseline is {existing.get('scale')!r} scale, "
+            f"this run is {bench['scale']!r}",
+        )
+        return None
+    merged_figures = set(bench["figures"])
+    if existing is not None:
+        merged_figures |= set(existing.get("merged_figures", ()))
+        figures = dict(existing["figures"])
+        figures.update(bench["figures"])
+        bench = dict(existing, **bench)
+        bench["figures"] = figures
+        bench["total_seconds"] = round(
+            sum(entry.get("seconds", 0.0) for entry in figures.values()), 4
+        )
+    else:
+        bench = dict(bench)
+    bench["merged_figures"] = sorted(merged_figures)
+    if set(bench["figures"]) >= set(all_figures):
+        bench.pop("partial", None)
+    else:
+        bench["partial"] = sorted(bench["figures"])
+    return bench
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -70,6 +157,7 @@ def main(argv=None):
         "fig11": lambda: run_fig11(args.scale),
         "fig12": lambda: run_fig12(args.scale),
     }
+    all_figures = tuple(runners)
     if args.only is not None:
         if args.only not in runners:
             parser.error(
@@ -103,13 +191,31 @@ def main(argv=None):
         sections.append(f"{text}\n  [regenerated in {elapsed:.1f}s]")
     bench["total_seconds"] = round(total_seconds, 4)
 
+    write_bench = bool(args.bench_out)
+    if args.only is not None and args.bench_out:
+        bench = _merge_partial(args.bench_out, bench, all_figures)
+        write_bench = bench is not None
+    elif args.bench_out:
+        # A full run at another scale must not clobber the committed
+        # baseline either — same data-loss class _merge_partial guards.
+        # (A full run may replace a missing/unusable/compatible file: it
+        # produces a complete fresh baseline.)
+        kind, existing = _classify_baseline(args.bench_out, args.scale)
+        if kind == "other-scale":
+            _refuse_overwrite(
+                args.bench_out,
+                f"existing baseline is {existing.get('scale')!r} scale, "
+                f"this run is {args.scale!r}",
+            )
+            write_bench = False
+
     report = ("\n\n" + "=" * 76 + "\n\n").join(sections)
     print(report)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report + "\n")
         print(f"\nwritten to {args.out}", file=sys.stderr)
-    if args.bench_out:
+    if write_bench:
         with open(args.bench_out, "w") as handle:
             json.dump(bench, handle, indent=2, sort_keys=True)
             handle.write("\n")

@@ -237,6 +237,23 @@ def run_fig8(scale: str = "quick") -> FigureResult:
 # Figure 9: computation time vs structure size (Capacity model)
 
 
+def _accumulate_run_counters(result: FigureResult, run) -> None:
+    """Fold one explorer run's work counters into the figure's totals."""
+    counters = result.counters
+    counters["samples_drawn"] = counters.get("samples_drawn", 0.0) + float(
+        run.stats.samples_drawn
+    )
+    counters["points_total"] = counters.get("points_total", 0.0) + float(
+        run.stats.points_total
+    )
+    counters["points_reused"] = counters.get("points_reused", 0.0) + float(
+        run.stats.points_reused
+    )
+    counters["reuse_fraction"] = (
+        counters["points_reused"] / counters["points_total"]
+    )
+
+
 def run_fig9(
     scale: str = "quick",
     structure_sizes: Optional[Tuple[float, ...]] = None,
@@ -275,19 +292,7 @@ def run_fig9(
                 float(structure_size),
                 1000.0 * elapsed / len(workload.points),
             )
-            result.counters["samples_drawn"] = result.counters.get(
-                "samples_drawn", 0.0
-            ) + float(run.stats.samples_drawn)
-            result.counters["points_total"] = result.counters.get(
-                "points_total", 0.0
-            ) + float(run.stats.points_total)
-            result.counters["points_reused"] = result.counters.get(
-                "points_reused", 0.0
-            ) + float(run.stats.points_reused)
-            result.counters["reuse_fraction"] = (
-                result.counters["points_reused"]
-                / result.counters["points_total"]
-            )
+            _accumulate_run_counters(result, run)
             if strategy == "array":
                 result.notes.append(
                     f"structure={structure_size}: "
@@ -334,19 +339,7 @@ def run_fig10(
             start = time.perf_counter()
             run = explorer.run(workload.points)
             timings[strategy] = time.perf_counter() - start
-            result.counters["samples_drawn"] = result.counters.get(
-                "samples_drawn", 0.0
-            ) + float(run.stats.samples_drawn)
-            result.counters["points_total"] = result.counters.get(
-                "points_total", 0.0
-            ) + float(run.stats.points_total)
-            result.counters["points_reused"] = result.counters.get(
-                "points_reused", 0.0
-            ) + float(run.stats.points_reused)
-            result.counters["reuse_fraction"] = (
-                result.counters["points_reused"]
-                / result.counters["points_total"]
-            )
+            _accumulate_run_counters(result, run)
         for strategy in strategies:
             series[strategy].add(
                 float(basis_count), timings[strategy] / timings["array"]
@@ -391,19 +384,7 @@ def run_fig11(
             series[strategy].add(
                 float(basis_count), elapsed / point_count
             )
-            result.counters["samples_drawn"] = result.counters.get(
-                "samples_drawn", 0.0
-            ) + float(run.stats.samples_drawn)
-            result.counters["points_total"] = result.counters.get(
-                "points_total", 0.0
-            ) + float(run.stats.points_total)
-            result.counters["points_reused"] = result.counters.get(
-                "points_reused", 0.0
-            ) + float(run.stats.points_reused)
-            result.counters["reuse_fraction"] = (
-                result.counters["points_reused"]
-                / result.counters["points_total"]
-            )
+            _accumulate_run_counters(result, run)
     result.series = [series[s] for s in strategies]
     return result
 

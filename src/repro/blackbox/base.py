@@ -53,6 +53,15 @@ class BlackBox(ABC):
     def reset_invocations(self) -> None:
         self._invocations = 0
 
+    def component_boxes(self) -> Tuple["BlackBox", ...]:
+        """Direct child boxes this box samples from when it is sampled.
+
+        Composite boxes must override this so work accounting (invocation
+        counters) can be snapshotted and rolled back transitively, e.g.
+        when a batched query evaluation falls back to the scalar path.
+        """
+        return ()
+
     def _require_params(self, params: Params) -> None:
         """Validate required parameters once per point (not once per sample)."""
         for name in self.parameter_names:
@@ -125,13 +134,28 @@ class BlackBox(ABC):
 
 
 class FunctionBlackBox(BlackBox):
-    """Adapter turning a plain ``f(params, seed) -> float`` into a BlackBox."""
+    """Adapter turning a plain ``f(params, seed) -> float`` into a BlackBox.
 
-    def __init__(self, func, name: str = "", parameter_names: Tuple[str, ...] = ()):
+    If ``func`` samples other registered boxes, pass them as
+    ``component_boxes`` so their invocation counters participate in
+    transitive snapshot/rollback (see :meth:`BlackBox.component_boxes`).
+    """
+
+    def __init__(
+        self,
+        func,
+        name: str = "",
+        parameter_names: Tuple[str, ...] = (),
+        component_boxes: Tuple[BlackBox, ...] = (),
+    ):
         super().__init__()
         self._func = func
         self.name = name or getattr(func, "__name__", "FunctionBlackBox")
         self.parameter_names = parameter_names
+        self._component_boxes = tuple(component_boxes)
+
+    def component_boxes(self) -> Tuple[BlackBox, ...]:
+        return self._component_boxes
 
     def _sample(self, params: Params, seed: int) -> float:
         return self._func(params, seed)

@@ -48,6 +48,9 @@ class OverloadModel(BlackBox):
         # any reachable week keeps Demand on its no-release code path.
         self.ignored_feature_release = ignored_feature_release
 
+    def component_boxes(self):
+        return (self.demand, self.capacity)
+
     def _sample(self, params: Params, seed: int) -> float:
         week = float(params["current_week"])
         demand_value = self.demand.sample(

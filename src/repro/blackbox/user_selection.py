@@ -85,8 +85,9 @@ class UserSelectionModel(BlackBox):
         """All seeds at once: one (seeds × 2·users) standard-uniform matrix.
 
         Per-user arithmetic matches :meth:`_sample` lane for lane, and the
-        user contributions are accumulated left to right (``add.accumulate``)
-        so the floating-point sum is bit-identical to the scalar loop.
+        user contributions are accumulated left to right, one column at a
+        time, so the floating-point sum is bit-identical to the scalar loop
+        without materializing a (seeds × users) cumulative-sum matrix.
         """
         week = float(params["current_week"])
         growth = self._growth_factor(week)
@@ -101,7 +102,10 @@ class UserSelectionModel(BlackBox):
         contributions = np.where(
             active, np.maximum(requirement, 0.0) * growth, 0.0
         )
-        return np.add.accumulate(contributions, axis=1)[:, -1]
+        total = np.zeros(contributions.shape[0], dtype=np.float64)
+        for column in range(contributions.shape[1]):
+            total += contributions[:, column]
+        return total
 
     def sample_vectorized(self, params: Params, seed: int) -> float:
         """Set-at-a-time evaluation: the bulk path a DBMS engine would take.

@@ -400,9 +400,7 @@ def _validates(
     if isinstance(mapping, AffineMapping):
         # Hot path of every index probe: one vector expression instead of a
         # per-entry Python loop (same IEEE operations, same accept set).
-        deviation = np.abs(
-            mapping.alpha * source.array + mapping.beta - target.array
-        )
+        deviation = np.abs(mapping.apply_array(source.array) - target.array)
         return bool((deviation <= tol).all())
     return all(
         abs(mapping.apply(s) - t) <= tol

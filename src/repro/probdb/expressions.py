@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +54,15 @@ class BatchEvalContext:
     row: Mapping[str, object]
     params: Mapping[str, float]
     world_seeds: np.ndarray
+    #: True while a CASE branch evaluates eagerly: lanes the condition
+    #: discards may legitimately divide by zero there, so division defers
+    #: its scalar-parity zero check — it records the offending lanes in
+    #: ``case_zero_div`` instead of falling back immediately, and CaseWhen
+    #: falls back only if the condition *selects* one of those lanes.
+    in_case_branch: bool = False
+    #: Boolean lane mask (or None) accumulating where a division inside
+    #: the currently evaluating CASE branch had a zero denominator.
+    case_zero_div: Optional[np.ndarray] = None
 
 
 class Expression(ABC):
@@ -183,6 +192,22 @@ class BinaryOp(Expression):
             return np.logical_and(left, right)
         if self.op == "or":
             return np.logical_or(left, right)
+        if self.op == "/":
+            zero = np.asarray(right) == 0
+            if np.any(zero):
+                # The scalar per-world loop raises ZeroDivisionError here;
+                # numpy would return inf/nan and let the query succeed.
+                # Fall back so the offending world fails the same way it
+                # would under scalar execution — unless a CASE branch is
+                # evaluating eagerly, where the decision belongs to
+                # CaseWhen (only *selected* lanes must match).
+                if not context.in_case_branch:
+                    raise BatchUnsupported("division by zero in some world")
+                context.case_zero_div = (
+                    zero
+                    if context.case_zero_div is None
+                    else np.logical_or(context.case_zero_div, zero)
+                )
         # Arithmetic and comparisons vectorize through the same operators
         # (identical IEEE semantics per lane).
         return _BINARY_OPS[self.op](left, right)
@@ -244,17 +269,53 @@ class CaseWhen(Expression):
             # (e.g. a division guarded by the condition) must fall back to
             # the per-world loop rather than fail the whole query.  Lanes
             # the condition discards may legitimately produce inf/nan, so
-            # their floating-point warnings are noise.
+            # their floating-point warnings are noise — but divisions by
+            # zero in lanes the condition *selects* must still fall back
+            # (the scalar path raises there), so each branch records its
+            # zero-division lanes for the post-selection check below.
             with np.errstate(divide="ignore", invalid="ignore"):
-                then_value = self.then_value.evaluate_batch(context)
-                else_value = self.else_value.evaluate_batch(context)
+                was_in_case_branch = context.in_case_branch
+                outer_zero_div = context.case_zero_div
+                context.in_case_branch = True
+                context.case_zero_div = None
+                try:
+                    then_value = self.then_value.evaluate_batch(context)
+                    then_zero_div = context.case_zero_div
+                    context.case_zero_div = None
+                    else_value = self.else_value.evaluate_batch(context)
+                    else_zero_div = context.case_zero_div
+                finally:
+                    context.in_case_branch = was_in_case_branch
+                    context.case_zero_div = outer_zero_div
         except BatchUnsupported:
             raise
         except Exception as error:
             raise BatchUnsupported(
                 f"CASE branch failed under eager evaluation: {error}"
             ) from error
-        if np.isscalar(condition) or np.ndim(condition) == 0:
+        scalar_condition = np.isscalar(condition) or np.ndim(condition) == 0
+        if then_zero_div is not None or else_zero_div is not None:
+            false_mask = np.zeros(1, dtype=bool)
+            then_mask = false_mask if then_zero_div is None else then_zero_div
+            else_mask = false_mask if else_zero_div is None else else_zero_div
+            if scalar_condition:
+                selected = then_mask if bool(condition) else else_mask
+            else:
+                selected = np.where(condition, then_mask, else_mask)
+            if np.any(selected):
+                if context.in_case_branch:
+                    # Nested CASE: let the enclosing CASE's condition
+                    # decide whether these lanes are actually reachable.
+                    context.case_zero_div = (
+                        selected
+                        if context.case_zero_div is None
+                        else np.logical_or(context.case_zero_div, selected)
+                    )
+                else:
+                    raise BatchUnsupported(
+                        "division by zero in a selected CASE lane"
+                    )
+        if scalar_condition:
             return then_value if bool(condition) else else_value
         return np.where(condition, then_value, else_value)
 
@@ -424,15 +485,18 @@ class FunctionCall(Expression):
         name = self.name.lower()
         if name == "abs":
             return np.abs(values[0])
+        # np.where (not np.minimum/np.maximum) so NaN lanes resolve like
+        # Python's min/max in the scalar path: keep the earlier argument
+        # unless a later one strictly compares past it.
         if name == "least":
             result = values[0]
             for value in values[1:]:
-                result = np.minimum(result, value)
+                result = np.where(np.less(value, result), value, result)
             return result
         if name == "greatest":
             result = values[0]
             for value in values[1:]:
-                result = np.maximum(result, value)
+                result = np.where(np.greater(value, result), value, result)
             return result
         raise BatchUnsupported(f"scalar function {self.name!r}")
 

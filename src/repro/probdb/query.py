@@ -173,13 +173,23 @@ class Project(Operator):
         # Runtime fallbacks (e.g. a CASE branch erroring under eager
         # evaluation) rerun everything on the scalar path; rolling the
         # invocation counters back keeps the machine-independent work
-        # accounting identical to a scalar-only execution.
+        # accounting identical to a scalar-only execution.  Composite boxes
+        # sample their children, so the snapshot must cover those too.
         boxes = [
             call.box
             for _, expression in self.items
             for call in _iter_blackbox_calls(expression)
         ]
-        snapshots = [(box, box.invocations) for box in boxes]
+        seen = set()
+        closure = []
+        while boxes:
+            box = boxes.pop()
+            if id(box) in seen:
+                continue
+            seen.add(id(box))
+            closure.append(box)
+            boxes.extend(box.component_boxes())
+        snapshots = [(box, box.invocations) for box in closure]
         try:
             for name, expression in self.items:
                 visible[name] = expression.evaluate_batch(context)

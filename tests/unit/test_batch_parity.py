@@ -370,6 +370,50 @@ INTO results;
             simulation(params, int(seed)) for seed in seeds
         ]
 
+    def test_fallback_rolls_back_composite_children_counters(self):
+        from repro.blackbox import default_registry
+        from repro.probdb import expressions as E
+        from repro.probdb.query import Project, SingletonScan
+
+        overload = default_registry().lookup("OverloadModel")
+        demand, capacity = overload.component_boxes()
+        counters = lambda: (
+            overload.invocations,
+            demand.invocations,
+            capacity.invocations,
+        )
+        before = counters()
+        mid = {}
+
+        class Boom(E.Expression):
+            def references(self):
+                return ()
+
+            def children(self):
+                return ()
+
+            def evaluate(self, context):
+                return 0.0
+
+            def evaluate_batch(self, context):
+                mid["counters"] = counters()
+                raise E.BatchUnsupported("boom")
+
+        call = E.BlackBoxCall(
+            box=overload,
+            argument_names=("current_week", "purchase1", "purchase2"),
+            arguments=(E.Constant(1.0), E.Constant(2.0), E.Constant(3.0)),
+        )
+        project = Project(
+            child=SingletonScan(), items=[("o", call), ("g", Boom())]
+        )
+        with pytest.raises(E.BatchUnsupported):
+            project.execute_batch({}, np.arange(8, dtype=np.uint64))
+        # The batch really sampled the composite and its children ...
+        assert mid["counters"] == tuple(c + 8 for c in before)
+        # ... and the rollback restored every counter, children included.
+        assert counters() == before
+
 
 class TestQuantileTolerantLookup:
     def test_remapped_probability_stays_retrievable(self):
