@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""CI bench-regression gate: smoke-scale counters must match the baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [--workers N]
+        [--baseline benchmarks/BENCH_smoke_baseline.json]
+        [--time-factor 25.0] [--save-to out.json]
+
+Runs the full ``run_all.py`` suite at ``smoke`` scale into a temporary
+file, then compares against the committed baseline:
+
+* **Deterministic counters** (``samples_drawn``, ``reuse_fraction``,
+  ``step_invocations``, ...; every per-figure key except ``seconds``) must
+  match **exactly**.  They are pure functions of the fixed seed bank, so
+  any drift is a real behavior change — either a bug or an intentional
+  change that must ship with a refreshed baseline (see ROADMAP subsystem
+  notes for the refresh procedure).
+* **Wall clock** is compared within a deliberately generous factor
+  (default 25x) so the gate catches order-of-magnitude performance
+  regressions without flaking on slow shared CI runners.
+
+``--workers N`` runs the sweep sharded; by the parallel engine's
+replay-merge invariant the counters must *still* match the serial
+baseline, so CI runs this gate twice (serial and ``--workers 4``) against
+one committed file.
+
+Exit status 0 on success, 1 on any mismatch (differences are printed).
+"""
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(_BENCH_DIR, "BENCH_smoke_baseline.json")
+
+#: Per-figure keys that legitimately vary between runs and machines.
+NON_DETERMINISTIC_KEYS = frozenset({"seconds"})
+
+
+def _load_run_all():
+    spec = importlib.util.spec_from_file_location(
+        "_run_all_for_gate", os.path.join(_BENCH_DIR, "run_all.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def deterministic_counters(document):
+    """The regression-gated view of a bench document: figure -> counters."""
+    return {
+        figure: {
+            key: value
+            for key, value in entry.items()
+            if key not in NON_DETERMINISTIC_KEYS
+        }
+        for figure, entry in document["figures"].items()
+    }
+
+
+def compare(baseline, measured, time_factor):
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    if measured.get("scale") != baseline.get("scale"):
+        failures.append(
+            f"scale mismatch: baseline {baseline.get('scale')!r}, "
+            f"measured {measured.get('scale')!r}"
+        )
+    expected = deterministic_counters(baseline)
+    actual = deterministic_counters(measured)
+    for figure in sorted(set(expected) | set(actual)):
+        if figure not in actual:
+            failures.append(f"{figure}: missing from measured run")
+            continue
+        if figure not in expected:
+            failures.append(f"{figure}: not present in baseline")
+            continue
+        for key in sorted(set(expected[figure]) | set(actual[figure])):
+            want = expected[figure].get(key)
+            got = actual[figure].get(key)
+            if want != got:
+                failures.append(
+                    f"{figure}.{key}: baseline {want!r} != measured {got!r}"
+                )
+    budget = baseline.get("total_seconds", 0.0) * time_factor
+    total = measured.get("total_seconds", 0.0)
+    if budget > 0 and total > budget:
+        failures.append(
+            f"wall clock regression: {total:.2f}s exceeds "
+            f"{time_factor:.0f}x the baseline "
+            f"({baseline['total_seconds']:.2f}s)"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the sweep; counters must still match the serial baseline",
+    )
+    parser.add_argument(
+        "--time-factor",
+        type=float,
+        default=25.0,
+        help="fail only when wall clock exceeds this multiple of baseline",
+    )
+    parser.add_argument(
+        "--save-to",
+        default=None,
+        help=(
+            "keep the measured smoke document here (e.g. to refresh the "
+            "committed baseline after an intentional change)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        if not args.save_to:
+            print(
+                f"cannot read baseline {args.baseline}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        # Bootstrapping: measure and save without a comparison.
+        print(
+            f"no usable baseline at {args.baseline}; measuring fresh "
+            f"({error})",
+            file=sys.stderr,
+        )
+
+    run_all = _load_run_all()
+    with tempfile.TemporaryDirectory() as scratch:
+        out = os.path.join(scratch, "smoke.json")
+        run_all.main(
+            [
+                "--scale", "smoke",
+                "--bench-out", out,
+                "--workers", str(args.workers),
+            ]
+        )
+        with open(out) as handle:
+            measured = json.load(handle)
+
+    if args.save_to:
+        with open(args.save_to, "w") as handle:
+            json.dump(measured, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"measured smoke document saved to {args.save_to}")
+        if baseline is None:
+            return 0
+        if os.path.realpath(args.save_to) == os.path.realpath(
+            args.baseline
+        ):
+            # Refresh flow, not a gate run: the old baseline was just
+            # replaced on purpose, so report what changed and succeed.
+            changes = compare(baseline, measured, args.time_factor)
+            if changes:
+                print("baseline refreshed; counters that changed:")
+                for change in changes:
+                    print(f"  - {change}")
+                print("commit the diff alongside an explanation.")
+            else:
+                print("baseline refreshed; no counter changes.")
+            return 0
+
+    failures = compare(baseline, measured, args.time_factor)
+    if failures:
+        print("bench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "\nIf this change is intentional, refresh the baseline:\n"
+            f"  PYTHONPATH=src python benchmarks/check_regression.py "
+            f"--save-to {os.path.relpath(args.baseline)}\n"
+            "and commit the diff alongside an explanation.",
+            file=sys.stderr,
+        )
+        return 1
+    workers_note = (
+        f" (sharded, {args.workers} workers)" if args.workers > 1 else ""
+    )
+    print(
+        f"bench regression gate passed{workers_note}: "
+        f"{len(deterministic_counters(measured))} figures, counters exact, "
+        f"wall clock {measured.get('total_seconds', 0.0):.2f}s within "
+        f"{args.time_factor:.0f}x of "
+        f"{baseline.get('total_seconds', 0.0):.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,6 @@ whole suite stays in minutes.  ``benchmarks/run_all.py`` regenerates the
 full paper-style tables and series.
 """
 
-import pytest
-
 
 def pytest_benchmark_update_machine_info(config, machine_info):
     machine_info["note"] = (

@@ -3,14 +3,25 @@
 
 Usage::
 
-    python benchmarks/run_all.py [--scale quick|paper] [--out results.txt]
+    python benchmarks/run_all.py [--scale smoke|quick|paper] [--workers N]
+                                 [--out results.txt]
                                  [--bench-out BENCH_run_all.json]
 
 ``quick`` (default) runs laptop-sized sweeps in seconds on the batch
 sampling engine; ``paper`` runs the paper-sized configurations (1000
-samples/point over the full parameter spaces).  Either way the *shapes* —
-who wins, by roughly what factor, where crossovers fall — are the
-reproduced quantity; absolute times depend on the host.
+samples/point over the full parameter spaces); ``smoke`` is the tiny
+deterministic configuration the CI regression gate
+(``benchmarks/check_regression.py``) compares against its committed
+baseline.  Either way the *shapes* — who wins, by roughly what factor,
+where crossovers fall — are the reproduced quantity; absolute times depend
+on the host.
+
+``--workers N`` shards the explorer sweeps (fig8-11) across N processes
+via :class:`repro.core.parallel.ParallelExplorer`.  Deterministic counters
+(samples drawn, reuse fractions, step invocations) are bit-identical to
+the serial run by the engine's replay-merge invariant; only wall clocks
+change, which is why a sharded run is recorded with its worker count and
+never merged into (or allowed to overwrite) a serial baseline.
 
 Alongside the text report, a machine-readable ``BENCH_run_all.json`` is
 written with per-figure wall-clock seconds and work counters (samples
@@ -37,14 +48,16 @@ from repro.bench.figures import (
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def _classify_baseline(bench_out, scale):
+def _classify_baseline(bench_out, scale, workers=1):
     """Classify the file at ``bench_out`` for overwrite/merge decisions.
 
     Returns ``(kind, existing)``; ``kind`` is ``"missing"`` (no file),
     ``"unusable"`` (unparseable or unrecognized shape), ``"other-scale"``
-    (well-formed baseline for a different scale), or ``"compatible"``
-    (well-formed, same scale).  ``existing`` is the parsed document for
-    the last two kinds, else None.
+    (well-formed baseline for a different scale), ``"other-workers"``
+    (well-formed baseline measured at a different worker count — sharded
+    wall clocks must never replace or be merged into the serial perf
+    trajectory), or ``"compatible"`` (well-formed, same configuration).
+    ``existing`` is the parsed document except for the first two kinds.
     """
     if not os.path.exists(bench_out):
         return "missing", None
@@ -63,6 +76,8 @@ def _classify_baseline(bench_out, scale):
         return "unusable", None
     if existing.get("scale") != scale:
         return "other-scale", existing
+    if existing.get("workers", 1) != workers:
+        return "other-workers", existing
     return "compatible", existing
 
 
@@ -91,7 +106,9 @@ def _merge_partial(bench_out, bench, all_figures):
     file for one full-suite measurement (a plain full run writes neither
     key).
     """
-    kind, existing = _classify_baseline(bench_out, bench["scale"])
+    kind, existing = _classify_baseline(
+        bench_out, bench["scale"], bench.get("workers", 1)
+    )
     if kind == "unusable":
         _refuse_overwrite(
             bench_out, "existing file is unreadable or has an unrecognized shape"
@@ -102,6 +119,14 @@ def _merge_partial(bench_out, bench, all_figures):
             bench_out,
             f"existing baseline is {existing.get('scale')!r} scale, "
             f"this run is {bench['scale']!r}",
+        )
+        return None
+    if kind == "other-workers":
+        _refuse_overwrite(
+            bench_out,
+            f"existing baseline was measured with "
+            f"{existing.get('workers', 1)} worker(s), this run used "
+            f"{bench.get('workers', 1)}",
         )
         return None
     merged_figures = set(bench["figures"])
@@ -128,9 +153,23 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--scale",
-        choices=("quick", "paper"),
+        choices=("smoke", "quick", "paper"),
         default="quick",
-        help="workload sizes: quick (seconds) or paper (minutes)",
+        help=(
+            "workload sizes: smoke (CI regression gate), quick (seconds) "
+            "or paper (minutes)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard the explorer sweeps (fig8-11) across this many "
+            "processes; deterministic counters are bit-identical to the "
+            "serial run, and sharded wall clocks are never merged into a "
+            "serial baseline"
+        ),
     )
     parser.add_argument(
         "--out",
@@ -148,13 +187,15 @@ def main(argv=None):
         help="run a single experiment, e.g. --only fig9",
     )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
 
     runners = {
         "fig7": lambda: run_fig7(args.scale),
-        "fig8": lambda: run_fig8(args.scale),
-        "fig9": lambda: run_fig9(args.scale),
-        "fig10": lambda: run_fig10(args.scale),
-        "fig11": lambda: run_fig11(args.scale),
+        "fig8": lambda: run_fig8(args.scale, workers=args.workers),
+        "fig9": lambda: run_fig9(args.scale, workers=args.workers),
+        "fig10": lambda: run_fig10(args.scale, workers=args.workers),
+        "fig11": lambda: run_fig11(args.scale, workers=args.workers),
         "fig12": lambda: run_fig12(args.scale),
     }
     all_figures = tuple(runners)
@@ -170,6 +211,7 @@ def main(argv=None):
     bench = {
         "scale": args.scale,
         "python": platform.python_version(),
+        "workers": args.workers,
         "figures": {},
     }
     total_seconds = 0.0
@@ -196,16 +238,26 @@ def main(argv=None):
         bench = _merge_partial(args.bench_out, bench, all_figures)
         write_bench = bench is not None
     elif args.bench_out:
-        # A full run at another scale must not clobber the committed
-        # baseline either — same data-loss class _merge_partial guards.
-        # (A full run may replace a missing/unusable/compatible file: it
-        # produces a complete fresh baseline.)
-        kind, existing = _classify_baseline(args.bench_out, args.scale)
+        # A full run at another scale or worker count must not clobber the
+        # committed baseline either — same data-loss class _merge_partial
+        # guards.  (A full run may replace a missing/unusable/compatible
+        # file: it produces a complete fresh baseline.)
+        kind, existing = _classify_baseline(
+            args.bench_out, args.scale, args.workers
+        )
         if kind == "other-scale":
             _refuse_overwrite(
                 args.bench_out,
                 f"existing baseline is {existing.get('scale')!r} scale, "
                 f"this run is {args.scale!r}",
+            )
+            write_bench = False
+        elif kind == "other-workers":
+            _refuse_overwrite(
+                args.bench_out,
+                f"existing baseline was measured with "
+                f"{existing.get('workers', 1)} worker(s), this run used "
+                f"{args.workers}",
             )
             write_bench = False
 

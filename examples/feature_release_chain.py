@@ -10,7 +10,6 @@ example demonstrates with invocation counts and a release-week histogram.
 Run:  python examples/feature_release_chain.py
 """
 
-import numpy as np
 
 from repro import compile_query
 from repro.blackbox import (

@@ -39,6 +39,7 @@ from repro.core import (
     NaiveExplorer,
     NaiveMarkovRunner,
     Objective,
+    ParallelExplorer,
     ParameterExplorer,
     SeedBank,
     Selector,
@@ -67,6 +68,7 @@ __all__ = [
     "NaiveExplorer",
     "NaiveMarkovRunner",
     "Objective",
+    "ParallelExplorer",
     "ParameterExplorer",
     "SeedBank",
     "Selector",

@@ -30,13 +30,54 @@ from repro.core.basis import BasisStore
 from repro.core.explorer import NaiveExplorer, ParameterExplorer
 from repro.core.mapping import IdentityMappingFamily, LinearMappingFamily
 from repro.core.markov import MarkovJumpRunner, NaiveMarkovRunner
+from repro.core.parallel import ParallelExplorer
 from repro.util.tables import format_table
 
+#: Recognized workload scales: ``smoke`` is the CI regression-gate size
+#: (seconds for the whole suite), ``quick`` the laptop default, ``paper``
+#: the paper-sized sweeps.
+SCALES = ("smoke", "quick", "paper")
 
-def _paper_scale(scale: str) -> bool:
-    if scale not in ("quick", "paper"):
-        raise ValueError("scale must be 'quick' or 'paper'")
-    return scale == "paper"
+
+def _pick(scale: str, smoke, quick, paper):
+    """Choose a size knob by scale name (validates the name)."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}")
+    return {"smoke": smoke, "quick": quick, "paper": paper}[scale]
+
+
+def _make_explorer(
+    simulation,
+    samples: int,
+    fingerprint_size: int,
+    index_strategy: str = "normalization",
+    mapping_family=None,
+    workers: int = 1,
+):
+    """Serial or sharded explorer with identical counters and estimates.
+
+    The sharded engine's canonical replay keeps every counter the bench
+    JSON records bit-identical to the serial sweep, so ``--workers`` only
+    ever changes wall-clock columns — never the regression-gated values.
+    """
+    if workers > 1:
+        return ParallelExplorer(
+            simulation,
+            workers=workers,
+            samples_per_point=samples,
+            fingerprint_size=fingerprint_size,
+            index_strategy=index_strategy,
+            mapping_family=mapping_family,
+        )
+    store = BasisStore(
+        mapping_family=mapping_family, index_strategy=index_strategy
+    )
+    return ParameterExplorer(
+        simulation,
+        samples_per_point=samples,
+        fingerprint_size=fingerprint_size,
+        basis_store=store,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -45,16 +86,15 @@ def _paper_scale(scale: str) -> bool:
 
 def run_fig7(scale: str = "quick") -> str:
     """User-interface wrapper vs core engine timing comparison."""
-    paper = _paper_scale(scale)
-    samples = 1000 if paper else 40
-    point_budget = 5 if paper else 3
+    samples = _pick(scale, 20, 40, 1000)
+    point_budget = _pick(scale, 2, 3, 5)
 
     workloads = [
         demand_workload(weeks=10, features=(5.0,)),
         capacity_workload(weeks=10, purchase_step=5),
         overload_workload(weeks=10, purchase_step=5),
         user_selection_workload(
-            weeks=4, user_count=2000 if paper else 400
+            weeks=4, user_count=_pick(scale, 150, 400, 2000)
         ),
     ]
     rows: List[List[object]] = []
@@ -99,6 +139,7 @@ def run_fig7(scale: str = "quick") -> str:
 def _explore_pair(
     workload: SweepWorkload,
     mapping_family=None,
+    workers: int = 1,
 ) -> Tuple[float, float, Dict[str, float]]:
     """(naive seconds, jigsaw seconds, extras) for one sweep workload."""
     simulation = workload.simulation()
@@ -107,17 +148,15 @@ def _explore_pair(
     naive = NaiveExplorer(
         simulation, samples_per_point=workload.samples_per_point
     )
-    naive.run(workload.points)
+    naive_run = naive.run(workload.points)
     naive_seconds = time.perf_counter() - start
 
-    store = BasisStore(
-        mapping_family=mapping_family or LinearMappingFamily()
-    )
-    explorer = ParameterExplorer(
+    explorer = _make_explorer(
         simulation,
-        samples_per_point=workload.samples_per_point,
+        samples=workload.samples_per_point,
         fingerprint_size=workload.fingerprint_size,
-        basis_store=store,
+        mapping_family=mapping_family or LinearMappingFamily(),
+        workers=workers,
     )
     start = time.perf_counter()
     result = explorer.run(workload.points)
@@ -125,22 +164,19 @@ def _explore_pair(
     extras = {
         "bases": float(result.stats.bases_created),
         "reuse_fraction": result.stats.reuse_fraction,
-        "naive_samples": float(
-            len(workload.points) * workload.samples_per_point
-        ),
+        "naive_samples": float(naive_run.stats.samples_drawn),
         "jigsaw_samples": float(result.stats.samples_drawn),
     }
     return naive_seconds, jigsaw_seconds, extras
 
 
-def run_fig8(scale: str = "quick") -> FigureResult:
+def run_fig8(scale: str = "quick", workers: int = 1) -> FigureResult:
     """Jigsaw vs full evaluation on Usage, Capacity, Overload, MarkovStep."""
-    paper = _paper_scale(scale)
     # The paper's 1000 samples/point are affordable even at quick scale with
     # the batch sampling engine; quick now shrinks only the parameter spaces.
     # Full evaluation cost scales with samples/point while reused points do
     # not, so this is also what Figure 8 is actually about.
-    samples = 1000
+    samples = _pick(scale, 250, 1000, 1000)
     result = FigureResult(
         figure="Figure 8",
         caption="Jigsaw vs fully exploring the parameter space",
@@ -154,24 +190,24 @@ def run_fig8(scale: str = "quick") -> FigureResult:
         (
             "Usage",
             user_selection_workload(
-                weeks=8 if paper else 4,
-                user_count=500 if paper else 60,
+                weeks=_pick(scale, 3, 4, 8),
+                user_count=_pick(scale, 40, 60, 500),
             ),
             LinearMappingFamily(),
         ),
         (
             "Capacity",
             capacity_workload(
-                weeks=52 if paper else 16,
-                purchase_step=4 if paper else 8,
+                weeks=_pick(scale, 10, 16, 52),
+                purchase_step=_pick(scale, 8, 8, 4),
             ),
             LinearMappingFamily(),
         ),
         (
             "Overload",
             overload_workload(
-                weeks=52 if paper else 20,
-                purchase_step=4 if paper else 8,
+                weeks=_pick(scale, 10, 20, 52),
+                purchase_step=_pick(scale, 8, 8, 4),
             ),
             IdentityMappingFamily(),
         ),
@@ -180,7 +216,7 @@ def run_fig8(scale: str = "quick") -> FigureResult:
     for label_index, (label, workload, family) in enumerate(workloads):
         workload.samples_per_point = samples
         naive_seconds, jigsaw_seconds, extras = _explore_pair(
-            workload, mapping_family=family
+            workload, mapping_family=family, workers=workers
         )
         full_series.add(float(label_index), naive_seconds)
         jigsaw_series.add(float(label_index), jigsaw_seconds)
@@ -198,9 +234,11 @@ def run_fig8(scale: str = "quick") -> FigureResult:
         reuse_fractions
     )
 
-    # MarkovStep: chain evaluation, naive vs jump.
-    steps = 2500 if paper else 160
-    instances = 1000 if paper else 150
+    # MarkovStep: chain evaluation, naive vs jump.  Chains are sequential
+    # in their step index, so this comparison stays single-process at any
+    # worker count (sharding applies to parameter sweeps, not chains).
+    steps = _pick(scale, 60, 160, 2500)
+    instances = _pick(scale, 60, 150, 1000)
     model = markov_step_model()
     naive_runner = NaiveMarkovRunner(model, instance_count=instances)
     start = time.perf_counter()
@@ -257,14 +295,17 @@ def _accumulate_run_counters(result: FigureResult, run) -> None:
 def run_fig9(
     scale: str = "quick",
     structure_sizes: Optional[Tuple[float, ...]] = None,
+    workers: int = 1,
 ) -> FigureResult:
-    paper = _paper_scale(scale)
     if structure_sizes is None:
-        structure_sizes = (
-            tuple(range(0, 21, 2)) if paper else (0.0, 2.0, 5.0, 10.0, 16.0)
+        structure_sizes = _pick(
+            scale,
+            (0.0, 5.0, 10.0),
+            (0.0, 2.0, 5.0, 10.0, 16.0),
+            tuple(range(0, 21, 2)),
         )
-    samples = 1000 if paper else 120
-    weeks = 52 if paper else 26
+    samples = _pick(scale, 60, 120, 1000)
+    weeks = _pick(scale, 12, 26, 52)
     result = FigureResult(
         figure="Figure 9",
         caption="Computation time versus structure size (Capacity model)",
@@ -279,11 +320,12 @@ def run_fig9(
         )
         workload.samples_per_point = samples
         for strategy in strategies:
-            explorer = ParameterExplorer(
+            explorer = _make_explorer(
                 workload.simulation(),
-                samples_per_point=samples,
+                samples=samples,
                 fingerprint_size=workload.fingerprint_size,
                 index_strategy=strategy,
+                workers=workers,
             )
             start = time.perf_counter()
             run = explorer.run(workload.points)
@@ -310,13 +352,15 @@ def run_fig9(
 def run_fig10(
     scale: str = "quick",
     basis_counts: Optional[Tuple[int, ...]] = None,
+    workers: int = 1,
 ) -> FigureResult:
     """Static parameter space: time relative to the Array scan."""
-    paper = _paper_scale(scale)
     if basis_counts is None:
-        basis_counts = (10, 25, 50, 100, 200) if paper else (10, 50, 150)
-    point_count = 1000 if paper else 600
-    samples = 1000 if paper else 60
+        basis_counts = _pick(
+            scale, (10, 40), (10, 50, 150), (10, 25, 50, 100, 200)
+        )
+    point_count = _pick(scale, 200, 600, 1000)
+    samples = _pick(scale, 40, 60, 1000)
     result = FigureResult(
         figure="Figure 10",
         caption="Indexing in a static parameter space",
@@ -330,11 +374,12 @@ def run_fig10(
         for strategy in strategies:
             workload = synth_basis_workload(basis_count, point_count)
             workload.samples_per_point = samples
-            explorer = ParameterExplorer(
+            explorer = _make_explorer(
                 workload.simulation(),
-                samples_per_point=samples,
+                samples=samples,
                 fingerprint_size=workload.fingerprint_size,
                 index_strategy=strategy,
+                workers=workers,
             )
             start = time.perf_counter()
             run = explorer.run(workload.points)
@@ -351,14 +396,17 @@ def run_fig10(
 def run_fig11(
     scale: str = "quick",
     basis_counts: Optional[Tuple[int, ...]] = None,
+    workers: int = 1,
 ) -> FigureResult:
     """Parameter space grown with basis size (basis = 10% of the space)."""
-    paper = _paper_scale(scale)
     if basis_counts is None:
-        basis_counts = (
-            (50, 100, 200, 300, 400, 500) if paper else (25, 75, 150)
+        basis_counts = _pick(
+            scale,
+            (20, 60),
+            (25, 75, 150),
+            (50, 100, 200, 300, 400, 500),
         )
-    samples = 1000 if paper else 60
+    samples = _pick(scale, 40, 60, 1000)
     result = FigureResult(
         figure="Figure 11",
         caption="Indexing, growing the parameter space with basis size",
@@ -372,11 +420,12 @@ def run_fig11(
         for strategy in strategies:
             workload = synth_basis_workload(basis_count, point_count)
             workload.samples_per_point = samples
-            explorer = ParameterExplorer(
+            explorer = _make_explorer(
                 workload.simulation(),
-                samples_per_point=samples,
+                samples=samples,
                 fingerprint_size=workload.fingerprint_size,
                 index_strategy=strategy,
+                workers=workers,
             )
             start = time.perf_counter()
             run = explorer.run(workload.points)
@@ -397,18 +446,18 @@ def run_fig12(
     scale: str = "quick",
     branchings: Optional[Tuple[float, ...]] = None,
 ) -> FigureResult:
-    paper = _paper_scale(scale)
     if branchings is None:
-        branchings = (
-            (1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1)
-            if paper
-            else (1e-4, 1e-3, 1e-2, 0.1)
+        branchings = _pick(
+            scale,
+            (1e-3, 0.1),
+            (1e-4, 1e-3, 1e-2, 0.1),
+            (1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1),
         )
-    steps = 128
+    steps = _pick(scale, 64, 128, 128)
     # The batch stepping engine makes the paper's full instance population
     # affordable even at quick scale, and the population size is what the
     # naive-vs-jump comparison actually measures (n versus m lanes).
-    instances = 1000
+    instances = _pick(scale, 400, 1000, 1000)
     result = FigureResult(
         figure="Figure 12",
         caption="Performance for a Markov process",

@@ -17,7 +17,7 @@ Evictions are safe: entries are recomputed (bit-identically) on demand.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -125,3 +125,21 @@ Sharing is semantically free: entries are pure functions of
 ``(seed, kind sequence)``, the same invariant that makes the global seed
 bank shareable across parameter points.
 """
+
+
+def initialize_worker(max_floats: Optional[int] = None) -> None:
+    """Reset the process-wide draw caches inside a freshly forked worker.
+
+    Fork-based sweep workers inherit the parent's populated caches as
+    copy-on-write pages; dropping the inherited entries up front (a) keeps
+    per-worker memory bounded by the worker's own budget instead of
+    ``workers x parent cache`` and (b) makes worker cache stats describe
+    worker work.  Semantically a no-op: every entry is a pure function of
+    its key and is recomputed bit-identically on demand.
+    """
+    if max_floats is not None:
+        if max_floats < 0:
+            raise ValueError("max_floats must be non-negative")
+        DEFAULT_DRAW_CACHE.max_floats = max_floats
+    DEFAULT_DRAW_CACHE.clear()
+    _DERIVED_SEED_CACHE.clear()

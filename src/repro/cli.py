@@ -61,13 +61,21 @@ def _command_run(args: argparse.Namespace) -> int:
         bound.scenario,
         samples_per_point=args.samples,
         fingerprint_size=args.fingerprint,
+        workers=args.workers,
     )
     result = runner.run()
     stats = result.stats
+    sharding = ""
+    if result.parallel is not None:
+        sharding = (
+            f" [{result.parallel.workers} workers, "
+            f"{result.parallel.bases_collapsed} shard bases collapsed]"
+        )
     print(
         f"explored {stats.points_total} points | "
         f"{stats.rounds_executed} rounds "
         f"(reuse {stats.reuse_fraction:.0%}, {stats.bases_created} bases)"
+        + sharding
     )
     if bound.selector is None:
         print("query has no OPTIMIZE clause; printing per-point expectations")
@@ -108,6 +116,7 @@ def _command_graph(args: argparse.Namespace) -> int:
         bound.scenario,
         samples_per_point=args.samples,
         fingerprint_size=args.fingerprint,
+        workers=args.workers,
     )
     result = runner.run()
     x_parameter = bound.graph.x_parameter
@@ -135,6 +144,13 @@ def _command_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Jigsaw query runner"
@@ -149,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("query", help="path to a Jigsaw query file")
         sub.add_argument("--samples", type=int, default=200)
         sub.add_argument("--fingerprint", type=int, default=10)
+        sub.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=1,
+            help=(
+                "shard the sweep across this many processes (per-point "
+                "estimates are bit-identical to --workers 1)"
+            ),
+        )
         sub.set_defaults(handler=handler)
     return parser
 

@@ -10,9 +10,15 @@ from repro.core.estimator import (
 from repro.core.explorer import (
     ExplorationResult,
     ExplorerStats,
+    NaiveExplorationResult,
     NaiveExplorer,
     ParameterExplorer,
     PointResult,
+)
+from repro.core.parallel import (
+    ParallelExplorer,
+    ParallelStats,
+    default_worker_count,
 )
 from repro.core.fingerprint import (
     Fingerprint,
@@ -58,7 +64,12 @@ from repro.core.optimizer import (
     OptimizeAnswer,
     Selector,
 )
-from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank, derive_seed
+from repro.core.seeds import (
+    DEFAULT_SEED_BANK,
+    SeedBank,
+    SeedSlice,
+    derive_seed,
+)
 from repro.core.symbolic import MappedVariable, SampleVariable
 
 __all__ = [
@@ -75,8 +86,12 @@ __all__ = [
     "merge_metric_sets",
     "ExplorationResult",
     "ExplorerStats",
+    "NaiveExplorationResult",
     "NaiveExplorer",
     "ParameterExplorer",
+    "ParallelExplorer",
+    "ParallelStats",
+    "default_worker_count",
     "PointResult",
     "Fingerprint",
     "compute_fingerprint",
@@ -108,6 +123,7 @@ __all__ = [
     "Selector",
     "DEFAULT_SEED_BANK",
     "SeedBank",
+    "SeedSlice",
     "derive_seed",
     "MappedVariable",
     "SampleVariable",

@@ -154,6 +154,61 @@ class BasisStore:
         self.stats.bases_created += 1
         return basis
 
+    def merge(
+        self,
+        other: "BasisStore",
+        reprobe: bool = True,
+    ) -> Dict[int, Tuple[int, Optional[Mapping]]]:
+        """Fold another store's bases into this one (sharded-sweep merge).
+
+        With ``reprobe=True`` (default), each incoming basis — in creation
+        order — is re-probed against this store's index: if its fingerprint
+        already maps onto a stored basis, it *collapses* into that mapping
+        instead of being inserted, so cross-shard duplicate simulation work
+        shrinks to a mapping entry.  This is safe for exactly the reason
+        index false negatives are (paper section 3.2): a duplicate basis
+        costs storage, never correctness, so collapsing is pure win and
+        keeping a duplicate (when the probe misses) is merely unfortunate.
+
+        With ``reprobe=False`` every basis is adopted verbatim through the
+        bulk :meth:`FingerprintIndex.merge` path — no FindMapping calls, no
+        collapsing — which is the right mode when the shards are known to
+        partition a space with no cross-shard similarity.
+
+        Returns ``{other_basis_id: (basis_id_here, mapping)}`` where
+        ``mapping`` is the collapse mapping (apply it to the absorbed
+        basis's samples/metrics to recover the incoming ones) or ``None``
+        for bases adopted verbatim.
+        """
+        translation: Dict[int, Tuple[int, Optional[Mapping]]] = {}
+        if not reprobe:
+            id_map: Dict[int, int] = {}
+            for basis in other.bases:
+                adopted = BasisDistribution(
+                    basis_id=self._next_id,
+                    fingerprint=basis.fingerprint,
+                    samples=basis.samples,
+                    metrics=basis.metrics,
+                )
+                self._bases[adopted.basis_id] = adopted
+                self._next_id += 1
+                self.stats.bases_created += 1
+                id_map[basis.basis_id] = adopted.basis_id
+                translation[basis.basis_id] = (adopted.basis_id, None)
+            self.index.merge(other.index, id_map)
+            return translation
+        for basis in other.bases:
+            matched = self.match(basis.fingerprint)
+            if matched is not None:
+                target, mapping = matched
+                translation[basis.basis_id] = (target.basis_id, mapping)
+            else:
+                adopted = self.add(
+                    basis.fingerprint, basis.samples, metrics=basis.metrics
+                )
+                translation[basis.basis_id] = (adopted.basis_id, None)
+        return translation
+
     def extend_basis(
         self, basis_id: int, new_samples: np.ndarray
     ) -> BasisDistribution:

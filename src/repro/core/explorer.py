@@ -98,10 +98,17 @@ class PointResult:
 
 @dataclass
 class ExplorationResult:
-    """All per-point outcomes plus aggregate statistics."""
+    """All per-point outcomes plus aggregate statistics.
+
+    ``stats`` always carries the canonical (serial-equivalent) accounting,
+    so counters are invariant to how the sweep was executed; when the run
+    came from :class:`repro.core.parallel.ParallelExplorer`, ``parallel``
+    additionally reports the shard-side work (duplicates, resimulations).
+    """
 
     points: Dict[ParamKey, PointResult] = field(default_factory=dict)
     stats: ExplorerStats = field(default_factory=ExplorerStats)
+    parallel: Optional[object] = None
 
     def metrics(self, params: Params) -> MetricSet:
         return self.points[param_key(params)].metrics
@@ -138,9 +145,15 @@ class ParameterExplorer:
         self.samples_per_point = samples_per_point
         self.fingerprint_size = fingerprint_size
         self.estimator = estimator or Estimator()
-        self.store = basis_store or BasisStore(
-            index_strategy=index_strategy, estimator=self.estimator
-        )
+        # `is None`, not `or`: an empty BasisStore has len() == 0 and is
+        # falsy, so `or` would silently discard a caller's fresh store
+        # (and its mapping family / index strategy) in favor of the
+        # default — exactly the stores callers most often pass in.
+        if basis_store is None:
+            basis_store = BasisStore(
+                index_strategy=index_strategy, estimator=self.estimator
+            )
+        self.store = basis_store
         self.seed_bank = seed_bank or DEFAULT_SEED_BANK
         self._fingerprint_seeds = self.seed_bank.seed_array(
             self.fingerprint_size
@@ -206,6 +219,20 @@ class ParameterExplorer:
         return result
 
 
+class NaiveExplorationResult(Dict[ParamKey, MetricSet]):
+    """Per-point metrics of a naive sweep plus its work accounting.
+
+    Subclasses ``dict`` so existing ``result[param_key(point)]`` consumers
+    keep working; ``stats`` gives benchmarks the same machine-independent
+    counters the fingerprinting explorer reports (every round is a full
+    sample — ``fingerprint_samples`` stays 0 and nothing is ever reused).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.stats = ExplorerStats()
+
+
 class NaiveExplorer:
     """Baseline: full Monte Carlo at every point, no fingerprinting.
 
@@ -232,7 +259,10 @@ class NaiveExplorer:
         samples = self._batch_simulation(params, self._seeds)
         return self.estimator.estimate(samples)
 
-    def run(self, space: Iterable[Params]) -> Dict[ParamKey, MetricSet]:
-        return {
-            param_key(params): self.explore_point(params) for params in space
-        }
+    def run(self, space: Iterable[Params]) -> NaiveExplorationResult:
+        result = NaiveExplorationResult()
+        for params in space:
+            result[param_key(params)] = self.explore_point(params)
+            result.stats.points_total += 1
+            result.stats.full_samples += self.samples_per_point
+        return result

@@ -20,7 +20,7 @@ Three strategies, as evaluated in Figures 9-11:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.core.fingerprint import DEFAULT_REL_TOL, Fingerprint
 from repro.errors import IndexError_
@@ -40,6 +40,28 @@ class FingerprintIndex(ABC):
     def candidates(self, fingerprint: Fingerprint) -> List[int]:
         """Basis ids that may be similar to the probe (superset of truth)."""
 
+    @abstractmethod
+    def merge(
+        self, other: "FingerprintIndex", id_map: Mapping[int, int]
+    ) -> None:
+        """Bulk-adopt another index's entries under translated basis ids.
+
+        ``id_map`` maps the other index's basis ids to ids in the merged
+        store; entries absent from it are skipped (their bases collapsed
+        into mappings during the store merge and need no index entry).
+        Structural: hash keys computed by the other index are adopted as-is
+        — nothing is re-derived from fingerprints — so both indexes must
+        use the same strategy (and key parameters).
+        """
+
+    def _check_mergeable(self, other: "FingerprintIndex") -> None:
+        if type(other) is not type(self):
+            raise IndexError_(
+                f"cannot merge {type(other).__name__} into "
+                f"{type(self).__name__}; shard stores must share one index "
+                f"strategy"
+            )
+
     def __len__(self) -> int:
         return self._size
 
@@ -57,6 +79,15 @@ class ArrayIndex(FingerprintIndex):
 
     def candidates(self, fingerprint: Fingerprint) -> List[int]:
         return list(self._ids)
+
+    def merge(
+        self, other: FingerprintIndex, id_map: Mapping[int, int]
+    ) -> None:
+        self._check_mergeable(other)
+        assert isinstance(other, ArrayIndex)
+        adopted = [id_map[i] for i in other._ids if i in id_map]
+        self._ids.extend(adopted)
+        self._size += len(adopted)
 
 
 class NormalizationIndex(FingerprintIndex):
@@ -82,6 +113,22 @@ class NormalizationIndex(FingerprintIndex):
     def candidates(self, fingerprint: Fingerprint) -> List[int]:
         key = fingerprint.normal_form(self._rel_tol)
         return list(self._buckets.get(key, ()))
+
+    def merge(
+        self, other: FingerprintIndex, id_map: Mapping[int, int]
+    ) -> None:
+        self._check_mergeable(other)
+        assert isinstance(other, NormalizationIndex)
+        if other._rel_tol != self._rel_tol:
+            raise IndexError_(
+                "cannot merge normalization indexes with different "
+                "rel_tol values: their bucket keys are incompatible"
+            )
+        for key, ids in other._buckets.items():
+            adopted = [id_map[i] for i in ids if i in id_map]
+            if adopted:
+                self._buckets.setdefault(key, []).extend(adopted)
+                self._size += len(adopted)
 
 
 class SortedSIDIndex(FingerprintIndex):
@@ -110,6 +157,17 @@ class SortedSIDIndex(FingerprintIndex):
         seen = set(merged)
         merged.extend(b for b in descending if b not in seen)
         return merged
+
+    def merge(
+        self, other: FingerprintIndex, id_map: Mapping[int, int]
+    ) -> None:
+        self._check_mergeable(other)
+        assert isinstance(other, SortedSIDIndex)
+        for key, ids in other._buckets.items():
+            adopted = [id_map[i] for i in ids if i in id_map]
+            if adopted:
+                self._buckets.setdefault(key, []).extend(adopted)
+                self._size += len(adopted)
 
 
 INDEX_STRATEGIES = ("array", "normalization", "sorted_sid")

@@ -1,0 +1,397 @@
+"""Sharded parallel sweeps with mergeable basis stores.
+
+PR 1 made one process as fast as NumPy allows; this module scales a sweep
+across cores.  The key observation (Kennedy & Nath's fingerprint reuse) is
+that a sweep is *embarrassingly shardable*: each point's fingerprint rounds
+are independent, and a missed reuse opportunity only ever costs duplicate
+work — never correctness — so shard-local basis stores can speculate freely
+and be reconciled afterwards.
+
+The engine runs in two phases:
+
+1. **Speculate** (parallel): the parameter space is split into contiguous
+   shards, one fork-pool worker per shard.  Each worker runs a plain
+   :class:`~repro.core.explorer.ParameterExplorer` over its shard with its
+   own :class:`~repro.core.basis.BasisStore` and a fresh standard-draw
+   cache, and ships back, per point, the fingerprint values plus — for
+   points it fully simulated — the full sample vector.
+2. **Replay-merge** (serial, cheap): the master replays the points in
+   canonical space order against one merged store, re-probing every
+   incoming fingerprint so cross-shard duplicate bases collapse into
+   mappings.  A replay miss consumes the worker's precomputed samples; in
+   the rare case a shard reused a point the canonical order simulates
+   fully, the master re-runs that point's completion rounds itself.
+   (:meth:`BasisStore.merge` / :meth:`FingerprintIndex.merge` apply the
+   same collapse rule at store granularity — point order forgotten — for
+   offline merging of independently built stores; the replay here works
+   point-by-point because the bit-parity invariant needs the canonical
+   visit order.)
+
+Because simulations are deterministic under the shared seed bank, the
+replay *is* the serial algorithm with sampling outsourced: per-point
+metrics, reuse decisions, basis ids, mappings, and counters are all
+bit-identical to the serial explorer for every worker count.  (The engine
+therefore guarantees more than the documented invariant — estimates may
+never differ; decisions happen not to either.)  Only the *shard-side* work
+varies with the shard count; :class:`ParallelStats` accounts for it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blackbox import draws
+from repro.blackbox.base import Params
+from repro.core.basis import BasisStore
+from repro.core.estimator import Estimator
+from repro.core.explorer import (
+    ExplorationResult,
+    ExplorerStats,
+    ParameterExplorer,
+    Simulation,
+    make_batch_simulation,
+)
+from repro.core.mapping import MappingFamily
+from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank, SeedSlice
+
+# ---------------------------------------------------------------------------
+# Fork fan-out
+#
+# Workers are forked, not spawned: the shard context (simulation callable,
+# store factory, scenario object, ...) is handed over through inherited
+# memory instead of pickling, so closures and bound methods parallelize as
+# well as module-level functions.  Only the shard *results* cross the wire.
+
+_SHARD_CONTEXT: Optional[Tuple[Any, Callable[[Any, int], Any]]] = None
+#: Serializes the set-context -> fork -> clear-context window so two
+#: threads sharding concurrently cannot hand each other's context to
+#: their workers (forked children snapshot the global at pool spawn).
+_SHARD_CONTEXT_LOCK = threading.Lock()
+_IN_WORKER = False
+
+
+def default_worker_count() -> int:
+    """Worker count when the caller does not choose one (all cores)."""
+    return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    """Whether fork-based pools exist on this platform (Linux: yes)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _worker_initializer() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+    draws.initialize_worker()
+
+
+def _invoke_shard(index: int) -> Any:
+    assert _SHARD_CONTEXT is not None, "shard context lost across fork"
+    context, runner = _SHARD_CONTEXT
+    return runner(context, index)
+
+
+def fork_map(
+    runner: Callable[[Any, int], Any],
+    context: Any,
+    shard_count: int,
+    workers: int,
+) -> List[Any]:
+    """Run ``runner(context, i)`` for every shard, forking when it helps.
+
+    Falls back to in-process execution — same code path, same results —
+    when one worker suffices, fork is unavailable (gated, not emulated
+    with spawn: spawn would require pickling arbitrary simulations), or
+    we are already inside a worker (no nested pools).
+    """
+    global _SHARD_CONTEXT
+    workers = min(int(workers), shard_count)
+    if workers <= 1 or _IN_WORKER or not fork_available():
+        return [runner(context, index) for index in range(shard_count)]
+    with _SHARD_CONTEXT_LOCK:
+        _SHARD_CONTEXT = (context, runner)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_worker_initializer,
+            ) as pool:
+                return list(pool.map(_invoke_shard, range(shard_count)))
+        finally:
+            _SHARD_CONTEXT = None
+
+
+def shard_slices(total: int, shard_count: int) -> List[slice]:
+    """Split ``range(total)`` into contiguous, balanced slices.
+
+    Contiguity matters: replay order is concatenation order, so contiguous
+    shards keep every shard's internal visit order identical to the serial
+    sweep's (shard 0's speculation is exactly the serial prefix).
+    """
+    shard_count = max(1, min(shard_count, total)) if total else 1
+    bounds = np.linspace(0, total, shard_count + 1).astype(int)
+    return [
+        slice(int(lo), int(hi))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Parallel explorer
+
+
+@dataclass
+class ParallelStats:
+    """Shard-side work accounting (what the canonical stats hide).
+
+    ``ExplorationResult.stats`` reports the serial-equivalent counters so
+    estimates and bench counters are invariant to the shard count; this
+    records what the shards actually did, including the speculation that
+    the merge collapsed.
+    """
+
+    workers: int = 0
+    shard_sizes: Tuple[int, ...] = ()
+    #: Samples actually drawn inside shards (>= stats.samples_drawn).  For
+    #: scenario sweeps this counts Monte Carlo rounds (one round covers all
+    #: output columns), matching ``RunnerStats.rounds_executed``.
+    shard_samples_drawn: int = 0
+    #: Shard-created bases that collapsed into mappings during the merge.
+    bases_collapsed: int = 0
+    #: Points the canonical replay had to resimulate because their shard
+    #: reused them while the canonical order demanded a full simulation.
+    points_resimulated: int = 0
+    #: Per-shard work counters (ExplorerStats or RunnerStats instances).
+    shard_stats: List[object] = field(default_factory=list)
+
+
+@dataclass
+class _ShardPointRecord:
+    """One point's shipped outcome: fingerprint, and samples on a miss."""
+
+    fingerprint_values: np.ndarray
+    samples: Optional[np.ndarray]
+
+
+@dataclass
+class _ShardOutcome:
+    records: List[_ShardPointRecord]
+    stats: ExplorerStats
+
+
+@dataclass
+class _ExplorerShardContext:
+    """Inherited-by-fork description of one sweep's shard jobs."""
+
+    simulation: Simulation
+    shards: List[List[Dict[str, float]]]
+    samples_per_point: int
+    fingerprint_size: int
+    fingerprint_slice: SeedSlice
+    estimator: Estimator
+    store_factory: Callable[[], BasisStore]
+
+
+def _run_explorer_shard(
+    context: _ExplorerShardContext, index: int
+) -> _ShardOutcome:
+    explorer = ParameterExplorer(
+        context.simulation,
+        samples_per_point=context.samples_per_point,
+        fingerprint_size=context.fingerprint_size,
+        basis_store=context.store_factory(),
+        seed_bank=context.fingerprint_slice.bank,
+        estimator=context.estimator,
+    )
+    stats = ExplorerStats()
+    records = []
+    # One record per *visited* point, in shard order — explore_point per
+    # point rather than run(), whose result dict would collapse duplicate
+    # parameter points and misalign the replay.
+    for params in context.shards[index]:
+        point = explorer.explore_point(params)
+        stats.points_total += 1
+        stats.fingerprint_samples += context.fingerprint_size
+        if point.reused:
+            stats.points_reused += 1
+        else:
+            stats.bases_created += 1
+            stats.full_samples += (
+                context.samples_per_point - context.fingerprint_size
+            )
+        samples = (
+            None
+            if point.reused
+            else explorer.store.get(point.basis_id).samples
+        )
+        records.append(
+            _ShardPointRecord(point.fingerprint.array, samples)
+        )
+    return _ShardOutcome(records, stats)
+
+
+class _PlaybackSimulation:
+    """Replays worker-recorded sample vectors into a serial explorer.
+
+    The merge phase runs a plain :class:`ParameterExplorer` over the full
+    space — the literal serial algorithm, stats and all — with this object
+    standing in for the simulation: fingerprint rounds return the shard's
+    recorded values, completion rounds return the shard's full samples,
+    and only when a shard speculatively reused a point the canonical order
+    must simulate does it fall through to the real batch simulation.
+    Calls are disambiguated by seed-array identity (the explorer passes
+    its one fingerprint-seed array for every fingerprint call), so the
+    protocol is safe even when both phases draw equally many rounds.
+    """
+
+    def __init__(
+        self,
+        records: List[_ShardPointRecord],
+        batch_simulation,
+    ):
+        self._records = records
+        self._batch_simulation = batch_simulation
+        self._fingerprint_seeds: Optional[np.ndarray] = None
+        self._index = -1
+        self.points_resimulated = 0
+
+    def bind(self, fingerprint_seeds: np.ndarray) -> None:
+        self._fingerprint_seeds = fingerprint_seeds
+
+    def sample_batch(self, params: Params, seeds: np.ndarray) -> np.ndarray:
+        if seeds is self._fingerprint_seeds:
+            self._index += 1
+            return self._records[self._index].fingerprint_values
+        record = self._records[self._index]
+        if record.samples is not None:
+            return record.samples[len(record.fingerprint_values):]
+        self.points_resimulated += 1
+        return self._batch_simulation(params, seeds)
+
+
+class ParallelExplorer:
+    """A :class:`ParameterExplorer` sharded across a pool of workers.
+
+    Same ``run(space) -> ExplorationResult`` contract; per-point metrics
+    (and in this implementation even reuse decisions and counters) are
+    bit-identical to the serial explorer for any ``workers``.  The merged
+    basis store is available as ``store`` afterwards, exactly like the
+    serial explorer's.
+
+    ``store_factory`` builds each worker's shard-local store *and* the
+    merged store; by default it mirrors the serial constructor
+    (``mapping_family`` + ``index_strategy`` + shared estimator).
+    """
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        workers: Optional[int] = None,
+        samples_per_point: int = 1000,
+        fingerprint_size: int = 10,
+        index_strategy: str = "normalization",
+        mapping_family: Optional[MappingFamily] = None,
+        seed_bank: Optional[SeedBank] = None,
+        estimator: Optional[Estimator] = None,
+        store_factory: Optional[Callable[[], BasisStore]] = None,
+    ):
+        if fingerprint_size < 1:
+            raise ValueError("fingerprint_size must be at least 1")
+        if samples_per_point < fingerprint_size:
+            raise ValueError(
+                "samples_per_point must be >= fingerprint_size (fingerprint "
+                "rounds double as the first simulation rounds)"
+            )
+        self.workers = (
+            default_worker_count() if workers is None else int(workers)
+        )
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.simulation = simulation
+        self._batch_simulation = make_batch_simulation(simulation)
+        self.samples_per_point = samples_per_point
+        self.fingerprint_size = fingerprint_size
+        self.seed_bank = seed_bank or DEFAULT_SEED_BANK
+        self.estimator = estimator or Estimator()
+        if store_factory is None:
+
+            def store_factory() -> BasisStore:
+                return BasisStore(
+                    mapping_family=mapping_family,
+                    index_strategy=index_strategy,
+                    estimator=self.estimator,
+                )
+
+        self._store_factory = store_factory
+        self.store = store_factory()
+        self._fingerprint_slice = self.seed_bank.slice(fingerprint_size)
+
+    def run(self, space: Iterable[Params]) -> ExplorationResult:
+        """Explore every point of ``space``: speculate in shards, then merge."""
+        points = [dict(p) for p in space]
+        slices = shard_slices(len(points), self.workers)
+        shards = [points[s] for s in slices]
+        context = _ExplorerShardContext(
+            simulation=self.simulation,
+            shards=shards,
+            samples_per_point=self.samples_per_point,
+            fingerprint_size=self.fingerprint_size,
+            fingerprint_slice=self._fingerprint_slice,
+            estimator=self.estimator,
+            store_factory=self._store_factory,
+        )
+        outcomes = fork_map(
+            _run_explorer_shard, context, len(shards), self.workers
+        )
+        return self._merge(points, outcomes)
+
+    def _merge(
+        self,
+        points: List[Dict[str, float]],
+        outcomes: List[_ShardOutcome],
+    ) -> ExplorationResult:
+        """Replay the canonical sweep order against one merged store.
+
+        Runs the *actual* serial explorer over the full space with a
+        :class:`_PlaybackSimulation` as the simulation — so reuse
+        decisions, per-point metrics, and counters are serial by
+        construction, and cross-shard duplicate bases collapse exactly
+        where a serial sweep would have reused them.
+        """
+        records = [
+            record for outcome in outcomes for record in outcome.records
+        ]
+        playback = _PlaybackSimulation(records, self._batch_simulation)
+        replay = ParameterExplorer(
+            playback,
+            samples_per_point=self.samples_per_point,
+            fingerprint_size=self.fingerprint_size,
+            basis_store=self.store,
+            seed_bank=self.seed_bank,
+            estimator=self.estimator,
+        )
+        playback.bind(replay._fingerprint_seeds)
+        result = replay.run(points)
+        parallel = ParallelStats(
+            workers=self.workers,
+            shard_sizes=tuple(len(o.records) for o in outcomes),
+            shard_samples_drawn=sum(
+                o.stats.samples_drawn for o in outcomes
+            ),
+            points_resimulated=playback.points_resimulated,
+            shard_stats=[o.stats for o in outcomes],
+        )
+        shard_bases = sum(o.stats.bases_created for o in outcomes)
+        adopted = result.stats.bases_created - parallel.points_resimulated
+        parallel.bases_collapsed = shard_bases - adopted
+        result.parallel = parallel
+        return result

@@ -13,6 +13,7 @@ seeds (section 4) can be derived from an instance seed without collisions.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Union
 
 import numpy as np
@@ -80,6 +81,36 @@ def derive_seed_array(*components: SeedComponents) -> np.ndarray:
     return np.asarray(state, dtype=np.uint64)
 
 
+@dataclass(frozen=True)
+class SeedSlice:
+    """A picklable handle on a contiguous run of a bank's seed sequence.
+
+    Parallel sweep workers receive slices instead of materialized arrays:
+    a slice is three integers on the wire, and :meth:`materialize` rebuilds
+    the exact ``seed_array(count, start)`` vector (bit-identical, since
+    every seed is a pure function of ``(master_seed, index)``).
+    """
+
+    master_seed: int
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.count < 0:
+            raise ValueError("start and count must be non-negative")
+
+    @property
+    def bank(self) -> "SeedBank":
+        return SeedBank(self.master_seed)
+
+    def materialize(self) -> np.ndarray:
+        """The slice's seeds as a uint64 array (σ_start .. σ_start+count-1)."""
+        return self.bank.seed_array(self.count, start=self.start)
+
+    def __len__(self) -> int:
+        return self.count
+
+
 class SeedBank:
     """A fixed, indexable sequence of i.i.d. pseudorandom seeds.
 
@@ -116,6 +147,14 @@ class SeedBank:
             raise ValueError("start must be non-negative")
         indices = np.arange(start, start + count, dtype=np.uint64)
         return derive_seed_array(self._master_seed, indices)
+
+    def slice(self, count: int, start: int = 0) -> SeedSlice:
+        """A picklable :class:`SeedSlice` over ``[σ_start, σ_start+count)``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        return SeedSlice(self._master_seed, start, count)
 
     def step_seed_array(
         self, instance_indices: np.ndarray, step: int

@@ -94,7 +94,11 @@ class InteractiveSession:
         self.fingerprint_size = fingerprint_size
         self.chunk = chunk
         self.estimator = estimator or Estimator()
-        self.store = basis_store or BasisStore(estimator=self.estimator)
+        # `is None`, not `or`: an empty BasisStore is falsy (len() == 0)
+        # and `or` would silently replace a caller's configured store.
+        if basis_store is None:
+            basis_store = BasisStore(estimator=self.estimator)
+        self.store = basis_store
         self.seed_bank = seed_bank or DEFAULT_SEED_BANK
         self.task_heuristic = task_heuristic or RoundRobinTaskHeuristic()
         self.explore_heuristic = explore_heuristic or AdjacentExploreHeuristic(

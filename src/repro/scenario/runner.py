@@ -20,6 +20,7 @@ from repro.blackbox.base import ParamKey, param_key
 from repro.core.basis import BasisStore
 from repro.core.estimator import Estimator, MetricSet
 from repro.core.fingerprint import Fingerprint
+from repro.core.parallel import ParallelStats, fork_map, shard_slices
 from repro.core.mapping import (
     IdentityMappingFamily,
     LinearMappingFamily,
@@ -50,11 +51,18 @@ class RunnerStats:
 
 @dataclass
 class ScenarioResult:
-    """Per-point, per-column metrics plus accounting."""
+    """Per-point, per-column metrics plus accounting.
+
+    ``stats`` is the canonical (serial-equivalent) accounting regardless of
+    how many workers executed the sweep; ``parallel`` carries the
+    shard-side work when the run was sharded (see
+    :mod:`repro.core.parallel`).
+    """
 
     metrics: Dict[ParamKey, Dict[str, MetricSet]] = field(default_factory=dict)
     points: Dict[ParamKey, Dict[str, float]] = field(default_factory=dict)
     stats: RunnerStats = field(default_factory=RunnerStats)
+    parallel: Optional[ParallelStats] = None
 
     def metrics_for(
         self, params: Mapping[str, float]
@@ -75,6 +83,36 @@ class ScenarioResult:
         return len(self.metrics)
 
 
+@dataclass
+class _ScenarioPointRecord:
+    """One point's shipped outcome: per-column fingerprints, and — when the
+    shard fully simulated the point — per-column full sample vectors."""
+
+    fingerprints: Dict[str, np.ndarray]
+    samples: Optional[Dict[str, np.ndarray]]
+
+
+@dataclass
+class _ScenarioShardContext:
+    """Inherited-by-fork description of a sharded scenario sweep."""
+
+    runner_factory: "object"
+    shards: List[List[Dict[str, float]]]
+
+
+def _run_scenario_shard(
+    context: _ScenarioShardContext, index: int
+) -> Tuple[List[_ScenarioPointRecord], RunnerStats]:
+    runner = context.runner_factory()
+    stats = RunnerStats()
+    records: List[_ScenarioPointRecord] = []
+    for point in context.shards[index]:
+        _, record = runner._run_point(point, stats)
+        records.append(record)
+        stats.points_total += 1
+    return records, stats
+
+
 class ScenarioRunner:
     """Executes a scenario over its whole parameter space with reuse.
 
@@ -82,6 +120,12 @@ class ScenarioRunner:
     boolean outputs default to identity-only matching (a 0/1 fingerprint
     admits no meaningful affine remap — scaling probabilities would be
     statistically wrong).
+
+    ``workers > 1`` shards the parameter space across a fork pool (see
+    :mod:`repro.core.parallel`): each worker sweeps its shard with its own
+    per-column basis stores, then the master replays the canonical point
+    order against the merged stores, so per-point metrics and counters are
+    bit-identical to the serial sweep for any worker count.
     """
 
     def __init__(
@@ -94,21 +138,28 @@ class ScenarioRunner:
         index_strategy: str = "normalization",
         column_families: Optional[Mapping[str, MappingFamily]] = None,
         use_fingerprints: bool = True,
+        workers: int = 1,
     ):
         if fingerprint_size < 1:
             raise ValueError("fingerprint_size must be at least 1")
         if samples_per_point < fingerprint_size:
             raise ValueError("samples_per_point must be >= fingerprint_size")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         self.scenario = scenario
         self.samples_per_point = samples_per_point
         self.fingerprint_size = fingerprint_size
         self.seed_bank = seed_bank or DEFAULT_SEED_BANK
         self.estimator = estimator or Estimator()
         self.use_fingerprints = use_fingerprints
-        overrides = dict(column_families or {})
+        self.workers = int(workers)
+        self._index_strategy = index_strategy
+        self._family_overrides = dict(column_families or {})
         self._stores: Dict[str, BasisStore] = {}
         for column in scenario.output_columns:
-            family = overrides.get(column, LinearMappingFamily())
+            family = self._family_overrides.get(
+                column, LinearMappingFamily()
+            )
             self._stores[column] = BasisStore(
                 mapping_family=family,
                 index_strategy=index_strategy,
@@ -118,13 +169,96 @@ class ScenarioRunner:
     def store_for(self, column: str) -> BasisStore:
         return self._stores[column]
 
+    def _clone_serial(self) -> "ScenarioRunner":
+        """A fresh single-worker runner with this runner's configuration
+        (shard workers build their local per-column stores through this)."""
+        return ScenarioRunner(
+            self.scenario,
+            samples_per_point=self.samples_per_point,
+            fingerprint_size=self.fingerprint_size,
+            seed_bank=self.seed_bank,
+            estimator=self.estimator,
+            index_strategy=self._index_strategy,
+            column_families=self._family_overrides,
+            use_fingerprints=self.use_fingerprints,
+            workers=1,
+        )
+
     def run(self) -> ScenarioResult:
+        if self.workers > 1:
+            return self._run_parallel()
         result = ScenarioResult()
         for point in self.scenario.space.points():
             key = param_key(point)
             result.points[key] = dict(point)
-            result.metrics[key] = self._run_point(point, result.stats)
+            metrics, _ = self._run_point(point, result.stats)
+            result.metrics[key] = metrics
             result.stats.points_total += 1
+        return result
+
+    def _run_parallel(self) -> ScenarioResult:
+        """Shard, speculate, then replay the canonical order.
+
+        The replay runs the *actual* serial loop (``_run_point``) with a
+        playback rounds-provider serving the workers' recorded sample
+        vectors, so per-point metrics and counters are serial by
+        construction; only a point a shard speculatively reused but the
+        canonical order must simulate falls through to the real rounds.
+        """
+        points = list(self.scenario.space.points())
+        slices = shard_slices(len(points), self.workers)
+        shards = [points[s] for s in slices]
+        context = _ScenarioShardContext(self._clone_serial, shards)
+        outcomes = fork_map(
+            _run_scenario_shard, context, len(shards), self.workers
+        )
+        parallel = ParallelStats(
+            workers=self.workers,
+            shard_sizes=tuple(len(records) for records, _ in outcomes),
+            shard_samples_drawn=sum(
+                stats.rounds_executed for _, stats in outcomes
+            ),
+            shard_stats=[stats for _, stats in outcomes],
+        )
+        shard_bases = sum(stats.bases_created for _, stats in outcomes)
+        records = [
+            record for shard_records, _ in outcomes
+            for record in shard_records
+        ]
+        m = self.fingerprint_size
+        cursor = {"index": -1}
+
+        def playback_rounds(
+            point: Dict[str, float], count: int, start: int
+        ) -> Dict[str, np.ndarray]:
+            if start == 0:  # fingerprint rounds open each point's replay
+                cursor["index"] += 1
+                return records[cursor["index"]].fingerprints
+            record = records[cursor["index"]]
+            if record.samples is not None:
+                return {
+                    column: samples[m:]
+                    for column, samples in record.samples.items()
+                }
+            parallel.points_resimulated += 1
+            return self._simulate_rounds(point, count, start)
+
+        result = ScenarioResult()
+        for point in points:
+            key = param_key(point)
+            result.points[key] = dict(point)
+            metrics, _ = self._run_point(
+                point, result.stats, simulate_rounds=playback_rounds
+            )
+            result.metrics[key] = metrics
+            result.stats.points_total += 1
+        adopted = (
+            result.stats.bases_created
+            - parallel.points_resimulated
+            * len(self.scenario.output_columns)
+        )
+        parallel.bases_collapsed = shard_bases - adopted
+        result.parallel = parallel
         return result
 
     def _simulate_rounds(
@@ -151,13 +285,24 @@ class ScenarioRunner:
             }
 
     def _run_point(
-        self, point: Dict[str, float], stats: RunnerStats
-    ) -> Dict[str, MetricSet]:
+        self,
+        point: Dict[str, float],
+        stats: RunnerStats,
+        simulate_rounds=None,
+    ) -> Tuple[Dict[str, MetricSet], _ScenarioPointRecord]:
+        """One point of the sweep: probe, reuse or fully simulate.
+
+        ``simulate_rounds`` optionally overrides :meth:`_simulate_rounds`
+        — the parallel replay injects a playback provider here so this
+        exact code path (and its accounting) serves both modes.
+        """
+        if simulate_rounds is None:
+            simulate_rounds = self._simulate_rounds
         columns = self.scenario.output_columns
         m = self.fingerprint_size
 
         # Fingerprint rounds (double as the first m simulation rounds).
-        column_values = self._simulate_rounds(point, m, start=0)
+        column_values = simulate_rounds(point, m, 0)
         stats.rounds_executed += m
 
         if self.use_fingerprints:
@@ -170,24 +315,27 @@ class ScenarioRunner:
                 matches[column] = matched
             if len(matches) == len(columns):
                 stats.points_reused += 1
-                return {
-                    column: self._stores[column].metrics_for(
-                        basis, mapping  # type: ignore[arg-type]
-                    )
-                    for column, (basis, mapping) in matches.items()
-                }
+                return (
+                    {
+                        column: self._stores[column].metrics_for(
+                            basis, mapping  # type: ignore[arg-type]
+                        )
+                        for column, (basis, mapping) in matches.items()
+                    },
+                    _ScenarioPointRecord(column_values, None),
+                )
 
         # Full simulation: complete the remaining rounds and register bases.
-        remaining = self._simulate_rounds(
-            point, self.samples_per_point - m, start=m
-        )
+        remaining = simulate_rounds(point, self.samples_per_point - m, m)
         stats.rounds_executed += self.samples_per_point - m
 
         metrics: Dict[str, MetricSet] = {}
+        column_samples: Dict[str, np.ndarray] = {}
         for column in columns:
             samples = np.concatenate(
                 [column_values[column], remaining[column]]
             )
+            column_samples[column] = samples
             fingerprint = Fingerprint(samples[:m])
             if self.use_fingerprints:
                 basis = self._stores[column].add(fingerprint, samples)
@@ -195,7 +343,7 @@ class ScenarioRunner:
                 metrics[column] = basis.metrics
             else:
                 metrics[column] = self.estimator.estimate(samples)
-        return metrics
+        return metrics, _ScenarioPointRecord(column_values, column_samples)
 
 
 def boolean_column_families(

@@ -8,7 +8,6 @@ probabilities differ by less than the fingerprint can distinguish — the test
 bounds that error instead.
 """
 
-import pytest
 
 from repro.bench.workloads import (
     capacity_workload,

@@ -7,7 +7,6 @@ from basis samples.  This test runs that strategy end to end and compares
 it against brute-force overload estimation.
 """
 
-import numpy as np
 import pytest
 
 from repro.blackbox import CapacityModel, DemandModel

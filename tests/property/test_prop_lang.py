@@ -7,7 +7,7 @@ from repro.lang.ast import RangeSpec, SetSpec
 from repro.lang.parser import parse_expression, parse_script
 from repro.probdb.expressions import EvalContext
 from repro.lang.binder import Binder
-from repro.lang.ast import Script, SelectStatement, SelectItem
+from repro.lang.ast import Script
 from repro.blackbox import BlackBoxRegistry
 
 names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(

@@ -377,11 +377,12 @@ INTO results;
 
         overload = default_registry().lookup("OverloadModel")
         demand, capacity = overload.component_boxes()
-        counters = lambda: (
-            overload.invocations,
-            demand.invocations,
-            capacity.invocations,
-        )
+        def counters():
+            return (
+                overload.invocations,
+                demand.invocations,
+                capacity.invocations,
+            )
         before = counters()
         mid = {}
 

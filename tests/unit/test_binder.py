@@ -6,12 +6,9 @@ from repro.blackbox import (
     BlackBoxRegistry,
     CapacityModel,
     DemandModel,
-    FunctionBlackBox,
 )
 from repro.errors import BindingError
 from repro.lang.binder import compile_query
-from repro.lang.parser import parse_script
-from repro.lang.binder import bind_script
 from repro.scenario.parameter import (
     ChainParameter,
     RangeParameter,

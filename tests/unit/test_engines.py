@@ -1,6 +1,5 @@
 """Unit tests for the Figure 7 prototype engines."""
 
-import pytest
 
 from repro.bench.engines import CoreEngine, WrapperEngine, default_query_for
 from repro.bench.workloads import (

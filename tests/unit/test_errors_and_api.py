@@ -85,7 +85,11 @@ class TestRunAllScript:
         finally:
             sys.path.pop(0)
         out_file = tmp_path / "report.txt"
-        run_all.main(["--only", "fig12", "--out", str(out_file)])
+        # --bench-out '' disables the bench JSON write: a test run must
+        # never touch the committed BENCH_run_all.json perf baseline.
+        run_all.main(
+            ["--only", "fig12", "--out", str(out_file), "--bench-out", ""]
+        )
         assert "Figure 12" in capsys.readouterr().out
         assert "Figure 12" in out_file.read_text()
 

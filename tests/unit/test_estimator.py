@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.estimator import (
     Estimator,
-    MetricSet,
     merge_metric_sets,
     remap_samples,
 )

@@ -11,7 +11,7 @@ from repro.core.markov import (
     MarkovJumpRunner,
     NaiveMarkovRunner,
 )
-from repro.core.mapping import LinearMappingFamily, ShiftMappingFamily
+from repro.core.mapping import LinearMappingFamily
 from repro.core.seeds import SeedBank
 from repro.errors import MarkovError
 

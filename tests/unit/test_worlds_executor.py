@@ -8,7 +8,6 @@ from repro.core.seeds import SeedBank
 from repro.errors import QueryError, SchemaError
 from repro.probdb.executor import MonteCarloExecutor
 from repro.probdb.expressions import (
-    BinaryOp,
     BlackBoxCall,
     ColumnRef,
     Constant,
