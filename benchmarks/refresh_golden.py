@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Regenerate the golden-figure data under ``benchmarks/golden/``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/refresh_golden.py [--check]
+
+Each figure runner exposes deterministic per-figure *data points*
+(``FigureResult.data``): per-x estimates, reuse decisions, and jump
+counts that are pure functions of the fixed seed bank — never wall
+clock.  This script records them at smoke scale, one JSON file per
+figure; ``tests/integration/test_figures.py`` compares live runs against
+these files **exactly** (float-for-float), so any drift in estimates —
+not just in the work counters the bench gate watches — fails CI.
+
+Refresh procedure after an *intentional* change to sampling or estimate
+behavior: rerun this script, eyeball the diff, and commit it alongside
+an explanation (same policy as ``BENCH_smoke_baseline.json``; see the
+ROADMAP subsystem notes).
+
+``--check`` compares without writing and exits non-zero on drift —
+usable as a standalone gate.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+GOLDEN_DIR = os.path.join(_BENCH_DIR, "golden")
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(_BENCH_DIR), "src")
+)
+
+from repro.bench.figures import (  # noqa: E402  (path bootstrap above)
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+)
+
+#: fig7 is excluded: its result is a pure timing table with no
+#: deterministic data points to pin.
+RUNNERS = {
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+}
+
+SCALE = "smoke"
+
+
+def golden_path(figure):
+    return os.path.join(GOLDEN_DIR, f"{figure}.json")
+
+
+def measure(figure):
+    """One figure's golden document (data points + provenance)."""
+    result = RUNNERS[figure](SCALE)
+    return {"figure": figure, "scale": SCALE, "data": result.data}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against committed files instead of rewriting them",
+    )
+    args = parser.parse_args(argv)
+
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    drift = []
+    for figure in RUNNERS:
+        print(f"measuring {figure} ({SCALE} scale)...", file=sys.stderr)
+        document = measure(figure)
+        path = golden_path(figure)
+        if args.check:
+            try:
+                with open(path) as handle:
+                    committed = json.load(handle)
+            except (OSError, ValueError) as error:
+                drift.append(f"{figure}: unreadable golden file ({error})")
+                continue
+            # json round-trip normalizes float formatting on both sides,
+            # so this is an exact value comparison.
+            if json.loads(json.dumps(document)) != committed:
+                drift.append(f"{figure}: data points drifted")
+            continue
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+    if drift:
+        print("golden-figure check FAILED:", file=sys.stderr)
+        for line in drift:
+            print(f"  - {line}", file=sys.stderr)
+        print(
+            "\nIf the change is intentional, refresh and commit:\n"
+            "  PYTHONPATH=src python benchmarks/refresh_golden.py",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check:
+        print(f"golden-figure check passed: {len(RUNNERS)} figures exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

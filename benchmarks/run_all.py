@@ -48,7 +48,7 @@ from repro.bench.figures import (
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def _classify_baseline(bench_out, scale, workers=1):
+def _classify_baseline(bench_out, scale, workers=1, adaptive=None):
     """Classify the file at ``bench_out`` for overwrite/merge decisions.
 
     Returns ``(kind, existing)``; ``kind`` is ``"missing"`` (no file),
@@ -56,7 +56,10 @@ def _classify_baseline(bench_out, scale, workers=1):
     (well-formed baseline for a different scale), ``"other-workers"``
     (well-formed baseline measured at a different worker count — sharded
     wall clocks must never replace or be merged into the serial perf
-    trajectory), or ``"compatible"`` (well-formed, same configuration).
+    trajectory), ``"other-adaptive"`` (adaptive stopping policy differs —
+    adaptive runs draw fewer samples by design, so their counters must
+    never replace or be merged into a fixed-budget baseline, nor vice
+    versa), or ``"compatible"`` (well-formed, same configuration).
     ``existing`` is the parsed document except for the first two kinds.
     """
     if not os.path.exists(bench_out):
@@ -78,6 +81,8 @@ def _classify_baseline(bench_out, scale, workers=1):
         return "other-scale", existing
     if existing.get("workers", 1) != workers:
         return "other-workers", existing
+    if existing.get("adaptive") != adaptive:
+        return "other-adaptive", existing
     return "compatible", existing
 
 
@@ -107,7 +112,10 @@ def _merge_partial(bench_out, bench, all_figures):
     key).
     """
     kind, existing = _classify_baseline(
-        bench_out, bench["scale"], bench.get("workers", 1)
+        bench_out,
+        bench["scale"],
+        bench.get("workers", 1),
+        bench.get("adaptive"),
     )
     if kind == "unusable":
         _refuse_overwrite(
@@ -127,6 +135,14 @@ def _merge_partial(bench_out, bench, all_figures):
             f"existing baseline was measured with "
             f"{existing.get('workers', 1)} worker(s), this run used "
             f"{bench.get('workers', 1)}",
+        )
+        return None
+    if kind == "other-adaptive":
+        _refuse_overwrite(
+            bench_out,
+            f"existing baseline used adaptive policy "
+            f"{existing.get('adaptive')!r}, this run used "
+            f"{bench.get('adaptive')!r}",
         )
         return None
     merged_figures = set(bench["figures"])
@@ -186,19 +202,62 @@ def main(argv=None):
         default=None,
         help="run a single experiment, e.g. --only fig9",
     )
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=None,
+        help=(
+            "enable adaptive per-point stopping at this relative "
+            "tolerance for the explorer sweeps (fig8-11); figures then "
+            "record samples_saved_fraction, and the resulting document "
+            "is never merged into a fixed-budget baseline"
+        ),
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for --rtol stopping (default 0.95)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    adaptive = None
+    if args.rtol is not None:
+        from repro.core.adaptive import AdaptiveBudget
+
+        try:
+            adaptive = AdaptiveBudget(
+                rtol=args.rtol, confidence=args.confidence
+            )
+        except Exception as error:
+            parser.error(str(error))
+    elif args.confidence != 0.95:
+        print(
+            "--confidence has no effect without --rtol",
+            file=sys.stderr,
+        )
 
     runners = {
         "fig7": lambda: run_fig7(args.scale),
-        "fig8": lambda: run_fig8(args.scale, workers=args.workers),
-        "fig9": lambda: run_fig9(args.scale, workers=args.workers),
-        "fig10": lambda: run_fig10(args.scale, workers=args.workers),
-        "fig11": lambda: run_fig11(args.scale, workers=args.workers),
+        "fig8": lambda: run_fig8(
+            args.scale, workers=args.workers, adaptive=adaptive
+        ),
+        "fig9": lambda: run_fig9(
+            args.scale, workers=args.workers, adaptive=adaptive
+        ),
+        "fig10": lambda: run_fig10(
+            args.scale, workers=args.workers, adaptive=adaptive
+        ),
+        "fig11": lambda: run_fig11(
+            args.scale, workers=args.workers, adaptive=adaptive
+        ),
         "fig12": lambda: run_fig12(args.scale),
     }
     all_figures = tuple(runners)
+    #: Figures whose runner takes the stopping policy; fig7 and fig12
+    #: time engines with no per-point sample budget to adapt.
+    adaptive_figures = ("fig8", "fig9", "fig10", "fig11")
     if args.only is not None:
         if args.only not in runners:
             parser.error(
@@ -206,6 +265,18 @@ def main(argv=None):
                 f"{sorted(runners)}"
             )
         runners = {args.only: runners[args.only]}
+    if adaptive is not None and not any(
+        name in adaptive_figures for name in runners
+    ):
+        # Nothing selected consumes the policy: the run is bit-identical
+        # to a fixed-budget one, so don't tag (and later refuse to merge)
+        # a document the flag never influenced.
+        print(
+            f"--rtol has no effect on {'/'.join(runners)}; "
+            f"running fixed-budget",
+            file=sys.stderr,
+        )
+        adaptive = None
 
     sections = []
     bench = {
@@ -214,6 +285,14 @@ def main(argv=None):
         "workers": args.workers,
         "figures": {},
     }
+    if adaptive is not None:
+        # Recorded so adaptive documents can never be mistaken for (or
+        # merged into) fixed-budget baselines; absent otherwise to keep
+        # default documents byte-identical to pre-adaptive ones.
+        bench["adaptive"] = {
+            "rtol": adaptive.rtol,
+            "confidence": adaptive.confidence,
+        }
     total_seconds = 0.0
     for name, runner in runners.items():
         started = time.perf_counter()
@@ -238,12 +317,13 @@ def main(argv=None):
         bench = _merge_partial(args.bench_out, bench, all_figures)
         write_bench = bench is not None
     elif args.bench_out:
-        # A full run at another scale or worker count must not clobber the
-        # committed baseline either — same data-loss class _merge_partial
-        # guards.  (A full run may replace a missing/unusable/compatible
-        # file: it produces a complete fresh baseline.)
+        # A full run at another scale, worker count, or adaptive policy
+        # must not clobber the committed baseline either — same data-loss
+        # class _merge_partial guards.  (A full run may replace a
+        # missing/unusable/compatible file: it produces a complete fresh
+        # baseline.)
         kind, existing = _classify_baseline(
-            args.bench_out, args.scale, args.workers
+            args.bench_out, args.scale, args.workers, bench.get("adaptive")
         )
         if kind == "other-scale":
             _refuse_overwrite(
@@ -258,6 +338,14 @@ def main(argv=None):
                 f"existing baseline was measured with "
                 f"{existing.get('workers', 1)} worker(s), this run used "
                 f"{args.workers}",
+            )
+            write_bench = False
+        elif kind == "other-adaptive":
+            _refuse_overwrite(
+                args.bench_out,
+                f"existing baseline used adaptive policy "
+                f"{existing.get('adaptive')!r}, this run used "
+                f"{bench.get('adaptive')!r}",
             )
             write_bench = False
 

@@ -10,8 +10,9 @@ Python).
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.bench.engines import CoreEngine, WrapperEngine, default_query_for
 from repro.bench.harness import FigureResult, Series
@@ -29,8 +30,14 @@ from repro.bench.workloads import (
 from repro.core.basis import BasisStore
 from repro.core.explorer import NaiveExplorer, ParameterExplorer
 from repro.core.mapping import IdentityMappingFamily, LinearMappingFamily
+from repro.core.adaptive import (
+    AdaptiveBudget,
+    fixed_budget_samples,
+    saved_fraction,
+)
 from repro.core.markov import MarkovJumpRunner, NaiveMarkovRunner
 from repro.core.parallel import ParallelExplorer
+from repro.util import timing
 from repro.util.tables import format_table
 
 #: Recognized workload scales: ``smoke`` is the CI regression-gate size
@@ -53,12 +60,15 @@ def _make_explorer(
     index_strategy: str = "normalization",
     mapping_family=None,
     workers: int = 1,
+    adaptive: Optional[AdaptiveBudget] = None,
 ):
     """Serial or sharded explorer with identical counters and estimates.
 
     The sharded engine's canonical replay keeps every counter the bench
     JSON records bit-identical to the serial sweep, so ``--workers`` only
     ever changes wall-clock columns — never the regression-gated values.
+    An adaptive budget *does* change counters (that is its point), which
+    is why adaptive bench runs are never merged into a fixed baseline.
     """
     if workers > 1:
         return ParallelExplorer(
@@ -68,6 +78,7 @@ def _make_explorer(
             fingerprint_size=fingerprint_size,
             index_strategy=index_strategy,
             mapping_family=mapping_family,
+            adaptive=adaptive,
         )
     store = BasisStore(
         mapping_family=mapping_family, index_strategy=index_strategy
@@ -77,7 +88,53 @@ def _make_explorer(
         samples_per_point=samples,
         fingerprint_size=fingerprint_size,
         basis_store=store,
+        adaptive=adaptive,
     )
+
+
+class _AdaptiveAccounting:
+    """Accumulates actual-vs-fixed-budget sample counts across sweeps.
+
+    Publishes ``samples_saved_fraction`` — the fraction of the fixed
+    budget the adaptive policy did not draw — into a figure's counters.
+    Inactive (publishes nothing) when no policy is given, so default
+    bench documents stay byte-identical to pre-adaptive baselines.
+    """
+
+    def __init__(self, adaptive: Optional[AdaptiveBudget]):
+        self.adaptive = adaptive
+        self.actual = 0
+        self.budget = 0
+
+    def record(self, stats, samples: int, fingerprint_size: int) -> None:
+        if self.adaptive is None:
+            return
+        self.actual += stats.samples_drawn
+        self.budget += fixed_budget_samples(
+            stats.points_total,
+            stats.points_reused,
+            samples,
+            fingerprint_size,
+        )
+
+    def publish(self, result: FigureResult) -> None:
+        if self.adaptive is None:
+            return
+        result.counters["samples_saved_fraction"] = saved_fraction(
+            self.actual, self.budget
+        )
+
+
+def _sweep_digest(run) -> Dict[str, float]:
+    """Deterministic summary of one explorer sweep's estimates."""
+    expectations = [p.metrics.expectation for p in run.points.values()]
+    stddevs = [p.metrics.stddev for p in run.points.values()]
+    return {
+        "mean_expectation": float(np.mean(expectations)),
+        "mean_stddev": float(np.mean(stddevs)),
+        "points_reused": float(run.stats.points_reused),
+        "bases_created": float(run.stats.bases_created),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -106,14 +163,14 @@ def run_fig7(scale: str = "quick") -> str:
             samples_per_point=samples,
         )
         core = CoreEngine(workload.box, samples_per_point=samples)
-        start = time.perf_counter()
+        start = timing.perf_counter()
         for point in points:
             wrapper.evaluate_point(point)
-        wrapper_seconds = (time.perf_counter() - start) / len(points)
-        start = time.perf_counter()
+        wrapper_seconds = (timing.perf_counter() - start) / len(points)
+        start = timing.perf_counter()
         for point in points:
             core.evaluate_point(point)
-        core_seconds = (time.perf_counter() - start) / len(points)
+        core_seconds = (timing.perf_counter() - start) / len(points)
         rows.append(
             [
                 workload.name,
@@ -140,16 +197,17 @@ def _explore_pair(
     workload: SweepWorkload,
     mapping_family=None,
     workers: int = 1,
-) -> Tuple[float, float, Dict[str, float]]:
-    """(naive seconds, jigsaw seconds, extras) for one sweep workload."""
+    adaptive: Optional[AdaptiveBudget] = None,
+) -> Tuple[float, float, Dict[str, float], "object"]:
+    """(naive s, jigsaw s, extras, jigsaw stats) for one sweep workload."""
     simulation = workload.simulation()
 
-    start = time.perf_counter()
+    start = timing.perf_counter()
     naive = NaiveExplorer(
         simulation, samples_per_point=workload.samples_per_point
     )
     naive_run = naive.run(workload.points)
-    naive_seconds = time.perf_counter() - start
+    naive_seconds = timing.perf_counter() - start
 
     explorer = _make_explorer(
         simulation,
@@ -157,20 +215,26 @@ def _explore_pair(
         fingerprint_size=workload.fingerprint_size,
         mapping_family=mapping_family or LinearMappingFamily(),
         workers=workers,
+        adaptive=adaptive,
     )
-    start = time.perf_counter()
+    start = timing.perf_counter()
     result = explorer.run(workload.points)
-    jigsaw_seconds = time.perf_counter() - start
+    jigsaw_seconds = timing.perf_counter() - start
     extras = {
         "bases": float(result.stats.bases_created),
         "reuse_fraction": result.stats.reuse_fraction,
         "naive_samples": float(naive_run.stats.samples_drawn),
         "jigsaw_samples": float(result.stats.samples_drawn),
     }
-    return naive_seconds, jigsaw_seconds, extras
+    extras.update(_sweep_digest(result))
+    return naive_seconds, jigsaw_seconds, extras, result.stats
 
 
-def run_fig8(scale: str = "quick", workers: int = 1) -> FigureResult:
+def run_fig8(
+    scale: str = "quick",
+    workers: int = 1,
+    adaptive: Optional[AdaptiveBudget] = None,
+) -> FigureResult:
     """Jigsaw vs full evaluation on Usage, Capacity, Overload, MarkovStep."""
     # The paper's 1000 samples/point are affordable even at quick scale with
     # the batch sampling engine; quick now shrinks only the parameter spaces.
@@ -213,17 +277,29 @@ def run_fig8(scale: str = "quick", workers: int = 1) -> FigureResult:
         ),
     ]
     reuse_fractions = []
+    accounting = _AdaptiveAccounting(adaptive)
     for label_index, (label, workload, family) in enumerate(workloads):
         workload.samples_per_point = samples
-        naive_seconds, jigsaw_seconds, extras = _explore_pair(
-            workload, mapping_family=family, workers=workers
+        naive_seconds, jigsaw_seconds, extras, stats = _explore_pair(
+            workload, mapping_family=family, workers=workers,
+            adaptive=adaptive,
         )
+        accounting.record(stats, samples, workload.fingerprint_size)
         full_series.add(float(label_index), naive_seconds)
         jigsaw_series.add(float(label_index), jigsaw_seconds)
         result.counters["samples_drawn"] = result.counters.get(
             "samples_drawn", 0.0
         ) + extras["naive_samples"] + extras["jigsaw_samples"]
         reuse_fractions.append(extras["reuse_fraction"])
+        result.data[label] = {
+            "points": float(len(workload.points)),
+            "bases": extras["bases"],
+            "reuse_fraction": extras["reuse_fraction"],
+            "naive_samples": extras["naive_samples"],
+            "jigsaw_samples": extras["jigsaw_samples"],
+            "mean_expectation": extras["mean_expectation"],
+            "mean_stddev": extras["mean_stddev"],
+        }
         result.notes.append(
             f"{label}: {len(workload.points)} points, "
             f"{int(extras['bases'])} bases, "
@@ -233,6 +309,7 @@ def run_fig8(scale: str = "quick", workers: int = 1) -> FigureResult:
     result.counters["reuse_fraction"] = sum(reuse_fractions) / len(
         reuse_fractions
     )
+    accounting.publish(result)
 
     # MarkovStep: chain evaluation, naive vs jump.  Chains are sequential
     # in their step index, so this comparison stays single-process at any
@@ -241,18 +318,18 @@ def run_fig8(scale: str = "quick", workers: int = 1) -> FigureResult:
     instances = _pick(scale, 60, 150, 1000)
     model = markov_step_model()
     naive_runner = NaiveMarkovRunner(model, instance_count=instances)
-    start = time.perf_counter()
+    start = timing.perf_counter()
     naive_runner.run(steps)
-    naive_seconds = time.perf_counter() - start
+    naive_seconds = timing.perf_counter() - start
     model.reset_invocations()
     jump_runner = MarkovJumpRunner(
         model,
         instance_count=instances,
         fingerprint_size=PAPER_FINGERPRINT_SIZE,
     )
-    start = time.perf_counter()
+    start = timing.perf_counter()
     jump_result = jump_runner.run(steps)
-    jigsaw_seconds = time.perf_counter() - start
+    jigsaw_seconds = timing.perf_counter() - start
     index = float(len(workloads))
     full_series.add(index, naive_seconds)
     jigsaw_series.add(index, jigsaw_seconds)
@@ -264,6 +341,11 @@ def run_fig8(scale: str = "quick", workers: int = 1) -> FigureResult:
     result.counters["markov_step_invocations"] = float(
         jump_result.step_invocations
     )
+    result.data["MarkovStep"] = {
+        "jumps": float(len(jump_result.jumps)),
+        "full_steps": float(jump_result.full_steps),
+        "step_invocations": float(jump_result.step_invocations),
+    }
     result.notes.append(
         "x axis order: 0=Usage 1=Capacity 2=Overload 3=MarkovStep"
     )
@@ -296,6 +378,7 @@ def run_fig9(
     scale: str = "quick",
     structure_sizes: Optional[Tuple[float, ...]] = None,
     workers: int = 1,
+    adaptive: Optional[AdaptiveBudget] = None,
 ) -> FigureResult:
     if structure_sizes is None:
         structure_sizes = _pick(
@@ -314,6 +397,7 @@ def run_fig9(
     )
     strategies = ("array", "normalization", "sorted_sid")
     series = {name: Series(_strategy_label(name)) for name in strategies}
+    accounting = _AdaptiveAccounting(adaptive)
     for structure_size in structure_sizes:
         workload = capacity_workload(
             weeks=weeks, purchase_step=8, structure_size=float(structure_size)
@@ -326,15 +410,20 @@ def run_fig9(
                 fingerprint_size=workload.fingerprint_size,
                 index_strategy=strategy,
                 workers=workers,
+                adaptive=adaptive,
             )
-            start = time.perf_counter()
+            start = timing.perf_counter()
             run = explorer.run(workload.points)
-            elapsed = time.perf_counter() - start
+            elapsed = timing.perf_counter() - start
             series[strategy].add(
                 float(structure_size),
                 1000.0 * elapsed / len(workload.points),
             )
             _accumulate_run_counters(result, run)
+            accounting.record(run.stats, samples, workload.fingerprint_size)
+            result.data[f"structure={structure_size:g}|{strategy}"] = (
+                _sweep_digest(run)
+            )
             if strategy == "array":
                 result.notes.append(
                     f"structure={structure_size}: "
@@ -342,6 +431,7 @@ def run_fig9(
                     f"{len(workload.points)} points"
                 )
     result.series = [series[s] for s in strategies]
+    accounting.publish(result)
     return result
 
 
@@ -353,6 +443,7 @@ def run_fig10(
     scale: str = "quick",
     basis_counts: Optional[Tuple[int, ...]] = None,
     workers: int = 1,
+    adaptive: Optional[AdaptiveBudget] = None,
 ) -> FigureResult:
     """Static parameter space: time relative to the Array scan."""
     if basis_counts is None:
@@ -369,6 +460,7 @@ def run_fig10(
     )
     strategies = ("array", "normalization", "sorted_sid")
     series = {name: Series(_strategy_label(name)) for name in strategies}
+    accounting = _AdaptiveAccounting(adaptive)
     for basis_count in basis_counts:
         timings: Dict[str, float] = {}
         for strategy in strategies:
@@ -380,16 +472,22 @@ def run_fig10(
                 fingerprint_size=workload.fingerprint_size,
                 index_strategy=strategy,
                 workers=workers,
+                adaptive=adaptive,
             )
-            start = time.perf_counter()
+            start = timing.perf_counter()
             run = explorer.run(workload.points)
-            timings[strategy] = time.perf_counter() - start
+            timings[strategy] = timing.perf_counter() - start
             _accumulate_run_counters(result, run)
+            accounting.record(run.stats, samples, workload.fingerprint_size)
+            result.data[f"bases={basis_count}|{strategy}"] = _sweep_digest(
+                run
+            )
         for strategy in strategies:
             series[strategy].add(
                 float(basis_count), timings[strategy] / timings["array"]
             )
     result.series = [series[s] for s in strategies]
+    accounting.publish(result)
     return result
 
 
@@ -397,6 +495,7 @@ def run_fig11(
     scale: str = "quick",
     basis_counts: Optional[Tuple[int, ...]] = None,
     workers: int = 1,
+    adaptive: Optional[AdaptiveBudget] = None,
 ) -> FigureResult:
     """Parameter space grown with basis size (basis = 10% of the space)."""
     if basis_counts is None:
@@ -415,6 +514,7 @@ def run_fig11(
     )
     strategies = ("array", "normalization", "sorted_sid")
     series = {name: Series(_strategy_label(name)) for name in strategies}
+    accounting = _AdaptiveAccounting(adaptive)
     for basis_count in basis_counts:
         point_count = basis_count * 10
         for strategy in strategies:
@@ -426,15 +526,21 @@ def run_fig11(
                 fingerprint_size=workload.fingerprint_size,
                 index_strategy=strategy,
                 workers=workers,
+                adaptive=adaptive,
             )
-            start = time.perf_counter()
+            start = timing.perf_counter()
             run = explorer.run(workload.points)
-            elapsed = time.perf_counter() - start
+            elapsed = timing.perf_counter() - start
             series[strategy].add(
                 float(basis_count), elapsed / point_count
             )
             _accumulate_run_counters(result, run)
+            accounting.record(run.stats, samples, workload.fingerprint_size)
+            result.data[f"bases={basis_count}|{strategy}"] = _sweep_digest(
+                run
+            )
     result.series = [series[s] for s in strategies]
+    accounting.publish(result)
     return result
 
 
@@ -469,9 +575,9 @@ def run_fig12(
     for branching in branchings:
         model = markov_branch_model(branching)
         naive_runner = NaiveMarkovRunner(model, instance_count=instances)
-        start = time.perf_counter()
+        start = timing.perf_counter()
         naive_runner.run(steps)
-        naive_ms = 1000.0 * (time.perf_counter() - start) / steps
+        naive_ms = 1000.0 * (timing.perf_counter() - start) / steps
 
         model = markov_branch_model(branching)
         jump_runner = MarkovJumpRunner(
@@ -479,12 +585,17 @@ def run_fig12(
             instance_count=instances,
             fingerprint_size=PAPER_FINGERPRINT_SIZE,
         )
-        start = time.perf_counter()
+        start = timing.perf_counter()
         jump_result = jump_runner.run(steps)
-        jigsaw_ms = 1000.0 * (time.perf_counter() - start) / steps
+        jigsaw_ms = 1000.0 * (timing.perf_counter() - start) / steps
 
         naive_series.add(branching, naive_ms)
         jigsaw_series.add(branching, jigsaw_ms)
+        result.data[f"branching={branching:g}"] = {
+            "jumps": float(len(jump_result.jumps)),
+            "full_steps": float(jump_result.full_steps),
+            "step_invocations": float(jump_result.step_invocations),
+        }
         result.counters["step_invocations"] = result.counters.get(
             "step_invocations", 0.0
         ) + float(instances * steps + jump_result.step_invocations)

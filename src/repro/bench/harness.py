@@ -7,10 +7,10 @@ machine-independent invocation ratio is printed next to every timing ratio.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
+from repro.util import timing
 from repro.util.tables import format_table
 
 
@@ -31,9 +31,9 @@ class Measurement:
 
 def timed(label: str, func: Callable[[], Dict[str, int]]) -> Measurement:
     """Run ``func`` once; it returns its work counters."""
-    start = time.perf_counter()
+    start = timing.perf_counter()
     counters = func() or {}
-    elapsed = time.perf_counter() - start
+    elapsed = timing.perf_counter() - start
     return Measurement(label=label, seconds=elapsed, counters=counters)
 
 
@@ -69,6 +69,11 @@ class FigureResult:
     #: Machine-readable work counters (samples drawn, reuse fraction, ...)
     #: aggregated over the figure's runs; consumed by BENCH_run_all.json.
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Deterministic per-figure data points — per x-value estimates and
+    #: reuse decisions that are pure functions of the fixed seed bank
+    #: (never wall clock).  The golden-figure regression suite compares
+    #: these exactly against committed files under ``benchmarks/golden/``.
+    data: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def series_named(self, name: str) -> Series:
         for candidate in self.series:

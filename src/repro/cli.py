@@ -21,6 +21,11 @@ import sys
 from typing import List, Optional
 
 from repro.blackbox import BlackBoxRegistry, default_registry
+from repro.core.adaptive import (
+    AdaptiveBudget,
+    fixed_budget_samples,
+    saved_fraction,
+)
 from repro.errors import JigsawError
 from repro.interactive.plotting import render_graph
 from repro.lang.binder import BoundQuery, compile_query
@@ -55,6 +60,28 @@ def _command_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _adaptive_policy(args: argparse.Namespace) -> Optional[AdaptiveBudget]:
+    """Build the stopping policy from ``--rtol``/``--confidence`` (or None)."""
+    if args.rtol is None:
+        return None
+    return AdaptiveBudget(rtol=args.rtol, confidence=args.confidence)
+
+
+def _adaptive_note(args, stats) -> str:
+    """Header annotation for an adaptive run: rounds saved vs fixed budget."""
+    fixed = fixed_budget_samples(
+        stats.points_total,
+        stats.points_reused,
+        args.samples,
+        args.fingerprint,
+    )
+    saved = saved_fraction(stats.rounds_executed, fixed)
+    return (
+        f" [adaptive rtol={args.rtol:g} @ {args.confidence:.0%}: "
+        f"saved {saved:.0%} of {fixed} fixed-budget rounds]"
+    )
+
+
 def _command_run(args: argparse.Namespace) -> int:
     bound = _load(args.query, None)
     runner = ScenarioRunner(
@@ -62,6 +89,7 @@ def _command_run(args: argparse.Namespace) -> int:
         samples_per_point=args.samples,
         fingerprint_size=args.fingerprint,
         workers=args.workers,
+        adaptive=_adaptive_policy(args),
     )
     result = runner.run()
     stats = result.stats
@@ -71,11 +99,15 @@ def _command_run(args: argparse.Namespace) -> int:
             f" [{result.parallel.workers} workers, "
             f"{result.parallel.bases_collapsed} shard bases collapsed]"
         )
+    adaptive_note = ""
+    if args.rtol is not None:
+        adaptive_note = _adaptive_note(args, stats)
     print(
         f"explored {stats.points_total} points | "
         f"{stats.rounds_executed} rounds "
         f"(reuse {stats.reuse_fraction:.0%}, {stats.bases_created} bases)"
         + sharding
+        + adaptive_note
     )
     if bound.selector is None:
         print("query has no OPTIMIZE clause; printing per-point expectations")
@@ -117,6 +149,7 @@ def _command_graph(args: argparse.Namespace) -> int:
         samples_per_point=args.samples,
         fingerprint_size=args.fingerprint,
         workers=args.workers,
+        adaptive=_adaptive_policy(args),
     )
     result = runner.run()
     x_parameter = bound.graph.x_parameter
@@ -151,6 +184,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return value
+
+
+def _open_unit_float(text: str) -> float:
+    value = float(text)
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError("must be strictly between 0 and 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Jigsaw query runner"
@@ -173,6 +220,23 @@ def build_parser() -> argparse.ArgumentParser:
                 "shard the sweep across this many processes (per-point "
                 "estimates are bit-identical to --workers 1)"
             ),
+        )
+        sub.add_argument(
+            "--rtol",
+            type=_positive_float,
+            default=None,
+            help=(
+                "adaptive sampling: stop each point once the confidence "
+                "interval on every output's mean is within this relative "
+                "tolerance (--samples stays the hard cap); omit for the "
+                "fixed budget"
+            ),
+        )
+        sub.add_argument(
+            "--confidence",
+            type=_open_unit_float,
+            default=0.95,
+            help="confidence level for --rtol stopping (default 0.95)",
         )
         sub.set_defaults(handler=handler)
     return parser

@@ -1,5 +1,11 @@
 """Jigsaw's core contribution: fingerprints, mappings, reuse, and jumps."""
 
+from repro.core.adaptive import (
+    AdaptiveBudget,
+    fixed_budget_samples,
+    grow_samples,
+    saved_fraction,
+)
 from repro.core.basis import BasisDistribution, BasisStore, StoreStats
 from repro.core.estimator import (
     Estimator,
@@ -73,6 +79,10 @@ from repro.core.seeds import (
 from repro.core.symbolic import MappedVariable, SampleVariable
 
 __all__ = [
+    "AdaptiveBudget",
+    "fixed_budget_samples",
+    "grow_samples",
+    "saved_fraction",
     "BasisDistribution",
     "BasisStore",
     "StoreStats",

@@ -16,6 +16,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.adaptive import AdaptiveBudget
 from repro.core.mapping import AffineMapping, Mapping
 from repro.errors import EstimatorError
 
@@ -215,6 +216,29 @@ class Estimator:
             maximum=float(array.max()),
             quantiles=quantiles,
             histogram=histogram,
+        )
+
+    def halfwidth(self, metrics: MetricSet, policy: AdaptiveBudget) -> float:
+        """CI half-width on ``metrics.expectation`` under ``policy``.
+
+        Works on a :class:`MetricSet` rather than raw samples so callers
+        holding only remapped metrics (the interactive engine's mapped
+        basis view) can evaluate convergence without re-materializing
+        sample vectors.  A mapped :class:`MetricSet` carries exactly the
+        mean/stddev/extrema the mapped samples would have, so the verdict
+        here equals the verdict on the mapped sample vector.
+        """
+        return policy.halfwidth(
+            metrics.count, metrics.stddev, metrics.maximum - metrics.minimum
+        )
+
+    def converged(self, metrics: MetricSet, policy: AdaptiveBudget) -> bool:
+        """Whether ``metrics`` already satisfies ``policy`` (cap ignored)."""
+        return policy.satisfied(
+            metrics.count,
+            metrics.expectation,
+            metrics.stddev,
+            metrics.maximum - metrics.minimum,
         )
 
     def probability(

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Iterable, Optional
 import numpy as np
 
 from repro.blackbox.base import BlackBox, ParamKey, Params, param_key
+from repro.core.adaptive import AdaptiveBudget, grow_samples
 from repro.core.basis import BasisStore
 from repro.core.estimator import Estimator, MetricSet
 from repro.core.fingerprint import Fingerprint
@@ -86,7 +87,14 @@ class ExplorerStats:
 
 @dataclass
 class PointResult:
-    """Outcome for one parameter point."""
+    """Outcome for one parameter point.
+
+    ``samples_drawn`` is the total draws this point cost (fingerprint
+    rounds included); under a fixed budget it is ``fingerprint_size`` for
+    reused points and ``samples_per_point`` otherwise, while an
+    :class:`~repro.core.adaptive.AdaptiveBudget` lets fully simulated
+    points stop anywhere in ``[min_samples, cap]``.
+    """
 
     params: Dict[str, float]
     metrics: MetricSet
@@ -94,6 +102,7 @@ class PointResult:
     basis_id: int
     mapping: Optional[Mapping]
     fingerprint: Fingerprint
+    samples_drawn: int = 0
 
 
 @dataclass
@@ -132,6 +141,7 @@ class ParameterExplorer:
         index_strategy: str = "normalization",
         seed_bank: Optional[SeedBank] = None,
         estimator: Optional[Estimator] = None,
+        adaptive: Optional[AdaptiveBudget] = None,
     ):
         if fingerprint_size < 1:
             raise ValueError("fingerprint_size must be at least 1")
@@ -141,6 +151,7 @@ class ParameterExplorer:
                 "rounds double as the first simulation rounds)"
             )
         self.simulation = simulation
+        self.adaptive = adaptive
         self._batch_simulation = make_batch_simulation(simulation)
         self.samples_per_point = samples_per_point
         self.fingerprint_size = fingerprint_size
@@ -168,7 +179,11 @@ class ParameterExplorer:
 
         The fingerprint rounds and (on a miss) the completion rounds are
         each one batched call: two array operations per fully simulated
-        point, one for a reused point.
+        point, one for a reused point.  With an adaptive budget, the
+        completion rounds instead grow in geometric blocks until the
+        confidence interval is inside tolerance (or the fixed budget is
+        exhausted); the reuse decision is fingerprint-only either way, so
+        enabling the policy never changes which points are reused.
         """
         fingerprint_values = self._batch_simulation(
             params, self._fingerprint_seeds
@@ -185,11 +200,25 @@ class ParameterExplorer:
                 basis_id=basis.basis_id,
                 mapping=mapping,
                 fingerprint=fingerprint,
+                samples_drawn=self.fingerprint_size,
             )
-        remaining = self._batch_simulation(params, self._completion_seeds)
-        samples = np.concatenate(
-            [np.asarray(fingerprint_values, dtype=float), remaining]
-        )
+        if self.adaptive is None:
+            remaining = self._batch_simulation(params, self._completion_seeds)
+            samples = np.concatenate(
+                [np.asarray(fingerprint_values, dtype=float), remaining]
+            )
+        else:
+            samples = grow_samples(
+                np.asarray(fingerprint_values, dtype=float),
+                lambda start, count: self._batch_simulation(
+                    params, self.seed_bank.seed_array(count, start=start)
+                ),
+                cap=max(
+                    self.fingerprint_size,
+                    self.adaptive.cap(self.samples_per_point),
+                ),
+                policy=self.adaptive,
+            )
         basis = self.store.add(fingerprint, samples)
         return PointResult(
             params=dict(params),
@@ -198,6 +227,7 @@ class ParameterExplorer:
             basis_id=basis.basis_id,
             mapping=None,
             fingerprint=fingerprint,
+            samples_drawn=int(samples.size),
         )
 
     def run(self, space: Iterable[Params]) -> ExplorationResult:
@@ -214,7 +244,7 @@ class ParameterExplorer:
             else:
                 result.stats.bases_created += 1
                 result.stats.full_samples += (
-                    self.samples_per_point - self.fingerprint_size
+                    point.samples_drawn - self.fingerprint_size
                 )
         return result
 

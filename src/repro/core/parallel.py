@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.blackbox import draws
 from repro.blackbox.base import Params
+from repro.core.adaptive import AdaptiveBudget
 from repro.core.basis import BasisStore
 from repro.core.estimator import Estimator
 from repro.core.explorer import (
@@ -176,7 +177,14 @@ class ParallelStats:
 
 @dataclass
 class _ShardPointRecord:
-    """One point's shipped outcome: fingerprint, and samples on a miss."""
+    """One point's shipped outcome: fingerprint, and samples on a miss.
+
+    ``samples`` carries the shard's *complete* draw for the point — under
+    an adaptive budget its length IS the per-point sample count the shard
+    recorded, and the canonical replay consumes it block-by-block (the
+    adaptive schedule is a pure function of the sample values, so the
+    replay requests exactly these values back in exactly these blocks).
+    """
 
     fingerprint_values: np.ndarray
     samples: Optional[np.ndarray]
@@ -199,6 +207,7 @@ class _ExplorerShardContext:
     fingerprint_slice: SeedSlice
     estimator: Estimator
     store_factory: Callable[[], BasisStore]
+    adaptive: Optional[AdaptiveBudget] = None
 
 
 def _run_explorer_shard(
@@ -211,6 +220,7 @@ def _run_explorer_shard(
         basis_store=context.store_factory(),
         seed_bank=context.fingerprint_slice.bank,
         estimator=context.estimator,
+        adaptive=context.adaptive,
     )
     stats = ExplorerStats()
     records = []
@@ -226,7 +236,7 @@ def _run_explorer_shard(
         else:
             stats.bases_created += 1
             stats.full_samples += (
-                context.samples_per_point - context.fingerprint_size
+                point.samples_drawn - context.fingerprint_size
             )
         samples = (
             None
@@ -245,12 +255,14 @@ class _PlaybackSimulation:
     The merge phase runs a plain :class:`ParameterExplorer` over the full
     space — the literal serial algorithm, stats and all — with this object
     standing in for the simulation: fingerprint rounds return the shard's
-    recorded values, completion rounds return the shard's full samples,
-    and only when a shard speculatively reused a point the canonical order
-    must simulate does it fall through to the real batch simulation.
-    Calls are disambiguated by seed-array identity (the explorer passes
-    its one fingerprint-seed array for every fingerprint call), so the
-    protocol is safe even when both phases draw equally many rounds.
+    recorded values, completion rounds return the shard's recorded samples
+    (consumed cursor-wise, so an adaptive budget's multiple completion
+    blocks replay as the exact slices the shard drew), and only when a
+    shard speculatively reused a point the canonical order must simulate
+    does it fall through to the real batch simulation.  Calls are
+    disambiguated by seed-array identity (the explorer passes its one
+    fingerprint-seed array for every fingerprint call), so the protocol is
+    safe even when both phases draw equally many rounds.
     """
 
     def __init__(
@@ -262,6 +274,8 @@ class _PlaybackSimulation:
         self._batch_simulation = batch_simulation
         self._fingerprint_seeds: Optional[np.ndarray] = None
         self._index = -1
+        self._cursor = 0
+        self._resimulated_index = -1
         self.points_resimulated = 0
 
     def bind(self, fingerprint_seeds: np.ndarray) -> None:
@@ -270,11 +284,19 @@ class _PlaybackSimulation:
     def sample_batch(self, params: Params, seeds: np.ndarray) -> np.ndarray:
         if seeds is self._fingerprint_seeds:
             self._index += 1
-            return self._records[self._index].fingerprint_values
+            record = self._records[self._index]
+            self._cursor = len(record.fingerprint_values)
+            return record.fingerprint_values
         record = self._records[self._index]
         if record.samples is not None:
-            return record.samples[len(record.fingerprint_values):]
-        self.points_resimulated += 1
+            start = self._cursor
+            self._cursor += len(seeds)
+            return record.samples[start:self._cursor]
+        if self._resimulated_index != self._index:
+            # Count resimulated *points*, not completion calls: under an
+            # adaptive budget one resimulated point draws several blocks.
+            self._resimulated_index = self._index
+            self.points_resimulated += 1
         return self._batch_simulation(params, seeds)
 
 
@@ -303,6 +325,7 @@ class ParallelExplorer:
         seed_bank: Optional[SeedBank] = None,
         estimator: Optional[Estimator] = None,
         store_factory: Optional[Callable[[], BasisStore]] = None,
+        adaptive: Optional[AdaptiveBudget] = None,
     ):
         if fingerprint_size < 1:
             raise ValueError("fingerprint_size must be at least 1")
@@ -322,6 +345,7 @@ class ParallelExplorer:
         self.fingerprint_size = fingerprint_size
         self.seed_bank = seed_bank or DEFAULT_SEED_BANK
         self.estimator = estimator or Estimator()
+        self.adaptive = adaptive
         if store_factory is None:
 
             def store_factory() -> BasisStore:
@@ -348,6 +372,7 @@ class ParallelExplorer:
             fingerprint_slice=self._fingerprint_slice,
             estimator=self.estimator,
             store_factory=self._store_factory,
+            adaptive=self.adaptive,
         )
         outcomes = fork_map(
             _run_explorer_shard, context, len(shards), self.workers
@@ -378,6 +403,7 @@ class ParallelExplorer:
             basis_store=self.store,
             seed_bank=self.seed_bank,
             estimator=self.estimator,
+            adaptive=self.adaptive,
         )
         playback.bind(replay._fingerprint_seeds)
         result = replay.run(points)

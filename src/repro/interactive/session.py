@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 import numpy as np
 
 from repro.blackbox.base import ParamKey, Params, param_key
+from repro.core.adaptive import AdaptiveBudget
 from repro.core.basis import BasisStore
 from repro.core.estimator import Estimator, MetricSet
 from repro.core.fingerprint import Fingerprint
@@ -82,6 +83,7 @@ class InteractiveSession:
         estimator: Optional[Estimator] = None,
         task_heuristic: Optional[RoundRobinTaskHeuristic] = None,
         explore_heuristic: Optional[AdjacentExploreHeuristic] = None,
+        adaptive: Optional[AdaptiveBudget] = None,
     ):
         if fingerprint_size < 2:
             raise InteractiveError(
@@ -104,6 +106,7 @@ class InteractiveSession:
         self.explore_heuristic = explore_heuristic or AdjacentExploreHeuristic(
             space
         )
+        self.adaptive = adaptive
         self._states: Dict[ParamKey, PointState] = {}
         self._focus: Optional[Dict[str, float]] = None
 
@@ -189,11 +192,41 @@ class InteractiveSession:
             state.basis_id = basis.basis_id
             state.mapping = AffineMapping(1.0, 0.0)
 
+    def _converged(self, state: PointState) -> bool:
+        """Whether the point's mapped estimate satisfies the adaptive policy.
+
+        Evaluated on the *mapped* metrics (what the user actually sees for
+        this point), so a mapping with |α| > 1 keeps refining until the
+        magnified interval fits, and a contracting mapping stops earlier.
+        The basis size also stops refinement at ``max_samples`` when set —
+        the interactive engine has no per-point fixed budget to cap at.
+        """
+        if self.adaptive is None or state.basis_id is None:
+            return False
+        basis = self.store.get(state.basis_id)
+        assert state.mapping is not None
+        if (
+            self.adaptive.max_samples is not None
+            and basis.samples.size >= self.adaptive.max_samples
+        ):
+            return True
+        metrics = self.store.metrics_for(basis, state.mapping)
+        return self.estimator.converged(metrics, self.adaptive)
+
     def _do_refinement(self, point: Dict[str, float]) -> TickReport:
-        """Fresh samples for the focus, recycled into its basis via M⁻¹."""
+        """Fresh samples for the focus, recycled into its basis via M⁻¹.
+
+        Under an adaptive budget a converged point draws nothing — the
+        tick reports ``samples_drawn=0`` and the event loop's effort is
+        freed for validation/exploration of other points.
+        """
         state = self._state(point)
         if state.basis_id is None:
             self._bootstrap(state)
+        if self._converged(state):
+            return TickReport(
+                task=TASK_REFINEMENT, point=dict(point), samples_drawn=0
+            )
         basis = self.store.get(state.basis_id)  # type: ignore[arg-type]
         next_id = int(basis.samples.size)
         sample_ids = list(range(next_id, next_id + self.chunk))
@@ -252,6 +285,8 @@ class InteractiveSession:
         if state.basis_id is None:
             self._bootstrap(state)
             drawn = self.fingerprint_size
+        elif self._converged(state):
+            drawn = 0
         else:
             # Already attached: deepen its basis slightly.
             basis = self.store.get(state.basis_id)

@@ -10,8 +10,16 @@ from repro.lang.binder import (
 )
 from repro.lang.lexer import Token, tokenize
 from repro.lang.parser import Parser, parse_expression, parse_script
+from repro.lang.unparse import (
+    unparse_expression,
+    unparse_script,
+    unparse_statement,
+)
 
 __all__ = [
+    "unparse_expression",
+    "unparse_script",
+    "unparse_statement",
     "Script",
     "Binder",
     "BoundQuery",

@@ -1,0 +1,220 @@
+"""Render Jigsaw AST nodes back to query text (the parser's inverse).
+
+``parse_script(unparse_script(script)) == script`` for every script the
+parser can produce — the round-trip property the fuzz suite
+(``tests/property/test_prop_lang_roundtrip.py``) pins.  Composite
+expression operands are parenthesized, which costs nothing structurally
+(parentheses do not create AST nodes) and makes the rendering independent
+of precedence-level bookkeeping.
+
+Used for query canonicalization, error reporting, and programmatic query
+construction; kept dependency-free (pure AST -> str).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    AggregateNode,
+    BinaryNode,
+    CallNode,
+    CaseNode,
+    ChainSpec,
+    ConstraintClause,
+    DeclareParameter,
+    ExprNode,
+    GraphSeries,
+    GraphStatement,
+    Identifier,
+    NumberLit,
+    OptimizeStatement,
+    ParamNode,
+    RangeSpec,
+    Script,
+    SelectItem,
+    SelectStatement,
+    SetSpec,
+    Statement,
+    UnaryNode,
+)
+
+#: Expression nodes the grammar treats as primaries: they reparse
+#: unambiguously without parentheses in any operand position.
+_PRIMARY_NODES = (NumberLit, ParamNode, Identifier, CallNode, AggregateNode)
+
+#: Binary operators whose spelling is a keyword rather than a symbol.
+_WORD_OPS = {"and", "or"}
+
+
+def _number(value: float) -> str:
+    """Render a numeric literal the lexer tokenizes back to this float.
+
+    ``repr`` round-trips every finite float exactly, and the lexer's
+    number scanner accepts the full repr grammar (digits, one dot, one
+    exponent).  Non-finite values have no literal spelling.
+    """
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ParseError(f"{value!r} has no literal form", 0, 0)
+    if value < 0:
+        # Statement positions parse the sign via _parse_number; expression
+        # positions must use UnaryNode instead (callers enforce this).
+        return f"-{_number(-value)}"
+    return repr(value)
+
+
+def _operand(node: ExprNode) -> str:
+    """An expression rendered for an operand position."""
+    text = unparse_expression(node)
+    if isinstance(node, _PRIMARY_NODES) or isinstance(node, CaseNode):
+        return text
+    return f"({text})"
+
+
+def unparse_expression(node: ExprNode) -> str:
+    """Render one expression subtree."""
+    if isinstance(node, NumberLit):
+        if node.value < 0:
+            # A negative literal has no direct expression spelling (the
+            # parser produces UnaryNode('-', ...) there); parenthesized
+            # it reparses as close as the grammar allows.
+            raise ParseError(
+                "negative NumberLit cannot round-trip as an expression; "
+                "wrap it in UnaryNode('-', NumberLit(abs))",
+                0,
+                0,
+            )
+        return _number(node.value)
+    if isinstance(node, Identifier):
+        return node.name
+    if isinstance(node, ParamNode):
+        return f"@{node.name}"
+    if isinstance(node, UnaryNode):
+        spelled = "NOT " if node.op == "not" else node.op
+        return f"{spelled}{_operand(node.operand)}"
+    if isinstance(node, BinaryNode):
+        op = node.op.upper() if node.op in _WORD_OPS else node.op
+        return f"{_operand(node.left)} {op} {_operand(node.right)}"
+    if isinstance(node, CaseNode):
+        return (
+            f"CASE WHEN {_operand(node.condition)} "
+            f"THEN {_operand(node.then_value)} "
+            f"ELSE {_operand(node.else_value)} END"
+        )
+    if isinstance(node, CallNode):
+        arguments = ", ".join(
+            unparse_expression(argument) for argument in node.arguments
+        )
+        return f"{node.name}({arguments})"
+    if isinstance(node, AggregateNode):
+        return f"{node.kind.upper()}({unparse_expression(node.argument)})"
+    raise ParseError(f"cannot unparse {type(node).__name__}", 0, 0)
+
+
+def _unparse_declare(statement: DeclareParameter) -> str:
+    spec = statement.spec
+    head = f"DECLARE PARAMETER @{statement.name} AS"
+    if isinstance(spec, RangeSpec):
+        return (
+            f"{head} RANGE {_number(spec.start)} TO {_number(spec.stop)} "
+            f"STEP BY {_number(spec.step)};"
+        )
+    if isinstance(spec, SetSpec):
+        members = ", ".join(_number(member) for member in spec.members)
+        return f"{head} SET ({members});"
+    if isinstance(spec, ChainSpec):
+        return (
+            f"{head} CHAIN {spec.source_column} FROM @{spec.driver} : "
+            f"{unparse_expression(spec.offset_expr)} "
+            f"INITIAL VALUE {_number(spec.initial_value)};"
+        )
+    raise ParseError(f"unknown parameter spec {type(spec).__name__}", 0, 0)
+
+
+def _unparse_select_item(item: SelectItem) -> str:
+    text = unparse_expression(item.expression)
+    if item.alias is not None and not (
+        isinstance(item.expression, Identifier)
+        and item.expression.name == item.alias
+    ):
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _unparse_select(statement: SelectStatement, nested: bool = False) -> str:
+    parts = [
+        "SELECT "
+        + ", ".join(_unparse_select_item(item) for item in statement.items)
+    ]
+    if statement.subquery is not None:
+        parts.append(f"FROM ({_unparse_select(statement.subquery, True)})")
+    elif statement.source_table is not None:
+        parts.append(f"FROM {statement.source_table}")
+    if statement.into is not None:
+        parts.append(f"INTO {statement.into}")
+    text = " ".join(parts)
+    return text if nested else text + ";"
+
+
+def _unparse_constraint(constraint: ConstraintClause) -> str:
+    return (
+        f"{constraint.aggregate.upper()}({constraint.metric.upper()} "
+        f"{constraint.column}) {constraint.op} "
+        f"{_number(constraint.threshold)}"
+    )
+
+
+def _unparse_optimize(statement: OptimizeStatement) -> str:
+    parts = [
+        "OPTIMIZE SELECT "
+        + ", ".join(f"@{name}" for name in statement.select_params),
+        f"FROM {statement.source_table}",
+    ]
+    if statement.constraints:
+        parts.append(
+            "WHERE "
+            + " AND ".join(
+                _unparse_constraint(c) for c in statement.constraints
+            )
+        )
+    parts.append("GROUP BY " + ", ".join(statement.group_by))
+    parts.append(
+        "FOR "
+        + ", ".join(
+            f"{o.direction.upper()} @{o.parameter}"
+            for o in statement.objectives
+        )
+    )
+    return " ".join(parts) + ";"
+
+
+def _unparse_series(series: GraphSeries) -> str:
+    text = f"{series.metric.upper()} {series.column}"
+    if series.style:
+        text += " WITH " + " ".join(series.style)
+    return text
+
+
+def _unparse_graph(statement: GraphStatement) -> str:
+    series = ", ".join(_unparse_series(s) for s in statement.series)
+    return f"GRAPH OVER @{statement.x_parameter} {series};"
+
+
+def unparse_statement(statement: Statement) -> str:
+    """Render one top-level statement (with its closing semicolon)."""
+    if isinstance(statement, DeclareParameter):
+        return _unparse_declare(statement)
+    if isinstance(statement, SelectStatement):
+        return _unparse_select(statement)
+    if isinstance(statement, OptimizeStatement):
+        return _unparse_optimize(statement)
+    if isinstance(statement, GraphStatement):
+        return _unparse_graph(statement)
+    raise ParseError(f"cannot unparse {type(statement).__name__}", 0, 0)
+
+
+def unparse_script(script: Script) -> str:
+    """Render a full script, one statement per line."""
+    return "\n".join(
+        unparse_statement(statement) for statement in script.statements
+    )

@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.blackbox.base import ParamKey, param_key
+from repro.core.adaptive import AdaptiveBudget, next_target
 from repro.core.basis import BasisStore
 from repro.core.estimator import Estimator, MetricSet
 from repro.core.fingerprint import Fingerprint
@@ -139,6 +140,7 @@ class ScenarioRunner:
         column_families: Optional[Mapping[str, MappingFamily]] = None,
         use_fingerprints: bool = True,
         workers: int = 1,
+        adaptive: Optional[AdaptiveBudget] = None,
     ):
         if fingerprint_size < 1:
             raise ValueError("fingerprint_size must be at least 1")
@@ -153,6 +155,7 @@ class ScenarioRunner:
         self.estimator = estimator or Estimator()
         self.use_fingerprints = use_fingerprints
         self.workers = int(workers)
+        self.adaptive = adaptive
         self._index_strategy = index_strategy
         self._family_overrides = dict(column_families or {})
         self._stores: Dict[str, BasisStore] = {}
@@ -182,6 +185,7 @@ class ScenarioRunner:
             column_families=self._family_overrides,
             use_fingerprints=self.use_fingerprints,
             workers=1,
+            adaptive=self.adaptive,
         )
 
     def run(self) -> ScenarioResult:
@@ -225,8 +229,7 @@ class ScenarioRunner:
             record for shard_records, _ in outcomes
             for record in shard_records
         ]
-        m = self.fingerprint_size
-        cursor = {"index": -1}
+        cursor = {"index": -1, "resimulated": -1}
 
         def playback_rounds(
             point: Dict[str, float], count: int, start: int
@@ -236,11 +239,18 @@ class ScenarioRunner:
                 return records[cursor["index"]].fingerprints
             record = records[cursor["index"]]
             if record.samples is not None:
+                # Serve the requested round range; an adaptive budget asks
+                # for several blocks per point, each a slice of the
+                # shard's recorded draw (identical schedule by purity of
+                # the stopping rule in the sample values).
                 return {
-                    column: samples[m:]
+                    column: samples[start:start + count]
                     for column, samples in record.samples.items()
                 }
-            parallel.points_resimulated += 1
+            if cursor["resimulated"] != cursor["index"]:
+                # Count resimulated points, not completion calls.
+                cursor["resimulated"] = cursor["index"]
+                parallel.points_resimulated += 1
             return self._simulate_rounds(point, count, start)
 
         result = ScenarioResult()
@@ -326,16 +336,45 @@ class ScenarioRunner:
                 )
 
         # Full simulation: complete the remaining rounds and register bases.
-        remaining = simulate_rounds(point, self.samples_per_point - m, m)
-        stats.rounds_executed += self.samples_per_point - m
+        # One Monte Carlo round costs every column jointly, so the adaptive
+        # stopping decision is joint too: rounds keep growing until EVERY
+        # column's confidence interval is inside tolerance (or the fixed
+        # budget is exhausted) — mirroring how one unmappable column forces
+        # the whole row's simulation in the reuse decision.
+        if self.adaptive is None:
+            remaining = simulate_rounds(point, self.samples_per_point - m, m)
+            stats.rounds_executed += self.samples_per_point - m
+            column_samples = {
+                column: np.concatenate(
+                    [column_values[column], remaining[column]]
+                )
+                for column in columns
+            }
+        else:
+            cap = max(m, self.adaptive.cap(self.samples_per_point))
+            column_samples = {
+                column: np.asarray(column_values[column], dtype=float)
+                for column in columns
+            }
+            size = m
+            while size < cap and not all(
+                self.adaptive.satisfied_by(column_samples[column])
+                for column in columns
+            ):
+                target = next_target(size, cap, self.adaptive)
+                block = simulate_rounds(point, target - size, size)
+                column_samples = {
+                    column: np.concatenate(
+                        [column_samples[column], block[column]]
+                    )
+                    for column in columns
+                }
+                size = target
+            stats.rounds_executed += size - m
 
         metrics: Dict[str, MetricSet] = {}
-        column_samples: Dict[str, np.ndarray] = {}
         for column in columns:
-            samples = np.concatenate(
-                [column_values[column], remaining[column]]
-            )
-            column_samples[column] = samples
+            samples = column_samples[column]
             fingerprint = Fingerprint(samples[:m])
             if self.use_fingerprints:
                 basis = self._stores[column].add(fingerprint, samples)

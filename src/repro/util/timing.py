@@ -3,12 +3,77 @@
 Wall-clock times in a Python reproduction of a 2011 C#/Ruby system are only
 meaningful as ratios; invocation counts (how many black-box samples were
 drawn) are the stable, machine-independent cost measure, so both are exposed.
+
+The clock itself is *injectable*: every timing consumer in this repo reads
+it through :func:`perf_counter`, so tests install a :class:`FakeClock` (via
+:func:`use_clock`) and get fully deterministic "timings" instead of racing
+the scheduler with best-of-N retries.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+#: The active clock.  Swapped by tests; everything that measures elapsed
+#: time in this repo must read through :func:`perf_counter` so the swap is
+#: complete.
+_clock: Callable[[], float] = time.perf_counter
+
+
+def perf_counter() -> float:
+    """Read the active clock (defaults to :func:`time.perf_counter`)."""
+    return _clock()
+
+
+def set_clock(clock: Callable[[], float]) -> Callable[[], float]:
+    """Install ``clock`` as the active clock; returns the previous one."""
+    global _clock
+    previous = _clock
+    _clock = clock
+    return previous
+
+
+@contextmanager
+def use_clock(clock: Callable[[], float]) -> Iterator[Callable[[], float]]:
+    """Scoped :func:`set_clock`: restores the previous clock on exit."""
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)
+
+
+class FakeClock:
+    """A deterministic clock for tests.
+
+    Each *reading* advances the reported time by ``tick`` (so the elapsed
+    time between any two consecutive readings is exactly ``tick``), and
+    :meth:`advance` injects extra elapsed time explicitly.  Timing-shape
+    tests become exact-equality assertions instead of races.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
+        if tick < 0.0:
+            raise ValueError("tick must be non-negative")
+        self._now = float(start)
+        self._tick = float(tick)
+
+    def __call__(self) -> float:
+        self._now += self._tick
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Inject ``seconds`` of virtual elapsed time."""
+        if seconds < 0.0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (without consuming a tick)."""
+        return self._now
 
 
 class Stopwatch:
@@ -19,12 +84,12 @@ class Stopwatch:
         self.elapsed = 0.0
 
     def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
+        self._start = perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         assert self._start is not None
-        self.elapsed += time.perf_counter() - self._start
+        self.elapsed += perf_counter() - self._start
         self._start = None
 
     def reset(self) -> None:

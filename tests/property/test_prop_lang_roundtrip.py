@@ -1,0 +1,334 @@
+"""Hypothesis round-trip fuzz for the query-language layer.
+
+Two properties:
+
+* **Round-trip stability** — for randomly generated ASTs,
+  ``parse(unparse(ast)) == ast``, and unparsing is a fixed point
+  (``unparse(parse(unparse(ast))) == unparse(ast)``).  Because the
+  generators cover every statement and expression node, this pins the
+  lexer, parser, and unparser against each other.
+* **Binder totality** — binding any syntactically valid script either
+  succeeds or raises a :class:`~repro.errors.JigsawError` subclass; no
+  generated input may escape the language layer as a raw ``KeyError`` /
+  ``AttributeError`` / etc.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blackbox import BlackBoxRegistry, default_registry
+from repro.errors import BindingError, JigsawError, ParseError
+from repro.lang import (
+    bind_script,
+    parse_expression,
+    parse_script,
+    unparse_expression,
+    unparse_script,
+)
+from repro.lang.ast import (
+    AggregateNode,
+    BinaryNode,
+    CallNode,
+    CaseNode,
+    ChainSpec,
+    ConstraintClause,
+    DeclareParameter,
+    GraphSeries,
+    GraphStatement,
+    Identifier,
+    NumberLit,
+    ObjectiveClause,
+    OptimizeStatement,
+    ParamNode,
+    RangeSpec,
+    Script,
+    SelectItem,
+    SelectStatement,
+    SetSpec,
+    UnaryNode,
+)
+from repro.lang.lexer import KEYWORDS
+
+# ---------------------------------------------------------------------------
+# Generators
+
+names = st.from_regex(r"[a-zA-Z][a-zA-Z0-9_]{0,10}", fullmatch=True).filter(
+    lambda name: name.lower() not in KEYWORDS
+)
+
+# Floats whose repr the lexer tokenizes back exactly: finite, non-negative
+# (negative literals are UnaryNode in expression position), and repr'd
+# without a leading-dot or sign in the exponent the lexer cannot take.
+literal_values = st.one_of(
+    st.integers(min_value=0, max_value=10**9).map(float),
+    st.floats(
+        min_value=0.0,
+        max_value=1e12,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+)
+
+signed_values = st.one_of(
+    literal_values, literal_values.map(lambda value: -value)
+)
+
+
+def _expressions():
+    leaves = st.one_of(
+        literal_values.map(NumberLit),
+        names.map(Identifier),
+        names.map(ParamNode),
+    )
+
+    def extend(children):
+        binary = st.builds(
+            BinaryNode,
+            st.sampled_from(
+                ["+", "-", "*", "/", "<", "<=", ">", ">=", "=", "<>",
+                 "and", "or"]
+            ),
+            children,
+            children,
+        )
+        unary = st.builds(
+            UnaryNode, st.sampled_from(["-", "not"]), children
+        )
+        case = st.builds(CaseNode, children, children, children)
+        call = st.builds(
+            CallNode,
+            names,
+            st.lists(children, min_size=0, max_size=3).map(tuple),
+        )
+        aggregate = st.builds(
+            AggregateNode,
+            st.sampled_from(["sum", "avg", "count", "max", "min"]),
+            children,
+        )
+        return st.one_of(binary, unary, case, call, aggregate)
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+expressions = _expressions()
+
+range_specs = st.builds(
+    RangeSpec, signed_values, signed_values, signed_values
+)
+set_specs = st.builds(
+    SetSpec,
+    st.lists(signed_values, min_size=1, max_size=5).map(tuple),
+)
+chain_specs = st.builds(
+    ChainSpec, names, names, expressions, signed_values
+)
+declares = st.builds(
+    DeclareParameter,
+    names,
+    st.one_of(range_specs, set_specs, chain_specs),
+)
+
+
+def _select_items():
+    aliased = st.builds(
+        SelectItem, expressions, names.map(lambda n: n)
+    )
+    # A bare identifier's implicit alias is itself (parser behavior).
+    bare_identifier = names.map(
+        lambda name: SelectItem(Identifier(name), name)
+    )
+    return st.one_of(aliased, bare_identifier)
+
+
+def _selects(depth: int = 1):
+    subquery = st.none() if depth == 0 else st.one_of(
+        st.none(), st.deferred(lambda: _selects(depth - 1))
+    )
+
+    def build(items, sub, into, table):
+        # Grammar: FROM is either a subquery or a table, never both.
+        return SelectStatement(
+            tuple(items),
+            sub,
+            into,
+            None if sub is not None else table,
+        )
+
+    return st.builds(
+        build,
+        st.lists(_select_items(), min_size=1, max_size=4),
+        subquery,
+        st.one_of(st.none(), names),
+        st.one_of(st.none(), names),
+    )
+
+
+constraints = st.builds(
+    ConstraintClause,
+    st.sampled_from(["max", "min", "avg", "sum"]),
+    st.sampled_from(["expect", "expect_stddev", "stddev", "median"]),
+    names,
+    st.sampled_from(["<", "<=", ">", ">=", "=", "<>"]),
+    signed_values,
+)
+
+optimizes = st.builds(
+    OptimizeStatement,
+    st.lists(names, min_size=1, max_size=3).map(tuple),
+    names,
+    st.lists(constraints, min_size=0, max_size=3).map(tuple),
+    st.lists(names, min_size=1, max_size=3).map(tuple),
+    st.lists(
+        st.builds(
+            ObjectiveClause, st.sampled_from(["max", "min"]), names
+        ),
+        min_size=1,
+        max_size=2,
+    ).map(tuple),
+)
+
+graph_series = st.builds(
+    GraphSeries,
+    st.sampled_from(["expect", "expect_stddev", "stddev", "median"]),
+    names,
+    st.lists(names, min_size=0, max_size=2).map(tuple),
+)
+
+graphs = st.builds(
+    GraphStatement,
+    names,
+    st.lists(graph_series, min_size=1, max_size=3).map(tuple),
+)
+
+statements = st.one_of(declares, _selects(), optimizes, graphs)
+
+scripts = st.lists(statements, min_size=0, max_size=5).map(
+    lambda items: Script(list(items))
+)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip stability
+
+class TestExpressionRoundTrip:
+    @given(node=expressions)
+    @settings(max_examples=120, deadline=None)
+    def test_parse_unparse_is_identity(self, node):
+        rendered = unparse_expression(node)
+        assert parse_expression(rendered) == node
+
+    @given(node=expressions)
+    @settings(max_examples=60, deadline=None)
+    def test_unparse_is_fixed_point(self, node):
+        rendered = unparse_expression(node)
+        assert unparse_expression(parse_expression(rendered)) == rendered
+
+
+class TestScriptRoundTrip:
+    @given(script=scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_parse_unparse_is_identity(self, script):
+        rendered = unparse_script(script)
+        reparsed = parse_script(rendered)
+        assert reparsed.statements == script.statements
+
+    @given(script=scripts)
+    @settings(max_examples=30, deadline=None)
+    def test_unparse_is_fixed_point(self, script):
+        rendered = unparse_script(script)
+        assert unparse_script(parse_script(rendered)) == rendered
+
+    @given(script=scripts)
+    @settings(max_examples=30, deadline=None)
+    def test_lexer_tolerates_reformatting(self, script):
+        """Whitespace layout is irrelevant: collapsing newlines reparses
+        to the same statements (tokens carry no layout)."""
+        rendered = unparse_script(script).replace("\n", "   ")
+        assert parse_script(rendered).statements == script.statements
+
+
+# ---------------------------------------------------------------------------
+# Binder error paths
+
+class TestBinderTotality:
+    @given(script=scripts)
+    @settings(max_examples=80, deadline=None)
+    def test_binding_raises_only_jigsaw_errors(self, script):
+        """Any syntactically valid script either binds or fails with a
+        JigsawError — generated scripts routinely reference undeclared
+        parameters, unknown tables, and unknown functions, so this drives
+        the binder's error paths broadly."""
+        source = unparse_script(script)
+        try:
+            bound = bind_script(parse_script(source), default_registry())
+        except JigsawError:
+            return
+        assert bound.scenario is not None
+
+    @given(name=names, other=names)
+    @settings(max_examples=30, deadline=None)
+    def test_undeclared_parameter_is_reported(self, name, other):
+        source = (
+            f"DECLARE PARAMETER @{name} AS SET (1.0);\n"
+            f"SELECT @{name} + @{name}_{other} AS out INTO results;"
+        )
+        try:
+            bind_script(parse_script(source), BlackBoxRegistry())
+        except BindingError as error:
+            assert "undeclared parameter" in str(error)
+        except JigsawError:
+            pass  # e.g. duplicate declaration when name == name_other
+
+    @given(name=names)
+    @settings(max_examples=30, deadline=None)
+    def test_duplicate_declaration_rejected(self, name):
+        source = (
+            f"DECLARE PARAMETER @{name} AS SET (1.0);\n"
+            f"DECLARE PARAMETER @{name} AS RANGE 0.0 TO 2.0 STEP BY 1.0;\n"
+            f"SELECT @{name} AS out INTO results;"
+        )
+        try:
+            bind_script(parse_script(source), BlackBoxRegistry())
+            raised = False
+        except BindingError:
+            raised = True
+        assert raised
+
+    @given(name=names, function=names)
+    @settings(max_examples=30, deadline=None)
+    def test_unknown_function_rejected(self, name, function):
+        source = (
+            f"DECLARE PARAMETER @{name} AS SET (1.0);\n"
+            f"SELECT {function}(@{name}) AS out INTO results;"
+        )
+        registry = BlackBoxRegistry()
+        try:
+            bind_script(parse_script(source), registry)
+            raised = False
+        except JigsawError:
+            raised = True
+        assert raised
+
+
+class TestUnparserGuards:
+    def test_negative_literal_rejected_in_expressions(self):
+        try:
+            unparse_expression(NumberLit(-1.0))
+            raised = False
+        except ParseError:
+            raised = True
+        assert raised
+
+    def test_non_finite_numbers_rejected(self):
+        try:
+            unparse_script(
+                Script([
+                    DeclareParameter(
+                        "p", RangeSpec(0.0, float("inf"), 1.0)
+                    )
+                ])
+            )
+            raised = False
+        except ParseError:
+            raised = True
+        assert raised

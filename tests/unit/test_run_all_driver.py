@@ -59,7 +59,9 @@ def _install_stubs(monkeypatch, run_all, counter=1.0):
             monkeypatch.setattr(
                 run_all,
                 f"run_fig{number}",
-                lambda scale, workers=1, _n=name: _stub_result(_n, counter),
+                lambda scale, workers=1, adaptive=None, _n=name: (
+                    _stub_result(_n, counter)
+                ),
             )
         else:
             monkeypatch.setattr(

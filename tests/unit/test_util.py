@@ -7,7 +7,14 @@ import pytest
 
 from repro.util.stats import RunningStats, histogram, quantiles
 from repro.util.tables import format_table
-from repro.util.timing import InvocationCounter, Stopwatch
+from repro.util.timing import (
+    FakeClock,
+    InvocationCounter,
+    Stopwatch,
+    perf_counter,
+    set_clock,
+    use_clock,
+)
 
 DATA = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
 
@@ -112,6 +119,50 @@ class TestStopwatch:
             pass
         watch.reset()
         assert watch.elapsed == 0.0
+
+    def test_reads_injected_clock(self):
+        """Stopwatch goes through the swappable clock, so a FakeClock
+        makes its measurements exact (the de-flaking mechanism)."""
+        with use_clock(FakeClock(tick=0.5)):
+            watch = Stopwatch()
+            with watch:
+                pass
+            assert watch.elapsed == 0.5
+
+
+class TestClockInjection:
+    def test_fake_clock_ticks_per_reading(self):
+        clock = FakeClock(start=10.0, tick=2.0)
+        assert clock() == 12.0
+        assert clock() == 14.0
+        assert clock.now == 14.0
+
+    def test_advance_and_validation(self):
+        clock = FakeClock(tick=0.0)
+        clock.advance(3.0)
+        assert clock() == 3.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            FakeClock(tick=-0.5)
+
+    def test_use_clock_scopes_and_restores(self):
+        import time as real_time
+
+        fake = FakeClock(start=100.0, tick=1.0)
+        with use_clock(fake):
+            assert perf_counter() == 101.0
+            assert perf_counter() == 102.0
+        # Restored: readings track the real clock again.
+        assert abs(perf_counter() - real_time.perf_counter()) < 1.0
+
+    def test_set_clock_returns_previous(self):
+        fake = FakeClock()
+        previous = set_clock(fake)
+        try:
+            assert perf_counter() == 1.0
+        finally:
+            assert set_clock(previous) is fake
 
 
 class TestInvocationCounter:
