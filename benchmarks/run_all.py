@@ -43,6 +43,7 @@ from repro.bench.figures import (
     run_fig10,
     run_fig11,
     run_fig12,
+    run_match,
 )
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -253,10 +254,14 @@ def main(argv=None):
             args.scale, workers=args.workers, adaptive=adaptive
         ),
         "fig12": lambda: run_fig12(args.scale),
+        # The columnar FindMatch engine in isolation (no sampling): its
+        # candidates_tested / matches_found counters are deterministic and
+        # regression-gated like any figure's.
+        "match": lambda: run_match(args.scale),
     }
     all_figures = tuple(runners)
-    #: Figures whose runner takes the stopping policy; fig7 and fig12
-    #: time engines with no per-point sample budget to adapt.
+    #: Figures whose runner takes the stopping policy; fig7, fig12, and
+    #: the match microbenchmark have no per-point sample budget to adapt.
     adaptive_figures = ("fig8", "fig9", "fig10", "fig11")
     if args.only is not None:
         if args.only not in runners:

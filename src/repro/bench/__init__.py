@@ -8,6 +8,7 @@ from repro.bench.figures import (
     run_fig10,
     run_fig11,
     run_fig12,
+    run_match,
 )
 from repro.bench.harness import FigureResult, Measurement, Series, timed
 from repro.bench.workloads import (
@@ -34,6 +35,7 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_fig12",
+    "run_match",
     "FigureResult",
     "Measurement",
     "Series",

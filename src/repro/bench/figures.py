@@ -29,6 +29,7 @@ from repro.bench.workloads import (
 )
 from repro.core.basis import BasisStore
 from repro.core.explorer import NaiveExplorer, ParameterExplorer
+from repro.core.fingerprint import Fingerprint
 from repro.core.mapping import IdentityMappingFamily, LinearMappingFamily
 from repro.core.adaptive import (
     AdaptiveBudget,
@@ -123,6 +124,29 @@ class _AdaptiveAccounting:
         result.counters["samples_saved_fraction"] = saved_fraction(
             self.actual, self.budget
         )
+
+
+def _fold_match_counters(
+    counters: Dict[str, float],
+    candidates_tested: float,
+    matches_found: float,
+    match_seconds: float,
+) -> None:
+    """Accumulate one store's match-engine counters into figure totals.
+
+    ``candidates_tested`` and ``matches_found`` are deterministic and
+    regression-gated; ``match_seconds`` is informational wall clock
+    (rounded so the JSON stays tidy).
+    """
+    counters["candidates_tested"] = counters.get(
+        "candidates_tested", 0.0
+    ) + float(candidates_tested)
+    counters["matches_found"] = counters.get("matches_found", 0.0) + float(
+        matches_found
+    )
+    counters["match_seconds"] = round(
+        counters.get("match_seconds", 0.0) + match_seconds, 6
+    )
 
 
 def _sweep_digest(run) -> Dict[str, float]:
@@ -220,11 +244,15 @@ def _explore_pair(
     start = timing.perf_counter()
     result = explorer.run(workload.points)
     jigsaw_seconds = timing.perf_counter() - start
+    store_stats = explorer.store.stats
     extras = {
         "bases": float(result.stats.bases_created),
         "reuse_fraction": result.stats.reuse_fraction,
         "naive_samples": float(naive_run.stats.samples_drawn),
         "jigsaw_samples": float(result.stats.samples_drawn),
+        "candidates_tested": float(store_stats.candidates_tested),
+        "matches_found": float(store_stats.matches),
+        "match_seconds": store_stats.match_seconds,
     }
     extras.update(_sweep_digest(result))
     return naive_seconds, jigsaw_seconds, extras, result.stats
@@ -290,6 +318,12 @@ def run_fig8(
         result.counters["samples_drawn"] = result.counters.get(
             "samples_drawn", 0.0
         ) + extras["naive_samples"] + extras["jigsaw_samples"]
+        _fold_match_counters(
+            result.counters,
+            extras["candidates_tested"],
+            extras["matches_found"],
+            extras["match_seconds"],
+        )
         reuse_fractions.append(extras["reuse_fraction"])
         result.data[label] = {
             "points": float(len(workload.points)),
@@ -357,8 +391,15 @@ def run_fig8(
 # Figure 9: computation time vs structure size (Capacity model)
 
 
-def _accumulate_run_counters(result: FigureResult, run) -> None:
-    """Fold one explorer run's work counters into the figure's totals."""
+def _accumulate_run_counters(result: FigureResult, run, store=None) -> None:
+    """Fold one explorer run's work counters into the figure's totals.
+
+    ``store`` (the explorer's basis store, serial or merged-parallel —
+    either way carrying the canonical replay counters) contributes the
+    match-engine counters: ``candidates_tested`` and ``matches_found`` are
+    deterministic and regression-gated; ``match_seconds`` is informational
+    wall clock spent inside match()/match_batch().
+    """
     counters = result.counters
     counters["samples_drawn"] = counters.get("samples_drawn", 0.0) + float(
         run.stats.samples_drawn
@@ -372,6 +413,13 @@ def _accumulate_run_counters(result: FigureResult, run) -> None:
     counters["reuse_fraction"] = (
         counters["points_reused"] / counters["points_total"]
     )
+    if store is not None:
+        _fold_match_counters(
+            counters,
+            store.stats.candidates_tested,
+            store.stats.matches,
+            store.stats.match_seconds,
+        )
 
 
 def run_fig9(
@@ -419,7 +467,7 @@ def run_fig9(
                 float(structure_size),
                 1000.0 * elapsed / len(workload.points),
             )
-            _accumulate_run_counters(result, run)
+            _accumulate_run_counters(result, run, explorer.store)
             accounting.record(run.stats, samples, workload.fingerprint_size)
             result.data[f"structure={structure_size:g}|{strategy}"] = (
                 _sweep_digest(run)
@@ -477,7 +525,7 @@ def run_fig10(
             start = timing.perf_counter()
             run = explorer.run(workload.points)
             timings[strategy] = timing.perf_counter() - start
-            _accumulate_run_counters(result, run)
+            _accumulate_run_counters(result, run, explorer.store)
             accounting.record(run.stats, samples, workload.fingerprint_size)
             result.data[f"bases={basis_count}|{strategy}"] = _sweep_digest(
                 run
@@ -534,7 +582,7 @@ def run_fig11(
             series[strategy].add(
                 float(basis_count), elapsed / point_count
             )
-            _accumulate_run_counters(result, run)
+            _accumulate_run_counters(result, run, explorer.store)
             accounting.record(run.stats, samples, workload.fingerprint_size)
             result.data[f"bases={basis_count}|{strategy}"] = _sweep_digest(
                 run
@@ -605,6 +653,82 @@ def run_fig12(
             f"naive/jigsaw = {naive_ms / jigsaw_ms:.2f}x"
         )
     result.series = [naive_series, jigsaw_series]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Match microbenchmark: the columnar FindMatch engine in isolation
+
+
+def run_match(scale: str = "quick") -> FigureResult:
+    """Batched basis matching against synthetic stores, per index strategy.
+
+    Isolates :meth:`BasisStore.match_batch` from sampling: stores are
+    preloaded with deterministic fingerprints, then a fixed probe mix
+    (affine images that must match, perturbed vectors that must not) is
+    matched in one batch per store.  ``candidates_tested`` and
+    ``matches_found`` are pure functions of the construction, so the
+    smoke regression gate diffs them exactly; ``match_seconds`` tracks
+    the engine's wall clock per probe.
+    """
+    basis_counts = _pick(scale, (32,), (64, 256), (64, 256, 1024))
+    probe_count = _pick(scale, 240, 2400, 12000)
+    fingerprint_size = PAPER_FINGERPRINT_SIZE
+    result = FigureResult(
+        figure="Match microbenchmark",
+        caption="Columnar FindMatch over preloaded stores",
+        x_label="# basis distributions",
+        y_label="match time (us/probe)",
+    )
+    strategies = ("array", "normalization", "sorted_sid")
+    series = {name: Series(_strategy_label(name)) for name in strategies}
+    rng = np.random.default_rng(20110613)  # deterministic, scale-independent
+    for basis_count in basis_counts:
+        bases = rng.standard_normal((basis_count, fingerprint_size))
+        probes = []
+        for probe in range(probe_count):
+            source = bases[probe % basis_count]
+            alpha = 1.0 + 0.25 * (probe % 7)
+            beta = float(probe % 5) - 2.0
+            values = alpha * source + beta
+            if probe % 4 == 3:
+                # A miss: break the affine relation on one entry.
+                values = values.copy()
+                values[probe % fingerprint_size] += 0.5
+            probes.append(Fingerprint(values))
+        found_by: Dict[str, int] = {}
+        for strategy in strategies:
+            store = BasisStore(index_strategy=strategy)
+            for row in bases:
+                store.add(Fingerprint(row), row)
+            start = timing.perf_counter()
+            matches = store.match_batch(probes)
+            elapsed = timing.perf_counter() - start
+            series[strategy].add(
+                float(basis_count), 1.0e6 * elapsed / probe_count
+            )
+            found_by[strategy] = sum(
+                1 for match in matches if match is not None
+            )
+            _fold_match_counters(
+                result.counters,
+                store.stats.candidates_tested,
+                found_by[strategy],
+                store.stats.match_seconds,
+            )
+            result.data[f"bases={basis_count}|{strategy}"] = {
+                "lookups": float(store.stats.lookups),
+                "candidates_tested": float(store.stats.candidates_tested),
+                "matches_found": float(found_by[strategy]),
+            }
+        per_strategy = ", ".join(
+            f"{strategy}={found_by[strategy]}" for strategy in strategies
+        )
+        result.notes.append(
+            f"bases={basis_count}: {probe_count} probes, "
+            f"matched {per_strategy}"
+        )
+    result.series = [series[s] for s in strategies]
     return result
 
 

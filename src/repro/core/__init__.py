@@ -6,7 +6,13 @@ from repro.core.adaptive import (
     grow_samples,
     saved_fraction,
 )
-from repro.core.basis import BasisDistribution, BasisStore, StoreStats
+from repro.core.basis import (
+    BasisDistribution,
+    BasisStore,
+    MatchResult,
+    StoreStats,
+)
+from repro.core.columnar import CandidateKeys, ColumnarStore
 from repro.core.estimator import (
     Estimator,
     Histogram,
@@ -28,6 +34,8 @@ from repro.core.parallel import (
 )
 from repro.core.fingerprint import (
     Fingerprint,
+    batch_normal_forms,
+    batch_sid_orders,
     compute_fingerprint,
     fingerprint_from_values,
 )
@@ -85,7 +93,10 @@ __all__ = [
     "saved_fraction",
     "BasisDistribution",
     "BasisStore",
+    "MatchResult",
     "StoreStats",
+    "CandidateKeys",
+    "ColumnarStore",
     "Estimator",
     "Histogram",
     "MetricSet",
@@ -104,6 +115,8 @@ __all__ = [
     "default_worker_count",
     "PointResult",
     "Fingerprint",
+    "batch_normal_forms",
+    "batch_sid_orders",
     "compute_fingerprint",
     "fingerprint_from_values",
     "ArrayIndex",

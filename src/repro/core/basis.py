@@ -9,11 +9,14 @@ skipped and the basis's metrics are remapped instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.columnar import CandidateKeys, ColumnarStore
 from repro.core.estimator import Estimator, MetricSet
 from repro.core.fingerprint import (
     DEFAULT_ABS_TOL,
@@ -55,6 +58,12 @@ class StoreStats:
     candidates_tested: int = 0
     matches: int = 0
     bases_created: int = 0
+    #: Wall-clock seconds spent inside match()/match_batch().  Measured with
+    #: the raw OS clock, not the injectable bench clock (a per-probe tick
+    #: would distort the fake-clock figure tests), excluded from equality
+    #: and from :meth:`as_dict` — parity suites compare only the
+    #: deterministic counters above.
+    match_seconds: float = field(default=0.0, compare=False)
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -65,12 +74,49 @@ class StoreStats:
         }
 
 
+class MatchResult(NamedTuple):
+    """A successful FindMatch: the stored basis plus the witness mapping.
+
+    A ``NamedTuple``, so the long-standing ``basis, mapping = store.match(
+    fp)`` unpacking (and truthiness checks against ``None``) keep working
+    unchanged.
+    """
+
+    basis: BasisDistribution
+    mapping: Mapping
+
+
+#: Columnar lookups per store that are cross-checked against the scalar
+#: loop before the vectorized kernels are trusted outright (the same
+#: self-verification contract as the fastrng stream replay: a surprising
+#: host/numpy pays with speed, never with changed answers).
+VERIFY_LOOKUPS = 4
+
+#: Probes with fewer candidates than this take the scalar loop: a couple of
+#: per-candidate find() calls against cached fingerprints beats the fixed
+#: cost of gathering rows and launching the matrix kernels.  Purely a
+#: latency knob — both paths return bit-identical results — exposed as an
+#: instance attribute so tests can force either path.
+COLUMNAR_MIN_CANDIDATES = 8
+
+
 class BasisStore:
     """The set of basis distributions plus its fingerprint index.
 
     Implements the matching half of paper Algorithm 3 (FindMatch): probe the
     index for candidates, run the family's FindMapping on each, and return
     the first basis with a valid mapping.
+
+    Matching is *columnar*: stored fingerprints (and their index-key rows)
+    live in contiguous matrices (:mod:`repro.core.columnar`), and a probe
+    validates all its candidates through one vectorized
+    :meth:`MappingFamily.find_matrix` call instead of a per-candidate
+    Python loop.  The scalar loop remains as the reference path: the first
+    :data:`VERIFY_LOOKUPS` columnar lookups are checked against it and any
+    disagreement permanently falls back (``columnar=False`` forces the
+    scalar path outright).  Either way every probe returns the same basis
+    id, the same mapping parameters, and the same candidates-tested count
+    — first-match-wins tie-breaking included.
     """
 
     def __init__(
@@ -81,6 +127,7 @@ class BasisStore:
         estimator: Optional[Estimator] = None,
         rel_tol: float = DEFAULT_REL_TOL,
         abs_tol: float = DEFAULT_ABS_TOL,
+        columnar: bool = True,
     ):
         self.mapping_family = mapping_family or LinearMappingFamily()
         if index is None:
@@ -99,6 +146,12 @@ class BasisStore:
         self.stats = StoreStats()
         self._bases: Dict[int, BasisDistribution] = {}
         self._next_id = 0
+        self.columnar = ColumnarStore()
+        self.columnar_enabled = bool(
+            columnar and self.mapping_family.supports_find_matrix
+        )
+        self.columnar_min_candidates = COLUMNAR_MIN_CANDIDATES
+        self._verify_remaining = VERIFY_LOOKUPS
 
     def __len__(self) -> int:
         return len(self._bases)
@@ -110,18 +163,86 @@ class BasisStore:
     def get(self, basis_id: int) -> BasisDistribution:
         return self._bases[basis_id]
 
-    def match(
-        self, fingerprint: Fingerprint
-    ) -> Optional[Tuple[BasisDistribution, Mapping]]:
+    def match(self, fingerprint: Fingerprint) -> Optional[MatchResult]:
         """Find a stored basis and mapping M with M(basis.fp) == fingerprint.
 
         The mapping direction follows the reuse direction: applying M to the
-        basis's samples/metrics yields the probe point's.
+        basis's samples/metrics yields the probe point's.  Single-probe form
+        of :meth:`match_batch` — same columnar candidate validation, same
+        counters.
         """
+        started = time.perf_counter()
         self.stats.lookups += 1
-        for basis_id in self.index.candidates(fingerprint):
+        result, tested = self._match_candidates(
+            fingerprint, self.index.candidates(fingerprint)
+        )
+        self.stats.candidates_tested += tested
+        if result is not None:
+            self.stats.matches += 1
+        self.stats.match_seconds += time.perf_counter() - started
+        return result
+
+    def match_batch(
+        self, fingerprints: Iterable[Fingerprint]
+    ) -> List[Optional[MatchResult]]:
+        """:meth:`match` for a batch of probes against the current store.
+
+        Index keys for all probes are computed in one vectorized pass
+        (:meth:`FingerprintIndex.candidates_batch`), then every probe's
+        candidates are validated through the columnar ``find_matrix``
+        kernels.  Probes do not see each other: the store is read-only
+        during the call, so result ``i`` is exactly ``match(fps[i])`` —
+        ids, mapping parameters, and counter increments all identical.
+        """
+        started = time.perf_counter()
+        probes = list(fingerprints)
+        results: List[Optional[MatchResult]] = []
+        for probe, candidates in zip(
+            probes, self.index.candidates_batch(probes)
+        ):
+            self.stats.lookups += 1
+            result, tested = self._match_candidates(probe, candidates)
+            self.stats.candidates_tested += tested
+            if result is not None:
+                self.stats.matches += 1
+            results.append(result)
+        self.stats.match_seconds += time.perf_counter() - started
+        return results
+
+    def _match_candidates(
+        self, fingerprint: Fingerprint, candidates: Sequence[int]
+    ) -> Tuple[Optional[MatchResult], int]:
+        """Validate a probe's candidate list; returns (result, tested).
+
+        ``tested`` is the scalar loop's accounting: candidates visited up
+        to and including the first match (all of them on a miss).
+        """
+        if (
+            not self.columnar_enabled
+            or len(candidates) < self.columnar_min_candidates
+        ):
+            return self._match_scalar(fingerprint, candidates)
+        result = self._match_columnar(fingerprint, candidates)
+        if self._verify_remaining > 0:
+            self._verify_remaining -= 1
+            reference = self._match_scalar(fingerprint, candidates)
+            if not self._same_result(result, reference):
+                warnings.warn(
+                    "columnar FindMapping disagreed with the scalar "
+                    "reference; falling back to the scalar path for this "
+                    "store",
+                    RuntimeWarning,
+                )
+                self.columnar_enabled = False
+                return reference
+        return result
+
+    def _match_scalar(
+        self, fingerprint: Fingerprint, candidates: Sequence[int]
+    ) -> Tuple[Optional[MatchResult], int]:
+        """Reference implementation: per-candidate FindMapping loop."""
+        for position, basis_id in enumerate(candidates):
             basis = self._bases[basis_id]
-            self.stats.candidates_tested += 1
             mapping = self.mapping_family.find(
                 basis.fingerprint,
                 fingerprint,
@@ -129,9 +250,53 @@ class BasisStore:
                 abs_tol=self.abs_tol,
             )
             if mapping is not None:
-                self.stats.matches += 1
-                return basis, mapping
-        return None
+                return MatchResult(basis, mapping), position + 1
+        return None, len(candidates)
+
+    def _match_columnar(
+        self, fingerprint: Fingerprint, candidates: Sequence[int]
+    ) -> Tuple[Optional[MatchResult], int]:
+        """Vectorized candidate validation over the columnar matrices."""
+        positions, rows, block = self.columnar.gather(
+            candidates, fingerprint.size
+        )
+        if block is None or len(rows) == 0:
+            # No candidate has the probe's size: the scalar loop would have
+            # visited (and counted) each one, matching none.
+            return None, len(candidates)
+        plausible, build = self.mapping_family.find_matrix(
+            block.rows(rows),
+            fingerprint,
+            rel_tol=self.rel_tol,
+            abs_tol=self.abs_tol,
+            keys=CandidateKeys(block, rows),
+        )
+        for index in np.nonzero(plausible)[0]:
+            mapping = build(int(index))
+            if mapping is not None:
+                position = int(positions[index])
+                basis = self._bases[candidates[position]]
+                return MatchResult(basis, mapping), position + 1
+        return None, len(candidates)
+
+    @staticmethod
+    def _same_result(
+        left: Tuple[Optional[MatchResult], int],
+        right: Tuple[Optional[MatchResult], int],
+    ) -> bool:
+        """Whether two (result, tested) pairs agree exactly."""
+        (left_match, left_tested) = left
+        (right_match, right_tested) = right
+        if left_tested != right_tested:
+            return False
+        if (left_match is None) != (right_match is None):
+            return False
+        if left_match is None:
+            return True
+        return (
+            left_match.basis.basis_id == right_match.basis.basis_id
+            and left_match.mapping == right_match.mapping
+        )
 
     def add(
         self,
@@ -150,6 +315,7 @@ class BasisStore:
         )
         self._bases[basis.basis_id] = basis
         self.index.insert(fingerprint, basis.basis_id)
+        self.columnar.add(basis.basis_id, fingerprint)
         self._next_id += 1
         self.stats.bases_created += 1
         return basis
@@ -196,7 +362,15 @@ class BasisStore:
                 id_map[basis.basis_id] = adopted.basis_id
                 translation[basis.basis_id] = (adopted.basis_id, None)
             self.index.merge(other.index, id_map)
+            # Adopt the shard's columnar matrices wholesale: one
+            # concatenate per fingerprint size, no key recomputation.
+            self.columnar.adopt(other.columnar, id_map)
             return translation
+        # Re-probe pass.  Each incoming fingerprint runs through the
+        # columnar match engine; the loop stays per-basis because a miss
+        # *inserts* (changing what later incoming fingerprints may match,
+        # and hence the exact counters the scalar semantics pin down), so
+        # probes are not independent the way a read-only match_batch's are.
         for basis in other.bases:
             matched = self.match(basis.fingerprint)
             if matched is not None:

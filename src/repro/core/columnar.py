@@ -1,0 +1,237 @@
+"""Columnar mirror of a basis store's fingerprints and index keys.
+
+The scalar FindMatch loop touches one :class:`BasisDistribution` at a time;
+every candidate costs a Python ``MappingFamily.find`` call.  This module
+keeps the same data *columnar*: all basis fingerprints of one size live in a
+contiguous, incrementally appended ``(n_bases, fingerprint_size)`` float
+matrix, with parallel SID-order and normal-form key matrices alongside, so
+one ``find_matrix`` call validates every candidate of a probe in a handful
+of array operations.
+
+Layout notes:
+
+* Basis ids are dense (``BasisStore`` hands them out sequentially), so id →
+  (size, row) lookups are plain integer-array indexing, not dict probes.
+* Stores may hold fingerprints of several sizes (a candidate of the wrong
+  size is untestable but still *counted* by the scalar loop); rows are
+  therefore grouped into per-size blocks and gathered per probe.
+* Matrices grow geometrically — appends are amortized O(row), and merges
+  adopt another store's blocks with one concatenate per size.
+* Key matrices are materialized lazily behind a fill watermark: a store
+  whose family never consults SID orders (or normal forms) never pays for
+  them, and the entries are read from each fingerprint's own cache, so the
+  keys are bitwise the ones the hash indexes inserted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fingerprint import (
+    Fingerprint,
+    batch_normal_forms,
+    batch_sid_orders,
+)
+
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+
+
+class _SizeBlock:
+    """All stored fingerprints of one size, as contiguous matrices."""
+
+    def __init__(self, size: int, capacity: int = 8):
+        self.size = size
+        self.count = 0
+        self.matrix = np.empty((capacity, size), dtype=np.float64)
+        self.ids: List[int] = []
+        self.fingerprints: List[Fingerprint] = []
+        self._sid_matrix: Optional[np.ndarray] = None
+        self._sid_filled = 0
+        self._nf_matrix: Dict[float, Tuple[np.ndarray, int]] = {}
+
+    def _reserve(self, extra: int) -> None:
+        needed = self.count + extra
+        capacity = len(self.matrix)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty((capacity, self.size), dtype=np.float64)
+        grown[: self.count] = self.matrix[: self.count]
+        self.matrix = grown
+        if self._sid_matrix is not None:
+            sid = np.empty((capacity, self.size), dtype=np.int64)
+            sid[: self._sid_filled] = self._sid_matrix[: self._sid_filled]
+            self._sid_matrix = sid
+        for rel_tol, (nf, filled) in self._nf_matrix.items():
+            grown_nf = np.empty((capacity, self.size), dtype=np.float64)
+            grown_nf[:filled] = nf[:filled]
+            self._nf_matrix[rel_tol] = (grown_nf, filled)
+
+    def append(self, basis_id: int, fingerprint: Fingerprint) -> int:
+        """Add one fingerprint row; returns its row index."""
+        self._reserve(1)
+        row = self.count
+        self.matrix[row] = fingerprint.array
+        self.ids.append(basis_id)
+        self.fingerprints.append(fingerprint)
+        self.count += 1
+        return row
+
+    def rows(self, row_indices: np.ndarray) -> np.ndarray:
+        """Gathered fingerprint rows (a no-copy view for the full scan)."""
+        active = self.matrix[: self.count]
+        if len(row_indices) == self.count and bool(
+            (row_indices == np.arange(self.count)).all()
+        ):
+            # The ArrayIndex full scan gathers every row in order; hand the
+            # contiguous view back instead of materializing a copy.
+            return active
+        return active[row_indices]
+
+    def sid_matrix(self) -> np.ndarray:
+        """Ascending SID-order keys, one row per stored fingerprint.
+
+        Filled from each fingerprint's cached ``sid_order`` (computing the
+        missing ones in one vectorized pass), so entries are bitwise the
+        keys a :class:`SortedSIDIndex` hashed on insert.
+        """
+        if self._sid_matrix is None:
+            self._sid_matrix = np.empty(
+                (len(self.matrix), self.size), dtype=np.int64
+            )
+        if self._sid_filled < self.count:
+            fresh = self.fingerprints[self._sid_filled : self.count]
+            orders = batch_sid_orders(fresh)
+            self._sid_matrix[self._sid_filled : self.count] = orders
+            self._sid_filled = self.count
+        return self._sid_matrix[: self.count]
+
+    def nf_matrix(self, rel_tol: float) -> np.ndarray:
+        """Normal-form keys, one row per stored fingerprint (lazy, cached
+        per tolerance like :meth:`Fingerprint.normal_form` itself)."""
+        entry = self._nf_matrix.get(rel_tol)
+        if entry is None:
+            entry = (np.empty((len(self.matrix), self.size)), 0)
+        matrix, filled = entry
+        if filled < self.count:
+            fresh = self.fingerprints[filled : self.count]
+            matrix[filled : self.count] = batch_normal_forms(fresh, rel_tol)
+            filled = self.count
+        self._nf_matrix[rel_tol] = (matrix, filled)
+        return matrix[: self.count]
+
+
+class CandidateKeys:
+    """Lazy per-candidate key-matrix view handed to ``find_matrix``.
+
+    Families that prune on order statistics (monotone) read ``sid_asc()``;
+    families that never ask keep the store from materializing anything.
+    """
+
+    def __init__(self, block: _SizeBlock, row_indices: np.ndarray):
+        self._block = block
+        self._rows = row_indices
+
+    def sid_asc(self) -> np.ndarray:
+        """Ascending SID-order rows for the gathered candidates."""
+        return self._block.sid_matrix()[self._rows]
+
+    def normal_forms(self, rel_tol: float) -> np.ndarray:
+        """Normal-form key rows for the gathered candidates."""
+        return self._block.nf_matrix(rel_tol)[self._rows]
+
+
+class ColumnarStore:
+    """Columnar companion of one :class:`repro.core.basis.BasisStore`."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, _SizeBlock] = {}
+        self._size_of = np.zeros(8, dtype=np.int64)
+        self._row_of = np.zeros(8, dtype=np.int64)
+        self._known = 0
+
+    def __len__(self) -> int:
+        return self._known
+
+    def _block(self, size: int) -> _SizeBlock:
+        block = self._blocks.get(size)
+        if block is None:
+            block = _SizeBlock(size)
+            self._blocks[size] = block
+        return block
+
+    def _register(self, basis_id: int, size: int, row: int) -> None:
+        if basis_id >= len(self._size_of):
+            capacity = len(self._size_of)
+            while capacity <= basis_id:
+                capacity *= 2
+            for name in ("_size_of", "_row_of"):
+                grown = np.zeros(capacity, dtype=np.int64)
+                old = getattr(self, name)
+                grown[: len(old)] = old
+                setattr(self, name, grown)
+        self._size_of[basis_id] = size
+        self._row_of[basis_id] = row
+        self._known = max(self._known, basis_id + 1)
+
+    def add(self, basis_id: int, fingerprint: Fingerprint) -> None:
+        """Mirror one stored basis into the columnar matrices."""
+        row = self._block(fingerprint.size).append(basis_id, fingerprint)
+        self._register(basis_id, fingerprint.size, row)
+
+    def adopt(self, other: "ColumnarStore", id_map: Dict[int, int]) -> None:
+        """Bulk-append another store's rows under translated basis ids.
+
+        The merge counterpart of :meth:`add`: each of ``other``'s size
+        blocks lands in this store with one matrix concatenate (ids absent
+        from ``id_map`` were collapsed into mappings and carry no row).
+        Materialized key matrices are *not* copied — the adopted
+        fingerprints keep their cached keys, so a later watermark fill is
+        a cache read, not a recomputation.
+        """
+        for size, incoming in other._blocks.items():
+            kept = [
+                row
+                for row in range(incoming.count)
+                if incoming.ids[row] in id_map
+            ]
+            if not kept:
+                continue
+            block = self._block(size)
+            block._reserve(len(kept))
+            start = block.count
+            block.matrix[start : start + len(kept)] = incoming.matrix[kept]
+            for offset, row in enumerate(kept):
+                basis_id = id_map[incoming.ids[row]]
+                block.ids.append(basis_id)
+                block.fingerprints.append(incoming.fingerprints[row])
+                self._register(basis_id, size, start + offset)
+            block.count += len(kept)
+
+    def gather(
+        self, candidates: Sequence[int], size: int
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[_SizeBlock]]:
+        """Locate a probe's candidates in the columnar layout.
+
+        Returns ``(positions, rows, block)``: ``positions`` are indices
+        into ``candidates`` whose basis has the probe's fingerprint size
+        (the only testable ones — the rest fail the scalar loop's size
+        check), ``rows`` their rows in ``block``.
+        """
+        block = self._blocks.get(size)
+        if block is None or not candidates:
+            return _EMPTY_ROWS, _EMPTY_ROWS, None
+        ids = np.fromiter(
+            candidates, dtype=np.int64, count=len(candidates)
+        )
+        if len(self._blocks) == 1:
+            positions = np.arange(len(ids))
+            rows = self._row_of[ids]
+        else:
+            testable = self._size_of[ids] == size
+            positions = np.nonzero(testable)[0]
+            rows = self._row_of[ids[positions]]
+        return positions, rows, block

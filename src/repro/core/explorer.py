@@ -179,11 +179,18 @@ class ParameterExplorer:
 
         The fingerprint rounds and (on a miss) the completion rounds are
         each one batched call: two array operations per fully simulated
-        point, one for a reused point.  With an adaptive budget, the
-        completion rounds instead grow in geometric blocks until the
-        confidence interval is inside tolerance (or the fixed budget is
-        exhausted); the reuse decision is fingerprint-only either way, so
-        enabling the policy never changes which points are reused.
+        point, one for a reused point.  The store probe itself is columnar
+        (:meth:`BasisStore.match` is the single-probe form of
+        ``match_batch``): all index candidates are validated through one
+        vectorized FindMapping kernel rather than a per-candidate Python
+        loop.  Probes stay per-point because a miss *inserts* a basis that
+        later points may legitimately match — batching across points would
+        change the reuse decisions the paper's Algorithm 3 makes.  With an
+        adaptive budget, the completion rounds instead grow in geometric
+        blocks until the confidence interval is inside tolerance (or the
+        fixed budget is exhausted); the reuse decision is fingerprint-only
+        either way, so enabling the policy never changes which points are
+        reused.
         """
         fingerprint_values = self._batch_simulation(
             params, self._fingerprint_seeds

@@ -182,6 +182,102 @@ class Fingerprint:
         return f"Fingerprint([{preview}{suffix}], m={len(self.values)})"
 
 
+def rows_first_distinct(
+    matrix: np.ndarray, rel_tol: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise :meth:`Fingerprint.first_distinct_pair`, one array pass.
+
+    Returns ``(has_pair, position)`` — ``position[r]`` is the second anchor
+    index for row ``r`` (the first anchor is always entry 0), meaningful
+    where ``has_pair[r]``.  Mirrors the scalar arithmetic exactly: the same
+    per-row scale (``max(|entries|)`` with zero collapsing to 1.0), the same
+    tolerance, the same ``argmax`` tie behavior.
+    """
+    scales = np.abs(matrix).max(axis=1)
+    scales[scales == 0.0] = 1.0  # Fingerprint.scale's `or 1.0`
+    tolerances = rel_tol * np.maximum(scales, 1.0)
+    distinct = np.abs(matrix - matrix[:, :1]) > tolerances[:, None]
+    distinct[:, 0] = False
+    position = distinct.argmax(axis=1)
+    has_pair = distinct[np.arange(len(matrix)), position]
+    return has_pair, position
+
+
+def _pending_by_size(
+    fingerprints: Sequence[Fingerprint], cache_key: object
+) -> Dict[int, list]:
+    """Group the indices of fingerprints missing ``cache_key`` by size."""
+    pending: Dict[int, list] = {}
+    for index, fingerprint in enumerate(fingerprints):
+        if cache_key not in fingerprint._cache:
+            pending.setdefault(fingerprint.size, []).append(index)
+    return pending
+
+
+def batch_normal_forms(
+    fingerprints: Sequence[Fingerprint],
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> list:
+    """:meth:`Fingerprint.normal_form` for many probes in vectorized passes.
+
+    Uncached fingerprints are grouped by size and normalized with matrix
+    arithmetic that is elementwise identical to the scalar computation, so
+    the resulting hash keys are bitwise the same; each key is written back
+    into its fingerprint's cache (later scalar probes reuse it for free).
+    """
+    cache_key = ("normal_form", rel_tol)
+    distinct_key = ("distinct", rel_tol)
+    for size, indices in _pending_by_size(fingerprints, cache_key).items():
+        matrix = np.stack([fingerprints[i].array for i in indices])
+        has_pair, position = rows_first_distinct(matrix, rel_tol)
+        lows = matrix.min(axis=1)
+        spans = matrix.max(axis=1) - lows
+        # Constant rows never read their (possibly zero) span.
+        safe_spans = np.where(has_pair, spans, 1.0)
+        normalized = (matrix - lows[:, None]) / safe_spans[:, None]
+        forward = np.round(normalized, NORMAL_FORM_DECIMALS)
+        forward[forward == 0] = 0.0  # collapse -0.0 and 0.0 keys
+        reflected = np.round(1.0 - forward, NORMAL_FORM_DECIMALS)
+        reflected[reflected == 0] = 0.0
+        for row, i in enumerate(indices):
+            fingerprint = fingerprints[i]
+            if distinct_key not in fingerprint._cache:
+                fingerprint._cache[distinct_key] = (
+                    (0, int(position[row])) if has_pair[row] else None
+                )
+            if has_pair[row]:
+                key = min(
+                    tuple(forward[row].tolist()),
+                    tuple(reflected[row].tolist()),
+                )
+            else:
+                key = tuple(0.0 for _ in range(size))
+            fingerprint._cache[cache_key] = key
+    return [fp.normal_form(rel_tol) for fp in fingerprints]
+
+
+def batch_sid_orders(
+    fingerprints: Sequence[Fingerprint], descending: bool = False
+) -> list:
+    """:meth:`Fingerprint.sid_order` for many probes in vectorized passes.
+
+    Stable row-wise argsort over a size-grouped matrix equals the scalar
+    per-fingerprint argsort entry for entry; results land in each
+    fingerprint's cache, exactly as a scalar probe would have left them.
+    """
+    cache_key = "sid_desc" if descending else "sid_asc"
+    for _, indices in _pending_by_size(fingerprints, cache_key).items():
+        matrix = np.stack([fingerprints[i].array for i in indices])
+        if descending:
+            matrix = -matrix
+        orders = np.argsort(matrix, axis=1, kind="stable")
+        for row, i in enumerate(indices):
+            fingerprints[i]._cache[cache_key] = tuple(
+                int(entry) for entry in orders[row]
+            )
+    return [fp.sid_order(descending=descending) for fp in fingerprints]
+
+
 def compute_fingerprint(
     sample: Callable[[int], float],
     seed_bank: SeedBank,

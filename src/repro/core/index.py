@@ -20,9 +20,14 @@ Three strategies, as evaluated in Figures 9-11:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
-from repro.core.fingerprint import DEFAULT_REL_TOL, Fingerprint
+from repro.core.fingerprint import (
+    DEFAULT_REL_TOL,
+    Fingerprint,
+    batch_normal_forms,
+    batch_sid_orders,
+)
 from repro.errors import IndexError_
 
 
@@ -39,6 +44,19 @@ class FingerprintIndex(ABC):
     @abstractmethod
     def candidates(self, fingerprint: Fingerprint) -> List[int]:
         """Basis ids that may be similar to the probe (superset of truth)."""
+
+    def candidates_batch(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> List[List[int]]:
+        """Per-probe candidate lists for a whole batch of probes.
+
+        Contract: ``candidates_batch(fps)[i] == candidates(fps[i])`` —
+        same ids, same order — so batched matching inherits the scalar
+        path's first-match-wins tie-breaking.  Hash-keyed strategies
+        override this to compute every probe's key in one vectorized
+        pass before the bucket lookups.
+        """
+        return [self.candidates(fp) for fp in fingerprints]
 
     @abstractmethod
     def merge(
@@ -80,6 +98,12 @@ class ArrayIndex(FingerprintIndex):
     def candidates(self, fingerprint: Fingerprint) -> List[int]:
         return list(self._ids)
 
+    def candidates_batch(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> List[List[int]]:
+        # No keys to vectorize: every probe scans every stored basis.
+        return [list(self._ids) for _ in fingerprints]
+
     def merge(
         self, other: FingerprintIndex, id_map: Mapping[int, int]
     ) -> None:
@@ -113,6 +137,12 @@ class NormalizationIndex(FingerprintIndex):
     def candidates(self, fingerprint: Fingerprint) -> List[int]:
         key = fingerprint.normal_form(self._rel_tol)
         return list(self._buckets.get(key, ()))
+
+    def candidates_batch(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> List[List[int]]:
+        keys = batch_normal_forms(list(fingerprints), self._rel_tol)
+        return [list(self._buckets.get(key, ())) for key in keys]
 
     def merge(
         self, other: FingerprintIndex, id_map: Mapping[int, int]
@@ -149,10 +179,39 @@ class SortedSIDIndex(FingerprintIndex):
         self._size += 1
 
     def candidates(self, fingerprint: Fingerprint) -> List[int]:
-        ascending = self._buckets.get(fingerprint.sid_order(), ())
-        descending = self._buckets.get(
-            fingerprint.sid_order(descending=True), ()
+        return self._candidates_for(
+            fingerprint.sid_order(), fingerprint.sid_order(descending=True)
         )
+
+    def candidates_batch(
+        self, fingerprints: Sequence[Fingerprint]
+    ) -> List[List[int]]:
+        probes = list(fingerprints)
+        ascending = batch_sid_orders(probes)
+        descending = batch_sid_orders(probes, descending=True)
+        return [
+            self._candidates_for(asc, desc)
+            for asc, desc in zip(ascending, descending)
+        ]
+
+    def _candidates_for(
+        self,
+        ascending_key: Tuple[int, ...],
+        descending_key: Tuple[int, ...],
+    ) -> List[int]:
+        ascending = self._buckets.get(ascending_key, ())
+        if descending_key == ascending_key:
+            # Fully tied fingerprints: both orders name the same bucket, so
+            # the dedup pass would drop every descending entry anyway.
+            return list(ascending)
+        descending = self._buckets.get(descending_key, ())
+        # An id lives under exactly one insertion key, so with distinct
+        # probe keys the buckets are disjoint and the common ascending-only
+        # (or descending-only) probe needs no set/merge work at all.
+        if not descending:
+            return list(ascending)
+        if not ascending:
+            return list(descending)
         merged = list(ascending)
         seen = set(merged)
         merged.extend(b for b in descending if b not in seen)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import bisect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,7 @@ from repro.core.fingerprint import (
     DEFAULT_ABS_TOL,
     DEFAULT_REL_TOL,
     Fingerprint,
+    rows_first_distinct,
     values_close,
 )
 from repro.errors import MappingError
@@ -123,6 +124,30 @@ class PiecewiseLinearMapping(Mapping):
         t = (value - xs[lo]) / span
         return ys[lo] + t * (ys[hi] - ys[lo])
 
+    def apply_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized interpolation, bit-identical to :meth:`apply`.
+
+        ``np.interp`` is deliberately not used: it clips instead of
+        extrapolating and evaluates ``slope * (x - x_lo) + y_lo``, whose
+        IEEE rounding differs from the scalar ``y_lo + t * (y_hi - y_lo)``
+        form.  This mirrors the scalar arithmetic operation for operation
+        (``searchsorted(side="left")`` is ``bisect_left``), so sample
+        remapping through a monotone mapping stays bitwise unchanged.
+        """
+        values = np.asarray(values, dtype=float)
+        xs = np.asarray(self.knots_x, dtype=float)
+        ys = np.asarray(self.knots_y, dtype=float)
+        position = np.searchsorted(xs, values, side="left")
+        lo = np.where(
+            position <= 0,
+            0,
+            np.where(position >= len(xs), len(xs) - 2, position - 1),
+        )
+        hi = lo + 1
+        span = xs[hi] - xs[lo]
+        t = (values - xs[lo]) / span
+        return ys[lo] + t * (ys[hi] - ys[lo])
+
     def inverse(self) -> "PiecewiseLinearMapping":
         pairs = sorted(zip(self.knots_y, self.knots_x))
         ys = tuple(p[0] for p in pairs)
@@ -130,6 +155,14 @@ class PiecewiseLinearMapping(Mapping):
         if any(ys[i] >= ys[i + 1] for i in range(len(ys) - 1)):
             raise MappingError("mapping is not invertible (non-strict image)")
         return PiecewiseLinearMapping(ys, xs)
+
+
+#: Result of :meth:`MappingFamily.find_matrix`: a per-row plausibility mask
+#: plus a builder that materializes the exact mapping for one row.  The mask
+#: is sound (``False`` guarantees :meth:`MappingFamily.find` returns None for
+#: that row) but may over-approximate; ``build(row)`` gives the authoritative
+#: answer for plausible rows and may still return ``None``.
+MatrixFind = Tuple[np.ndarray, Callable[[int], Optional[Mapping]]]
 
 
 class MappingFamily(ABC):
@@ -148,6 +181,13 @@ class MappingFamily(ABC):
     #: Whether every member is monotone, making the Sorted-SID index exact.
     monotone_members: bool = True
 
+    #: Whether :meth:`find_matrix` is a true vectorized kernel.  The
+    #: columnar match engine in :class:`repro.core.basis.BasisStore` only
+    #: engages for families that set this; user-defined families keep the
+    #: scalar per-candidate path (the generic ``find_matrix`` below is
+    #: correct but not faster than the loop it replaces).
+    supports_find_matrix: bool = False
+
     @abstractmethod
     def find(
         self,
@@ -157,6 +197,35 @@ class MappingFamily(ABC):
         abs_tol: float = DEFAULT_ABS_TOL,
     ) -> Optional[Mapping]:
         """Return M with M(source[k]) == target[k] for all k, else None."""
+
+    def find_matrix(
+        self,
+        sources: np.ndarray,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+        keys: Optional["object"] = None,
+    ) -> MatrixFind:
+        """:meth:`find` against a ``(rows, m)`` stack of source fingerprints.
+
+        The accept set and the returned mapping parameters are identical to
+        calling ``find`` row by row — vectorized implementations mirror the
+        scalar arithmetic operation for operation, so even the IEEE rounding
+        of ``alpha``/``beta`` matches bitwise.  ``sources`` rows must already
+        have the target's entry count (the columnar store guarantees this).
+        ``keys``, when given, exposes precomputed per-row index-key matrices
+        (``sid_asc()`` — see :class:`repro.core.columnar.CandidateKeys`) so
+        monotone order checks read order statistics instead of re-sorting.
+        """
+        sources = np.asarray(sources, dtype=float)
+        plausible = np.ones(len(sources), dtype=bool)
+
+        def build(row: int) -> Optional[Mapping]:
+            return self.find(
+                Fingerprint(sources[row]), target, rel_tol, abs_tol
+            )
+
+        return plausible, build
 
     def find_arrays(
         self,
@@ -179,6 +248,27 @@ class MappingFamily(ABC):
         return type(self).__name__
 
 
+def _rows_affine_valid(
+    sources: np.ndarray,
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    target: Fingerprint,
+    rel_tol: float,
+    abs_tol: float,
+) -> np.ndarray:
+    """Row-wise :func:`_validates` for affine candidates.
+
+    Literally ``alpha * source + beta`` per row — the same IEEE multiply
+    and add :meth:`AffineMapping.apply_array` performs — against the same
+    per-probe tolerance, so the accept set matches the scalar loop bitwise.
+    """
+    tol = max(rel_tol * max(target.scale(), 1.0), abs_tol)
+    deviation = np.abs(
+        alpha[:, None] * sources + beta[:, None] - target.array
+    )
+    return (deviation <= tol).all(axis=1)
+
+
 class LinearMappingFamily(MappingFamily):
     """Algorithm 2: FindLinearMapping, generalized with float tolerance.
 
@@ -191,6 +281,7 @@ class LinearMappingFamily(MappingFamily):
     supports_normal_form = True
     monotone_members = True  # each member is monotone (increasing or
     # decreasing); Sorted-SID probes both orders.
+    supports_find_matrix = True
 
     def find(
         self,
@@ -223,6 +314,49 @@ class LinearMappingFamily(MappingFamily):
             return candidate
         return None
 
+    def find_matrix(
+        self,
+        sources: np.ndarray,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+        keys: Optional["object"] = None,
+    ) -> MatrixFind:
+        """Algorithm 2 across all candidate rows in one array pass."""
+        sources = np.asarray(sources, dtype=float)
+        rows = len(sources)
+        alpha = np.ones(rows)
+        beta = np.zeros(rows)
+        valid = np.zeros(rows, dtype=bool)
+        if rows:
+            has_pair, position = rows_first_distinct(sources, rel_tol)
+            target_array = target.array
+            if target.is_constant(rel_tol):
+                # Constant target: only constant sources reach it (by pure
+                # shift, accepted without validation — exactly `find`).
+                constant = ~has_pair
+                valid[constant] = True
+                beta[constant] = target_array[0] - sources[constant, 0]
+            elif bool(has_pair.any()):
+                fit = np.nonzero(has_pair)[0]
+                anchors = position[fit]
+                fit_sources = sources[fit]
+                fit_alpha = (target_array[anchors] - target_array[0]) / (
+                    fit_sources[np.arange(len(fit)), anchors]
+                    - fit_sources[:, 0]
+                )
+                fit_beta = target_array[0] - fit_alpha * fit_sources[:, 0]
+                alpha[fit] = fit_alpha
+                beta[fit] = fit_beta
+                valid[fit] = _rows_affine_valid(
+                    fit_sources, fit_alpha, fit_beta, target, rel_tol, abs_tol
+                )
+
+        def build(row: int) -> AffineMapping:
+            return AffineMapping(float(alpha[row]), float(beta[row]))
+
+        return valid, build
+
 
 class IdentityMappingFamily(MappingFamily):
     """Only the identity map: reuse requires exactly equal fingerprints.
@@ -235,6 +369,7 @@ class IdentityMappingFamily(MappingFamily):
     supports_normal_form = False  # the normal form erases the information
     # (shift/scale) that identity matching must preserve.
     monotone_members = True
+    supports_find_matrix = True
 
     def find(
         self,
@@ -249,12 +384,37 @@ class IdentityMappingFamily(MappingFamily):
             return IDENTITY
         return None
 
+    def find_matrix(
+        self,
+        sources: np.ndarray,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+        keys: Optional["object"] = None,
+    ) -> MatrixFind:
+        sources = np.asarray(sources, dtype=float)
+        rows = len(sources)
+        valid = (
+            _rows_affine_valid(
+                sources,
+                np.ones(rows),
+                np.zeros(rows),
+                target,
+                rel_tol,
+                abs_tol,
+            )
+            if rows
+            else np.zeros(0, dtype=bool)
+        )
+        return valid, lambda row: IDENTITY
+
 
 class ShiftMappingFamily(MappingFamily):
     """M(x) = x + β: pure translations (uniform drift absorption)."""
 
     supports_normal_form = False
     monotone_members = True
+    supports_find_matrix = True
 
     def find(
         self,
@@ -287,12 +447,32 @@ class ShiftMappingFamily(MappingFamily):
             return AffineMapping(1.0, beta)
         return None
 
+    def find_matrix(
+        self,
+        sources: np.ndarray,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+        keys: Optional["object"] = None,
+    ) -> MatrixFind:
+        sources = np.asarray(sources, dtype=float)
+        rows = len(sources)
+        beta = np.zeros(rows)
+        valid = np.zeros(rows, dtype=bool)
+        if rows:
+            beta = target.array[0] - sources[:, 0]
+            valid = _rows_affine_valid(
+                sources, np.ones(rows), beta, target, rel_tol, abs_tol
+            )
+        return valid, lambda row: AffineMapping(1.0, float(beta[row]))
+
 
 class ScaleMappingFamily(MappingFamily):
     """M(x) = αx: pure rescalings."""
 
     supports_normal_form = False
     monotone_members = True
+    supports_find_matrix = True
 
     def find(
         self,
@@ -318,6 +498,51 @@ class ScaleMappingFamily(MappingFamily):
             return candidate
         return None
 
+    def find_matrix(
+        self,
+        sources: np.ndarray,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+        keys: Optional["object"] = None,
+    ) -> MatrixFind:
+        sources = np.asarray(sources, dtype=float)
+        rows = len(sources)
+        alpha = np.ones(rows)
+        zero_source = np.zeros(rows, dtype=bool)
+        valid = np.zeros(rows, dtype=bool)
+        if rows:
+            nonzero = np.abs(sources) > abs_tol
+            has_anchor = nonzero.any(axis=1)
+            zero_source = ~has_anchor
+            # Zero source rows map to a zero target under any α: identity.
+            if target.is_constant(rel_tol) and abs(target[0]) <= abs_tol:
+                valid[zero_source] = True
+            if bool(has_anchor.any()):
+                fit = np.nonzero(has_anchor)[0]
+                anchors = nonzero[fit].argmax(axis=1)
+                fit_sources = sources[fit]
+                fit_alpha = (
+                    target.array[anchors]
+                    / fit_sources[np.arange(len(fit)), anchors]
+                )
+                alpha[fit] = fit_alpha
+                valid[fit] = _rows_affine_valid(
+                    fit_sources,
+                    fit_alpha,
+                    np.zeros(len(fit)),
+                    target,
+                    rel_tol,
+                    abs_tol,
+                )
+
+        def build(row: int) -> AffineMapping:
+            if zero_source[row]:
+                return IDENTITY
+            return AffineMapping(float(alpha[row]), 0.0)
+
+        return valid, build
+
 
 class MonotoneMappingFamily(MappingFamily):
     """Any strictly monotone map, represented piecewise-linearly.
@@ -331,6 +556,7 @@ class MonotoneMappingFamily(MappingFamily):
 
     supports_normal_form = False
     monotone_members = True
+    supports_find_matrix = True
 
     def find(
         self,
@@ -345,31 +571,92 @@ class MonotoneMappingFamily(MappingFamily):
         decreasing = source.sid_order() == target.sid_order(descending=True)
         if not increasing and not decreasing:
             return None
-        pairs = sorted(zip(source.values, target.values))
-        xs: List[float] = []
-        ys: List[float] = []
-        for x, y in pairs:
-            if xs and values_close(x, xs[-1], rel_tol, abs_tol):
-                # Equal source entries must map to equal target entries.
-                if not values_close(y, ys[-1], rel_tol, abs_tol):
-                    return None
-                continue
-            xs.append(x)
-            ys.append(y)
-        if len(xs) < 2:
-            return AffineMapping(1.0, ys[0] - xs[0]) if xs else None
-        direction = ys[-1] - ys[0]
-        for a, b in zip(ys, ys[1:]):
-            if direction >= 0 and b < a - abs_tol:
-                return None
-            if direction < 0 and b > a + abs_tol:
-                return None
-        if direction < 0:
-            ys = [-y for y in ys]
-            return _NegatedPiecewise(
-                PiecewiseLinearMapping(tuple(xs), tuple(ys))
+        return _monotone_from_values(
+            source.values, target.values, rel_tol, abs_tol
+        )
+
+    def find_matrix(
+        self,
+        sources: np.ndarray,
+        target: Fingerprint,
+        rel_tol: float = DEFAULT_REL_TOL,
+        abs_tol: float = DEFAULT_ABS_TOL,
+        keys: Optional["object"] = None,
+    ) -> MatrixFind:
+        """Order-statistics screen over all rows, exact build per survivor.
+
+        A monotone map exists only when the source's ascending SID order
+        equals the target's ascending (increasing) or descending
+        (decreasing) order, so one integer-matrix comparison against the
+        candidates' precomputed SID-order rows prunes the stack; knot
+        construction (which can still reject, e.g. equal source entries
+        mapping to unequal targets) runs only for rows that pass.
+        """
+        sources = np.asarray(sources, dtype=float)
+        rows = len(sources)
+        if rows == 0:
+            plausible = np.zeros(0, dtype=bool)
+        else:
+            if keys is not None:
+                source_orders = keys.sid_asc()
+            else:
+                source_orders = np.argsort(sources, axis=1, kind="stable")
+            target_asc = np.asarray(target.sid_order(), dtype=np.int64)
+            target_desc = np.asarray(
+                target.sid_order(descending=True), dtype=np.int64
             )
-        return PiecewiseLinearMapping(tuple(xs), tuple(ys))
+            plausible = (source_orders == target_asc).all(axis=1) | (
+                source_orders == target_desc
+            ).all(axis=1)
+
+        def build(row: int) -> Optional[Mapping]:
+            return _monotone_from_values(
+                tuple(float(v) for v in sources[row]),
+                target.values,
+                rel_tol,
+                abs_tol,
+            )
+
+        return plausible, build
+
+
+def _monotone_from_values(
+    source_values: Sequence[float],
+    target_values: Sequence[float],
+    rel_tol: float,
+    abs_tol: float,
+) -> Optional[Mapping]:
+    """Knot construction shared by the scalar and matrix monotone paths.
+
+    Callers have already established order consistency; this dedups equal
+    source entries, verifies they map to equal targets, checks the image's
+    monotonicity, and materializes the piecewise mapping.
+    """
+    pairs = sorted(zip(source_values, target_values))
+    xs: List[float] = []
+    ys: List[float] = []
+    for x, y in pairs:
+        if xs and values_close(x, xs[-1], rel_tol, abs_tol):
+            # Equal source entries must map to equal target entries.
+            if not values_close(y, ys[-1], rel_tol, abs_tol):
+                return None
+            continue
+        xs.append(x)
+        ys.append(y)
+    if len(xs) < 2:
+        return AffineMapping(1.0, ys[0] - xs[0]) if xs else None
+    direction = ys[-1] - ys[0]
+    for a, b in zip(ys, ys[1:]):
+        if direction >= 0 and b < a - abs_tol:
+            return None
+        if direction < 0 and b > a + abs_tol:
+            return None
+    if direction < 0:
+        ys = [-y for y in ys]
+        return _NegatedPiecewise(
+            PiecewiseLinearMapping(tuple(xs), tuple(ys))
+        )
+    return PiecewiseLinearMapping(tuple(xs), tuple(ys))
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,16 @@ bit-identical to the serial explorer for every worker count.  (The engine
 therefore guarantees more than the documented invariant — estimates may
 never differ; decisions happen not to either.)  Only the *shard-side* work
 varies with the shard count; :class:`ParallelStats` accounts for it.
+
+Both phases run on the columnar match engine: shard stores and the merged
+replay store validate each probe's candidates through the vectorized
+``find_matrix`` kernels (with contiguous fingerprint/key matrices grown
+incrementally as bases are adopted), so sharding and columnar matching
+compose — and because the columnar path is bit-identical to the scalar
+loop, the replay-merge parity invariant is untouched.  Offline store
+reconciliation (:meth:`BasisStore.merge`) adopts a shard's columnar
+matrices with one concatenate per fingerprint size in verbatim mode and
+re-probes incoming bases through the same columnar engine otherwise.
 """
 
 from __future__ import annotations

@@ -171,7 +171,14 @@ class InteractiveSession:
         return np.asarray(values, dtype=float)
 
     def _bootstrap(self, state: PointState) -> None:
-        """Fingerprint a fresh point and attach it to a basis (FindMatch)."""
+        """Fingerprint a fresh point and attach it to a basis (FindMatch).
+
+        The probe runs on the store's columnar match engine — the online
+        loop shares :meth:`BasisStore.match` (the single-probe form of
+        ``match_batch``) with the sweep explorers, so a session over a
+        large shared store pays one vectorized kernel per probe rather
+        than a per-candidate Python loop.
+        """
         wanted = [
             i
             for i in range(self.fingerprint_size)

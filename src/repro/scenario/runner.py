@@ -172,6 +172,19 @@ class ScenarioRunner:
     def store_for(self, column: str) -> BasisStore:
         return self._stores[column]
 
+    def match_stats(self) -> Dict[str, "object"]:
+        """Per-column basis-match counters (StoreStats), for diagnostics.
+
+        Every column's store answers probes through the columnar match
+        engine (:meth:`BasisStore.match` — the single-probe form of
+        ``match_batch``); ``candidates_tested``/``matches`` here are
+        deterministic and identical for any worker count, while
+        ``match_seconds`` reports the engine's wall clock.
+        """
+        return {
+            column: store.stats for column, store in self._stores.items()
+        }
+
     def _clone_serial(self) -> "ScenarioRunner":
         """A fresh single-worker runner with this runner's configuration
         (shard workers build their local per-column stores through this)."""
@@ -316,6 +329,11 @@ class ScenarioRunner:
         stats.rounds_executed += m
 
         if self.use_fingerprints:
+            # One columnar probe per column, short-circuiting on the first
+            # unmappable column (each column has its own store, and the
+            # scalar-identical counters require that stores past the first
+            # miss are *not* probed — so this cannot be one cross-store
+            # match_batch call).
             matches: Dict[str, Tuple[object, Mapping]] = {}
             for column in columns:
                 fingerprint = Fingerprint(column_values[column])
