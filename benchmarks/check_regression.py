@@ -25,6 +25,16 @@ replay-merge invariant the counters must *still* match the serial
 baseline, so CI runs this gate twice (serial and ``--workers 4``) against
 one committed file.
 
+``--warm-check`` runs the warm-start smoke verification instead of the
+gate: a cold ``--scale smoke`` pass that saves every sweep's basis store
+(``run_all.py --warm-store``), then a warm serial rerun and a warm
+``--workers 4`` rerun from those snapshots.  It verifies that (a) the
+cold pass's deterministic counters still equal the committed baseline —
+warm plumbing over an empty store directory is bitwise-neutral; (b) the
+warm reruns reproduce the cold per-figure estimates *exactly* while
+drawing strictly fewer samples; and (c) the warm serial and warm sharded
+reruns agree exactly (counters and data points).
+
 Exit status 0 on success, 1 on any mismatch (differences are printed).
 """
 
@@ -102,6 +112,141 @@ def compare(baseline, measured, time_factor):
     return failures
 
 
+#: Figures that read/write warm stores (run_all's adaptive_figures); the
+#: remaining figures must be byte-identical between cold and warm runs.
+WARM_FIGURES = ("fig8", "fig9", "fig10", "fig11")
+
+#: Counters only a --warm-store run records; stripped before comparing a
+#: warm-driver cold pass against the (cold, untagged) committed baseline.
+WARM_ONLY_KEYS = frozenset({"warm_reuse_fraction", "warm_loaded_bases"})
+
+#: Per-figure ``FigureResult.data`` sub-keys that must be reproduced
+#: exactly by a warm rerun.  Work counters inside the data digests
+#: (points_reused, bases_created, ...) legitimately differ — warm runs
+#: reuse prior-run bases — but the *estimates* may not move by a single
+#: bit.
+WARM_EXACT_DATA_KEYS = ("mean_expectation", "mean_stddev")
+
+
+def _run_suite(run_all, scratch, tag, store_dir, workers):
+    """One smoke run_all pass with warm stores; returns (bench, data)."""
+    bench_path = os.path.join(scratch, f"{tag}.json")
+    data_path = os.path.join(scratch, f"{tag}_data.json")
+    run_all.main(
+        [
+            "--scale", "smoke",
+            "--bench-out", bench_path,
+            "--data-out", data_path,
+            "--warm-store", store_dir,
+            "--workers", str(workers),
+        ]
+    )
+    with open(bench_path) as handle:
+        bench = json.load(handle)
+    with open(data_path) as handle:
+        data = json.load(handle)
+    return bench, data
+
+
+def warm_check(baseline_path):
+    """The warm-start smoke verification; returns failure strings."""
+    failures = []
+    baseline = None
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        failures.append(f"cannot read baseline {baseline_path}: {error}")
+
+    run_all = _load_run_all()
+    with tempfile.TemporaryDirectory() as scratch:
+        store_dir = os.path.join(scratch, "stores")
+        cold, cold_data = _run_suite(run_all, scratch, "cold", store_dir, 1)
+        warm, warm_data = _run_suite(run_all, scratch, "warm", store_dir, 1)
+        warm4, warm4_data = _run_suite(
+            run_all, scratch, "warm4", store_dir, 4
+        )
+
+    # (a) Warm plumbing over an empty store directory is bitwise-neutral:
+    # the cold pass must reproduce the committed baseline exactly (modulo
+    # the warm_reuse_fraction annotation the warm driver adds).
+    if baseline is not None:
+        expected = deterministic_counters(baseline)
+        measured = deterministic_counters(cold)
+        for figure in sorted(set(expected) | set(measured)):
+            got = {
+                key: value
+                for key, value in measured.get(figure, {}).items()
+                if key not in WARM_ONLY_KEYS
+            }
+            if got != expected.get(figure):
+                failures.append(
+                    f"cold pass drifted from baseline at {figure}: "
+                    f"{got!r} != {expected.get(figure)!r}"
+                )
+
+    # (b) Warm rerun: exact estimates, strictly fewer samples.
+    for figure in WARM_FIGURES:
+        cold_entry = cold["figures"].get(figure, {})
+        warm_entry = warm["figures"].get(figure, {})
+        cold_samples = cold_entry.get("samples_drawn")
+        warm_samples = warm_entry.get("samples_drawn")
+        if cold_samples is None or warm_samples is None:
+            failures.append(f"{figure}: samples_drawn missing from a run")
+        elif not warm_samples < cold_samples:
+            failures.append(
+                f"{figure}: warm rerun drew {warm_samples} samples, not "
+                f"strictly fewer than the cold run's {cold_samples}"
+            )
+        for key, cold_point in cold_data.get(figure, {}).items():
+            warm_point = warm_data.get(figure, {}).get(key)
+            if warm_point is None:
+                failures.append(f"{figure}.{key}: missing from warm data")
+                continue
+            for metric in WARM_EXACT_DATA_KEYS:
+                if metric not in cold_point:
+                    continue
+                if warm_point.get(metric) != cold_point[metric]:
+                    failures.append(
+                        f"{figure}.{key}.{metric}: warm "
+                        f"{warm_point.get(metric)!r} != cold "
+                        f"{cold_point[metric]!r} (estimates must be "
+                        f"reproduced exactly)"
+                    )
+
+    # (b') Figures with no store to persist (fig7/fig12/match) must be
+    # untouched by warm plumbing: cold and warm runs agree exactly.
+    cold_counters = deterministic_counters(cold)
+    warm_counters = deterministic_counters(warm)
+    for figure in sorted(set(cold_counters) | set(warm_counters)):
+        if figure in WARM_FIGURES:
+            continue
+        if warm_counters.get(figure) != cold_counters.get(figure):
+            failures.append(
+                f"{figure}: warm run counters drifted from cold "
+                f"({warm_counters.get(figure)!r} != "
+                f"{cold_counters.get(figure)!r}) though the figure has no "
+                f"warm store"
+            )
+        if warm_data.get(figure) != cold_data.get(figure):
+            failures.append(
+                f"{figure}: warm run data drifted from cold though the "
+                f"figure has no warm store"
+            )
+
+    # (c) Warm serial and warm sharded agree exactly.
+    if deterministic_counters(warm) != deterministic_counters(warm4):
+        failures.append(
+            "warm serial and warm --workers 4 deterministic counters "
+            "disagree"
+        )
+    if warm_data != warm4_data:
+        failures.append(
+            "warm serial and warm --workers 4 figure data disagree"
+        )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -125,7 +270,30 @@ def main(argv=None):
             "committed baseline after an intentional change)"
         ),
     )
+    parser.add_argument(
+        "--warm-check",
+        action="store_true",
+        help=(
+            "run the warm-start smoke verification (cold save, warm "
+            "reload serial and --workers 4, exact-diff counters and "
+            "estimates) instead of the baseline gate"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.warm_check:
+        failures = warm_check(args.baseline)
+        if failures:
+            print("warm-start smoke verification FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(
+            "warm-start smoke verification passed: cold pass matches the "
+            "baseline, warm reruns (serial and 4 workers) reproduce cold "
+            "estimates exactly with strictly fewer samples"
+        )
+        return 0
 
     baseline = None
     try:

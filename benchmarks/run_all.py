@@ -4,8 +4,9 @@
 Usage::
 
     python benchmarks/run_all.py [--scale smoke|quick|paper] [--workers N]
-                                 [--out results.txt]
+                                 [--warm-store DIR] [--out results.txt]
                                  [--bench-out BENCH_run_all.json]
+                                 [--data-out figure_data.json]
 
 ``quick`` (default) runs laptop-sized sweeps in seconds on the batch
 sampling engine; ``paper`` runs the paper-sized configurations (1000
@@ -23,10 +24,20 @@ the serial run by the engine's replay-merge invariant; only wall clocks
 change, which is why a sharded run is recorded with its worker count and
 never merged into (or allowed to overwrite) a serial baseline.
 
+``--warm-store DIR`` persists the explorer sweeps' basis stores under
+``DIR`` (one snapshot per sweep, see :mod:`repro.core.persist`) and
+warm-starts from whatever snapshots a previous run left there: the first
+run is cold and saves, a rerun reuses the stored bases and draws only
+fingerprint rounds for covered points, reproducing the cold estimates
+exactly.  Warm figures record ``warm_reuse_fraction``; warm documents are
+tagged ``warm_store`` and refused as replacements for (or merge targets
+of) cold baselines — the same protection adaptive documents get.
+
 Alongside the text report, a machine-readable ``BENCH_run_all.json`` is
 written with per-figure wall-clock seconds and work counters (samples
 drawn, reuse fraction) so future changes have a perf trajectory to regress
-against.
+against.  ``--data-out`` additionally dumps each figure's deterministic
+data points (``FigureResult.data``) for exact estimate comparisons.
 """
 
 import argparse
@@ -49,7 +60,8 @@ from repro.bench.figures import (
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def _classify_baseline(bench_out, scale, workers=1, adaptive=None):
+def _classify_baseline(bench_out, scale, workers=1, adaptive=None,
+                       warm=False):
     """Classify the file at ``bench_out`` for overwrite/merge decisions.
 
     Returns ``(kind, existing)``; ``kind`` is ``"missing"`` (no file),
@@ -60,8 +72,12 @@ def _classify_baseline(bench_out, scale, workers=1, adaptive=None):
     trajectory), ``"other-adaptive"`` (adaptive stopping policy differs —
     adaptive runs draw fewer samples by design, so their counters must
     never replace or be merged into a fixed-budget baseline, nor vice
-    versa), or ``"compatible"`` (well-formed, same configuration).
-    ``existing`` is the parsed document except for the first two kinds.
+    versa), ``"other-warm"`` (one run warm-started from a persisted
+    store, the other did not — warm runs reuse prior-run bases and draw
+    fewer samples by design, so their counters must never replace or be
+    merged into a cold baseline, nor vice versa), or ``"compatible"``
+    (well-formed, same configuration).  ``existing`` is the parsed
+    document except for the first two kinds.
     """
     if not os.path.exists(bench_out):
         return "missing", None
@@ -84,6 +100,8 @@ def _classify_baseline(bench_out, scale, workers=1, adaptive=None):
         return "other-workers", existing
     if existing.get("adaptive") != adaptive:
         return "other-adaptive", existing
+    if bool(existing.get("warm_store", False)) != bool(warm):
+        return "other-warm", existing
     return "compatible", existing
 
 
@@ -92,6 +110,18 @@ def _refuse_overwrite(bench_out, reason):
         f"not overwriting {bench_out}: {reason}; pass --bench-out to "
         f"write elsewhere",
         file=sys.stderr,
+    )
+
+
+def _warm_mismatch_reason(existing, bench):
+    if bench.get("warm_store", False):
+        return (
+            "existing baseline is a cold run, this run warm-started from "
+            "a persisted store (its counters reflect cross-run reuse)"
+        )
+    return (
+        "existing baseline warm-started from a persisted store, this run "
+        "is cold"
     )
 
 
@@ -117,6 +147,7 @@ def _merge_partial(bench_out, bench, all_figures):
         bench["scale"],
         bench.get("workers", 1),
         bench.get("adaptive"),
+        bench.get("warm_store", False),
     )
     if kind == "unusable":
         _refuse_overwrite(
@@ -144,6 +175,12 @@ def _merge_partial(bench_out, bench, all_figures):
             f"existing baseline used adaptive policy "
             f"{existing.get('adaptive')!r}, this run used "
             f"{bench.get('adaptive')!r}",
+        )
+        return None
+    if kind == "other-warm":
+        _refuse_overwrite(
+            bench_out,
+            _warm_mismatch_reason(existing, bench),
         )
         return None
     merged_figures = set(bench["figures"])
@@ -220,6 +257,26 @@ def main(argv=None):
         default=0.95,
         help="confidence level for --rtol stopping (default 0.95)",
     )
+    parser.add_argument(
+        "--warm-store",
+        default=None,
+        help=(
+            "persist the explorer sweeps' basis stores (fig8-11) under "
+            "this directory and warm-start from any snapshots already "
+            "there; figures then record warm_reuse_fraction, and the "
+            "resulting document is tagged and never merged into a cold "
+            "baseline"
+        ),
+    )
+    parser.add_argument(
+        "--data-out",
+        default=None,
+        help=(
+            "also write each figure's deterministic data points "
+            "(FigureResult.data) to this JSON file — e.g. for the "
+            "warm-start gate's exact estimate comparison"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
@@ -239,19 +296,24 @@ def main(argv=None):
             file=sys.stderr,
         )
 
+    warm_store = args.warm_store or None
     runners = {
         "fig7": lambda: run_fig7(args.scale),
         "fig8": lambda: run_fig8(
-            args.scale, workers=args.workers, adaptive=adaptive
+            args.scale, workers=args.workers, adaptive=adaptive,
+            warm_store=warm_store,
         ),
         "fig9": lambda: run_fig9(
-            args.scale, workers=args.workers, adaptive=adaptive
+            args.scale, workers=args.workers, adaptive=adaptive,
+            warm_store=warm_store,
         ),
         "fig10": lambda: run_fig10(
-            args.scale, workers=args.workers, adaptive=adaptive
+            args.scale, workers=args.workers, adaptive=adaptive,
+            warm_store=warm_store,
         ),
         "fig11": lambda: run_fig11(
-            args.scale, workers=args.workers, adaptive=adaptive
+            args.scale, workers=args.workers, adaptive=adaptive,
+            warm_store=warm_store,
         ),
         "fig12": lambda: run_fig12(args.scale),
         # The columnar FindMatch engine in isolation (no sampling): its
@@ -260,8 +322,9 @@ def main(argv=None):
         "match": lambda: run_match(args.scale),
     }
     all_figures = tuple(runners)
-    #: Figures whose runner takes the stopping policy; fig7, fig12, and
-    #: the match microbenchmark have no per-point sample budget to adapt.
+    #: Figures whose runner takes the stopping policy (and the warm-store
+    #: directory); fig7, fig12, and the match microbenchmark have no
+    #: per-point sample budget to adapt nor a basis store to persist.
     adaptive_figures = ("fig8", "fig9", "fig10", "fig11")
     if args.only is not None:
         if args.only not in runners:
@@ -282,6 +345,17 @@ def main(argv=None):
             file=sys.stderr,
         )
         adaptive = None
+    if warm_store is not None and not any(
+        name in adaptive_figures for name in runners
+    ):
+        # Same neutrality rule for the warm store: nothing selected reads
+        # or writes snapshots, so don't tag the document.
+        print(
+            f"--warm-store has no effect on {'/'.join(runners)}; "
+            f"running cold",
+            file=sys.stderr,
+        )
+        warm_store = None
 
     sections = []
     bench = {
@@ -298,7 +372,14 @@ def main(argv=None):
             "rtol": adaptive.rtol,
             "confidence": adaptive.confidence,
         }
+    if warm_store is not None:
+        # Same tagging pattern: a warm run's reuse/sample counters reflect
+        # cross-run amortization and must never be mistaken for (or merged
+        # into) a cold baseline; absent on cold runs so default documents
+        # stay byte-identical to pre-warm-start ones.
+        bench["warm_store"] = True
     total_seconds = 0.0
+    data_doc = {}
     for name, runner in runners.items():
         started = time.perf_counter()
         print(f"running {name} ({args.scale} scale)...", file=sys.stderr)
@@ -309,6 +390,7 @@ def main(argv=None):
             text, counters = result, {}
         else:
             text, counters = result.to_text(), dict(result.counters)
+            data_doc[name] = result.data
         entry = {"seconds": round(elapsed, 4)}
         entry.update(
             {key: round(float(value), 6) for key, value in counters.items()}
@@ -328,7 +410,8 @@ def main(argv=None):
         # missing/unusable/compatible file: it produces a complete fresh
         # baseline.)
         kind, existing = _classify_baseline(
-            args.bench_out, args.scale, args.workers, bench.get("adaptive")
+            args.bench_out, args.scale, args.workers, bench.get("adaptive"),
+            bench.get("warm_store", False),
         )
         if kind == "other-scale":
             _refuse_overwrite(
@@ -353,6 +436,11 @@ def main(argv=None):
                 f"{bench.get('adaptive')!r}",
             )
             write_bench = False
+        elif kind == "other-warm":
+            _refuse_overwrite(
+                args.bench_out, _warm_mismatch_reason(existing, bench)
+            )
+            write_bench = False
 
     report = ("\n\n" + "=" * 76 + "\n\n").join(sections)
     print(report)
@@ -360,6 +448,11 @@ def main(argv=None):
         with open(args.out, "w") as handle:
             handle.write(report + "\n")
         print(f"\nwritten to {args.out}", file=sys.stderr)
+    if args.data_out:
+        with open(args.data_out, "w") as handle:
+            json.dump(data_doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"figure data written to {args.data_out}", file=sys.stderr)
     if write_bench:
         with open(args.bench_out, "w") as handle:
             json.dump(bench, handle, indent=2, sort_keys=True)

@@ -10,6 +10,8 @@ Python).
 
 from __future__ import annotations
 
+import os
+import re
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -38,6 +40,8 @@ from repro.core.adaptive import (
 )
 from repro.core.markov import MarkovJumpRunner, NaiveMarkovRunner
 from repro.core.parallel import ParallelExplorer
+from repro.core.seeds import DEFAULT_SEED_BANK
+from repro.core import persist
 from repro.util import timing
 from repro.util.tables import format_table
 
@@ -54,6 +58,70 @@ def _pick(scale: str, smoke, quick, paper):
     return {"smoke": smoke, "quick": quick, "paper": paper}[scale]
 
 
+class WarmStores:
+    """Per-figure warm-start bookkeeping for ``run_all.py --warm-store``.
+
+    One instance wraps a snapshot directory: each sweep asks for its store
+    by a deterministic label — loaded from ``<root>/<label>`` when a
+    snapshot exists there (built by an earlier run), cold otherwise — and
+    saves the (possibly grown) store back after the sweep, so the *next*
+    bench run warm-starts from it.  ``publish`` records the observed
+    ``warm_reuse_fraction`` into the figure's counters; warm counters
+    legitimately differ from cold ones, which is why the driver tags warm
+    documents and refuses them as cold-baseline replacements.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self.points_total = 0
+        self.points_reused = 0
+        self.loaded_bases = 0
+
+    def _path(self, label: str) -> str:
+        return os.path.join(self.root, re.sub(r"[^-A-Za-z0-9_.]", "_", label))
+
+    def store_for(self, label: str, template: BasisStore) -> BasisStore:
+        """The warm store for one sweep: snapshot-loaded, else ``template``.
+
+        The template pins the expected configuration, so a stale snapshot
+        built under another family/strategy/tolerance regime is refused
+        (typed error) instead of silently reused.
+        """
+        path = self._path(label)
+        if not os.path.isdir(path):
+            return template
+        store = persist.load_store(
+            path, like=template, seed_bank=DEFAULT_SEED_BANK
+        )
+        self.loaded_bases += len(store)
+        return store
+
+    def save(self, label: str, store: BasisStore) -> None:
+        persist.save_store(
+            store, self._path(label), seed_bank=DEFAULT_SEED_BANK
+        )
+
+    def record(self, stats) -> None:
+        self.points_total += stats.points_total
+        self.points_reused += stats.points_reused
+
+    def publish(self, result: FigureResult) -> None:
+        result.counters["warm_reuse_fraction"] = (
+            self.points_reused / self.points_total
+            if self.points_total
+            else 0.0
+        )
+        # Bases the figure's sweeps started from (0 on the cold pass that
+        # populates the directory) — deterministic for a given snapshot
+        # set, like every other warm counter.
+        result.counters["warm_loaded_bases"] = float(self.loaded_bases)
+
+
+def _warm_context(warm_store: Optional[str]) -> Optional[WarmStores]:
+    """A figure's :class:`WarmStores` (or None when running cold)."""
+    return WarmStores(warm_store) if warm_store else None
+
+
 def _make_explorer(
     simulation,
     samples: int,
@@ -62,6 +130,8 @@ def _make_explorer(
     mapping_family=None,
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
+    warm: Optional[WarmStores] = None,
+    warm_label: str = "",
 ):
     """Serial or sharded explorer with identical counters and estimates.
 
@@ -69,8 +139,15 @@ def _make_explorer(
     JSON records bit-identical to the serial sweep, so ``--workers`` only
     ever changes wall-clock columns — never the regression-gated values.
     An adaptive budget *does* change counters (that is its point), which
-    is why adaptive bench runs are never merged into a fixed baseline.
+    is why adaptive bench runs are never merged into a fixed baseline;
+    the same applies to a ``warm`` store (reuse against prior-run bases
+    is the whole point), so warm documents are tagged and refused too.
     """
+    store = BasisStore(
+        mapping_family=mapping_family, index_strategy=index_strategy
+    )
+    if warm is not None:
+        store = warm.store_for(warm_label, store)
     if workers > 1:
         return ParallelExplorer(
             simulation,
@@ -80,10 +157,8 @@ def _make_explorer(
             index_strategy=index_strategy,
             mapping_family=mapping_family,
             adaptive=adaptive,
+            basis_store=store,
         )
-    store = BasisStore(
-        mapping_family=mapping_family, index_strategy=index_strategy
-    )
     return ParameterExplorer(
         simulation,
         samples_per_point=samples,
@@ -124,6 +199,33 @@ class _AdaptiveAccounting:
         result.counters["samples_saved_fraction"] = saved_fraction(
             self.actual, self.budget
         )
+
+
+def _match_counter_baseline(store: BasisStore) -> Dict[str, float]:
+    """The store's match counters before a sweep runs against it.
+
+    A cold store reads all zeros; a warm (snapshot-loaded) store carries
+    its cumulative lifetime counters, which must not leak into a figure's
+    per-run accounting — figures fold the *delta* across the run, so warm
+    counters are deterministic for a given starting snapshot regardless
+    of how many runs produced it.
+    """
+    stats = store.stats
+    return {
+        "candidates_tested": float(stats.candidates_tested),
+        "matches": float(stats.matches),
+        "match_seconds": stats.match_seconds,
+    }
+
+
+def _match_counter_delta(
+    store: BasisStore, baseline: Optional[Dict[str, float]]
+) -> Dict[str, float]:
+    """Match counters accumulated since ``baseline`` (None = all of them)."""
+    current = _match_counter_baseline(store)
+    if baseline is None:
+        return current
+    return {key: current[key] - baseline[key] for key in current}
 
 
 def _fold_match_counters(
@@ -222,6 +324,8 @@ def _explore_pair(
     mapping_family=None,
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
+    warm: Optional[WarmStores] = None,
+    warm_label: str = "",
 ) -> Tuple[float, float, Dict[str, float], "object"]:
     """(naive s, jigsaw s, extras, jigsaw stats) for one sweep workload."""
     simulation = workload.simulation()
@@ -240,19 +344,25 @@ def _explore_pair(
         mapping_family=mapping_family or LinearMappingFamily(),
         workers=workers,
         adaptive=adaptive,
+        warm=warm,
+        warm_label=warm_label,
     )
+    match_baseline = _match_counter_baseline(explorer.store)
     start = timing.perf_counter()
     result = explorer.run(workload.points)
     jigsaw_seconds = timing.perf_counter() - start
-    store_stats = explorer.store.stats
+    if warm is not None:
+        warm.record(result.stats)
+        warm.save(warm_label, explorer.store)
+    match_delta = _match_counter_delta(explorer.store, match_baseline)
     extras = {
         "bases": float(result.stats.bases_created),
         "reuse_fraction": result.stats.reuse_fraction,
         "naive_samples": float(naive_run.stats.samples_drawn),
         "jigsaw_samples": float(result.stats.samples_drawn),
-        "candidates_tested": float(store_stats.candidates_tested),
-        "matches_found": float(store_stats.matches),
-        "match_seconds": store_stats.match_seconds,
+        "candidates_tested": match_delta["candidates_tested"],
+        "matches_found": match_delta["matches"],
+        "match_seconds": match_delta["match_seconds"],
     }
     extras.update(_sweep_digest(result))
     return naive_seconds, jigsaw_seconds, extras, result.stats
@@ -262,6 +372,7 @@ def run_fig8(
     scale: str = "quick",
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
+    warm_store: Optional[str] = None,
 ) -> FigureResult:
     """Jigsaw vs full evaluation on Usage, Capacity, Overload, MarkovStep."""
     # The paper's 1000 samples/point are affordable even at quick scale with
@@ -306,11 +417,12 @@ def run_fig8(
     ]
     reuse_fractions = []
     accounting = _AdaptiveAccounting(adaptive)
+    warm = _warm_context(warm_store)
     for label_index, (label, workload, family) in enumerate(workloads):
         workload.samples_per_point = samples
         naive_seconds, jigsaw_seconds, extras, stats = _explore_pair(
             workload, mapping_family=family, workers=workers,
-            adaptive=adaptive,
+            adaptive=adaptive, warm=warm, warm_label=f"fig8-{label}",
         )
         accounting.record(stats, samples, workload.fingerprint_size)
         full_series.add(float(label_index), naive_seconds)
@@ -344,6 +456,8 @@ def run_fig8(
         reuse_fractions
     )
     accounting.publish(result)
+    if warm is not None:
+        warm.publish(result)
 
     # MarkovStep: chain evaluation, naive vs jump.  Chains are sequential
     # in their step index, so this comparison stays single-process at any
@@ -391,14 +505,19 @@ def run_fig8(
 # Figure 9: computation time vs structure size (Capacity model)
 
 
-def _accumulate_run_counters(result: FigureResult, run, store=None) -> None:
+def _accumulate_run_counters(
+    result: FigureResult, run, match_counters=None
+) -> None:
     """Fold one explorer run's work counters into the figure's totals.
 
-    ``store`` (the explorer's basis store, serial or merged-parallel —
-    either way carrying the canonical replay counters) contributes the
-    match-engine counters: ``candidates_tested`` and ``matches_found`` are
-    deterministic and regression-gated; ``match_seconds`` is informational
-    wall clock spent inside match()/match_batch().
+    ``match_counters`` (a :func:`_match_counter_delta` over the explorer's
+    basis store — serial or merged-parallel, either way carrying the
+    canonical replay counters) contributes the match-engine counters:
+    ``candidates_tested`` and ``matches_found`` are deterministic and
+    regression-gated; ``match_seconds`` is informational wall clock spent
+    inside match()/match_batch().  Deltas, not store totals: a
+    warm-started store arrives carrying its lifetime counters, and only
+    the work of *this* run belongs to this figure.
     """
     counters = result.counters
     counters["samples_drawn"] = counters.get("samples_drawn", 0.0) + float(
@@ -413,12 +532,12 @@ def _accumulate_run_counters(result: FigureResult, run, store=None) -> None:
     counters["reuse_fraction"] = (
         counters["points_reused"] / counters["points_total"]
     )
-    if store is not None:
+    if match_counters is not None:
         _fold_match_counters(
             counters,
-            store.stats.candidates_tested,
-            store.stats.matches,
-            store.stats.match_seconds,
+            match_counters["candidates_tested"],
+            match_counters["matches"],
+            match_counters["match_seconds"],
         )
 
 
@@ -427,6 +546,7 @@ def run_fig9(
     structure_sizes: Optional[Tuple[float, ...]] = None,
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
+    warm_store: Optional[str] = None,
 ) -> FigureResult:
     if structure_sizes is None:
         structure_sizes = _pick(
@@ -446,12 +566,14 @@ def run_fig9(
     strategies = ("array", "normalization", "sorted_sid")
     series = {name: Series(_strategy_label(name)) for name in strategies}
     accounting = _AdaptiveAccounting(adaptive)
+    warm = _warm_context(warm_store)
     for structure_size in structure_sizes:
         workload = capacity_workload(
             weeks=weeks, purchase_step=8, structure_size=float(structure_size)
         )
         workload.samples_per_point = samples
         for strategy in strategies:
+            warm_label = f"fig9-structure{structure_size:g}-{strategy}"
             explorer = _make_explorer(
                 workload.simulation(),
                 samples=samples,
@@ -459,15 +581,24 @@ def run_fig9(
                 index_strategy=strategy,
                 workers=workers,
                 adaptive=adaptive,
+                warm=warm,
+                warm_label=warm_label,
             )
+            match_baseline = _match_counter_baseline(explorer.store)
             start = timing.perf_counter()
             run = explorer.run(workload.points)
             elapsed = timing.perf_counter() - start
+            if warm is not None:
+                warm.record(run.stats)
+                warm.save(warm_label, explorer.store)
             series[strategy].add(
                 float(structure_size),
                 1000.0 * elapsed / len(workload.points),
             )
-            _accumulate_run_counters(result, run, explorer.store)
+            _accumulate_run_counters(
+                result, run,
+                _match_counter_delta(explorer.store, match_baseline),
+            )
             accounting.record(run.stats, samples, workload.fingerprint_size)
             result.data[f"structure={structure_size:g}|{strategy}"] = (
                 _sweep_digest(run)
@@ -480,6 +611,8 @@ def run_fig9(
                 )
     result.series = [series[s] for s in strategies]
     accounting.publish(result)
+    if warm is not None:
+        warm.publish(result)
     return result
 
 
@@ -492,6 +625,7 @@ def run_fig10(
     basis_counts: Optional[Tuple[int, ...]] = None,
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
+    warm_store: Optional[str] = None,
 ) -> FigureResult:
     """Static parameter space: time relative to the Array scan."""
     if basis_counts is None:
@@ -509,11 +643,13 @@ def run_fig10(
     strategies = ("array", "normalization", "sorted_sid")
     series = {name: Series(_strategy_label(name)) for name in strategies}
     accounting = _AdaptiveAccounting(adaptive)
+    warm = _warm_context(warm_store)
     for basis_count in basis_counts:
         timings: Dict[str, float] = {}
         for strategy in strategies:
             workload = synth_basis_workload(basis_count, point_count)
             workload.samples_per_point = samples
+            warm_label = f"fig10-bases{basis_count}-{strategy}"
             explorer = _make_explorer(
                 workload.simulation(),
                 samples=samples,
@@ -521,11 +657,20 @@ def run_fig10(
                 index_strategy=strategy,
                 workers=workers,
                 adaptive=adaptive,
+                warm=warm,
+                warm_label=warm_label,
             )
+            match_baseline = _match_counter_baseline(explorer.store)
             start = timing.perf_counter()
             run = explorer.run(workload.points)
             timings[strategy] = timing.perf_counter() - start
-            _accumulate_run_counters(result, run, explorer.store)
+            if warm is not None:
+                warm.record(run.stats)
+                warm.save(warm_label, explorer.store)
+            _accumulate_run_counters(
+                result, run,
+                _match_counter_delta(explorer.store, match_baseline),
+            )
             accounting.record(run.stats, samples, workload.fingerprint_size)
             result.data[f"bases={basis_count}|{strategy}"] = _sweep_digest(
                 run
@@ -536,6 +681,8 @@ def run_fig10(
             )
     result.series = [series[s] for s in strategies]
     accounting.publish(result)
+    if warm is not None:
+        warm.publish(result)
     return result
 
 
@@ -544,6 +691,7 @@ def run_fig11(
     basis_counts: Optional[Tuple[int, ...]] = None,
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
+    warm_store: Optional[str] = None,
 ) -> FigureResult:
     """Parameter space grown with basis size (basis = 10% of the space)."""
     if basis_counts is None:
@@ -563,11 +711,13 @@ def run_fig11(
     strategies = ("array", "normalization", "sorted_sid")
     series = {name: Series(_strategy_label(name)) for name in strategies}
     accounting = _AdaptiveAccounting(adaptive)
+    warm = _warm_context(warm_store)
     for basis_count in basis_counts:
         point_count = basis_count * 10
         for strategy in strategies:
             workload = synth_basis_workload(basis_count, point_count)
             workload.samples_per_point = samples
+            warm_label = f"fig11-bases{basis_count}-{strategy}"
             explorer = _make_explorer(
                 workload.simulation(),
                 samples=samples,
@@ -575,20 +725,31 @@ def run_fig11(
                 index_strategy=strategy,
                 workers=workers,
                 adaptive=adaptive,
+                warm=warm,
+                warm_label=warm_label,
             )
+            match_baseline = _match_counter_baseline(explorer.store)
             start = timing.perf_counter()
             run = explorer.run(workload.points)
             elapsed = timing.perf_counter() - start
+            if warm is not None:
+                warm.record(run.stats)
+                warm.save(warm_label, explorer.store)
             series[strategy].add(
                 float(basis_count), elapsed / point_count
             )
-            _accumulate_run_counters(result, run, explorer.store)
+            _accumulate_run_counters(
+                result, run,
+                _match_counter_delta(explorer.store, match_baseline),
+            )
             accounting.record(run.stats, samples, workload.fingerprint_size)
             result.data[f"bases={basis_count}|{strategy}"] = _sweep_digest(
                 run
             )
     result.series = [series[s] for s in strategies]
     accounting.publish(result)
+    if warm is not None:
+        warm.publish(result)
     return result
 
 

@@ -3,13 +3,17 @@
 Usage::
 
     python -m repro run scenario.sql [--samples N] [--fingerprint M]
+                                     [--store DIR] [--save-store DIR]
     python -m repro graph scenario.sql [--samples N]
     python -m repro explain scenario.sql
 
 ``run`` executes the batch pipeline (explore + OPTIMIZE) and prints the
 answer; ``graph`` renders the query's GRAPH clause as an ASCII chart over
 its x parameter; ``explain`` parses and binds the query, reporting the
-scenario structure without simulating.  Models are resolved against
+scenario structure without simulating.  ``--save-store`` persists the
+per-column basis stores after a run and ``--store`` warm-starts a later
+run from them (see :mod:`repro.core.persist`): repeated queries over the
+same scenario then pay only fingerprint rounds for covered points.  Models are resolved against
 :func:`repro.blackbox.default_registry`; applications embedding the library
 register their own boxes and call the same functions programmatically.
 """
@@ -82,6 +86,27 @@ def _adaptive_note(args, stats) -> str:
     )
 
 
+def _warm_start(runner: ScenarioRunner, args: argparse.Namespace) -> str:
+    """Apply ``--store`` (load) before a run; returns the header note."""
+    if not args.store:
+        return ""
+    runner.load_stores(args.store)
+    return (
+        f" [warm store: {runner.basis_count()} bases from {args.store}]"
+    )
+
+
+def _save_after(runner: ScenarioRunner, args: argparse.Namespace) -> None:
+    """Apply ``--save-store`` after a run (atomic snapshot write)."""
+    if args.save_store:
+        runner.save_stores(args.save_store)
+        print(
+            f"stores saved to {args.save_store} "
+            f"({runner.basis_count()} bases)",
+            file=sys.stderr,
+        )
+
+
 def _command_run(args: argparse.Namespace) -> int:
     bound = _load(args.query, None)
     runner = ScenarioRunner(
@@ -91,7 +116,9 @@ def _command_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         adaptive=_adaptive_policy(args),
     )
+    warm_note = _warm_start(runner, args)
     result = runner.run()
+    _save_after(runner, args)
     stats = result.stats
     sharding = ""
     if result.parallel is not None:
@@ -108,6 +135,7 @@ def _command_run(args: argparse.Namespace) -> int:
         f"(reuse {stats.reuse_fraction:.0%}, {stats.bases_created} bases)"
         + sharding
         + adaptive_note
+        + warm_note
     )
     if bound.selector is None:
         print("query has no OPTIMIZE clause; printing per-point expectations")
@@ -151,7 +179,9 @@ def _command_graph(args: argparse.Namespace) -> int:
         workers=args.workers,
         adaptive=_adaptive_policy(args),
     )
+    _warm_start(runner, args)
     result = runner.run()
+    _save_after(runner, args)
     x_parameter = bound.graph.x_parameter
     x_values = sorted(
         {params[x_parameter] for params in result.points.values()}
@@ -237,6 +267,24 @@ def build_parser() -> argparse.ArgumentParser:
             type=_open_unit_float,
             default=0.95,
             help="confidence level for --rtol stopping (default 0.95)",
+        )
+        sub.add_argument(
+            "--store",
+            default=None,
+            help=(
+                "warm-start the per-column basis stores from this snapshot "
+                "directory (must match the query's mapping families, "
+                "tolerances, and seed bank; incompatible snapshots are "
+                "refused)"
+            ),
+        )
+        sub.add_argument(
+            "--save-store",
+            default=None,
+            help=(
+                "after the run, save the (possibly warm-started) basis "
+                "stores to this snapshot directory for later --store runs"
+            ),
         )
         sub.set_defaults(handler=handler)
     return parser

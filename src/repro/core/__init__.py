@@ -32,6 +32,14 @@ from repro.core.parallel import (
     ParallelStats,
     default_worker_count,
 )
+from repro.core.persist import (
+    SNAPSHOT_VERSION,
+    load_store,
+    load_stores,
+    save_store,
+    save_stores,
+    snapshot_info,
+)
 from repro.core.fingerprint import (
     Fingerprint,
     batch_normal_forms,
@@ -113,6 +121,12 @@ __all__ = [
     "ParallelExplorer",
     "ParallelStats",
     "default_worker_count",
+    "SNAPSHOT_VERSION",
+    "load_store",
+    "load_stores",
+    "save_store",
+    "save_stores",
+    "snapshot_info",
     "PointResult",
     "Fingerprint",
     "batch_normal_forms",

@@ -54,7 +54,11 @@ class _SizeBlock:
     def _reserve(self, extra: int) -> None:
         needed = self.count + extra
         capacity = len(self.matrix)
-        if needed <= capacity:
+        # Copy-on-write promotion: a block restored from a snapshot holds
+        # read-only memory-mapped matrices (shared across forked workers).
+        # Any append first lands the matrices in fresh writable arrays; the
+        # snapshot file on disk is never written through.
+        if needed <= capacity and self.matrix.flags.writeable:
             return
         while capacity < needed:
             capacity *= 2
@@ -108,6 +112,39 @@ class _SizeBlock:
             self._sid_matrix[self._sid_filled : self.count] = orders
             self._sid_filled = self.count
         return self._sid_matrix[: self.count]
+
+    @classmethod
+    def restore(
+        cls,
+        size: int,
+        matrix: np.ndarray,
+        ids: Sequence[int],
+        fingerprints: Sequence[Fingerprint],
+        sid_matrix: Optional[np.ndarray] = None,
+        nf_matrices: Optional[Dict[float, np.ndarray]] = None,
+    ) -> "_SizeBlock":
+        """Rebuild a block from snapshot arrays (``repro.core.persist``).
+
+        ``matrix`` (and the optional key matrices) may be read-only
+        memory-mapped views; they are adopted as-is — capacity equals the
+        row count, so the first append triggers :meth:`_reserve`'s
+        copy-on-write promotion instead of writing through the mapping.
+        Key matrices are marked fully filled: their rows were persisted
+        from (and stay bitwise equal to) the fingerprints' cached keys.
+        """
+        block = cls.__new__(cls)
+        block.size = size
+        block.count = len(ids)
+        block.matrix = matrix
+        block.ids = list(ids)
+        block.fingerprints = list(fingerprints)
+        block._sid_matrix = sid_matrix
+        block._sid_filled = block.count if sid_matrix is not None else 0
+        block._nf_matrix = {
+            rel_tol: (nf, block.count)
+            for rel_tol, nf in (nf_matrices or {}).items()
+        }
+        return block
 
     def nf_matrix(self, rel_tol: float) -> np.ndarray:
         """Normal-form keys, one row per stored fingerprint (lazy, cached
@@ -181,6 +218,18 @@ class ColumnarStore:
         """Mirror one stored basis into the columnar matrices."""
         row = self._block(fingerprint.size).append(basis_id, fingerprint)
         self._register(basis_id, fingerprint.size, row)
+
+    def restore_blocks(self, blocks: Dict[int, _SizeBlock]) -> None:
+        """Adopt fully built size blocks (the snapshot load path).
+
+        Replaces this (empty) store's contents; the id -> (size, row)
+        lookup arrays are rebuilt writable, so only the block matrices
+        themselves stay memory-mapped.
+        """
+        self._blocks = dict(blocks)
+        for size, block in self._blocks.items():
+            for row, basis_id in enumerate(block.ids):
+                self._register(basis_id, size, row)
 
     def adopt(self, other: "ColumnarStore", id_map: Dict[int, int]) -> None:
         """Bulk-append another store's rows under translated basis ids.

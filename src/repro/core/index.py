@@ -28,14 +28,43 @@ from repro.core.fingerprint import (
     batch_normal_forms,
     batch_sid_orders,
 )
-from repro.errors import IndexError_
+from repro.errors import IndexError_, PersistError
 
 
 class FingerprintIndex(ABC):
     """Maps a probe fingerprint to candidate basis ids."""
 
+    #: Snapshot identity (the ``make_index`` strategy name).  Snapshots
+    #: record it so a load can rebuild the exact index variant — and refuse
+    #: to hand a store built under one strategy to a caller expecting
+    #: another.
+    strategy: str = ""
+
     def __init__(self) -> None:
         self._size = 0
+
+    def dump_state(self) -> dict:
+        """JSON-able snapshot of the index's buckets (see ``repro.core.
+        persist``).
+
+        Candidate *order* is part of the FindMatch contract
+        (first-match-wins), so implementations serialize their id lists
+        verbatim — a restored index answers ``candidates`` with byte-equal
+        lists, never a re-derived ordering.  Floats are hex-encoded so the
+        round trip is bitwise.
+        """
+        raise PersistError(
+            f"{type(self).__name__} does not support snapshots; implement "
+            f"dump_state/restore_state to persist stores using it"
+        )
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "FingerprintIndex":
+        """Rebuild an index from :meth:`dump_state` output."""
+        raise PersistError(
+            f"{cls.__name__} does not support snapshots; implement "
+            f"dump_state/restore_state to persist stores using it"
+        )
 
     @abstractmethod
     def insert(self, fingerprint: Fingerprint, basis_id: int) -> None:
@@ -87,9 +116,21 @@ class FingerprintIndex(ABC):
 class ArrayIndex(FingerprintIndex):
     """Naive full scan: every stored basis is a candidate."""
 
+    strategy = "array"
+
     def __init__(self) -> None:
         super().__init__()
         self._ids: List[int] = []
+
+    def dump_state(self) -> dict:
+        return {"ids": [int(i) for i in self._ids]}
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "ArrayIndex":
+        index = cls()
+        index._ids = [int(i) for i in state["ids"]]
+        index._size = len(index._ids)
+        return index
 
     def insert(self, fingerprint: Fingerprint, basis_id: int) -> None:
         self._ids.append(basis_id)
@@ -124,10 +165,35 @@ class NormalizationIndex(FingerprintIndex):
     within arithmetic noise of each other land in the same bucket.
     """
 
+    strategy = "normalization"
+
     def __init__(self, rel_tol: float = DEFAULT_REL_TOL):
         super().__init__()
         self._rel_tol = rel_tol
         self._buckets: Dict[Tuple[float, ...], List[int]] = {}
+
+    def dump_state(self) -> dict:
+        # Bucket keys are rounded floats; hex encoding keeps the round
+        # trip bitwise, and the bucket list order (dict insertion order)
+        # is preserved verbatim.
+        return {
+            "rel_tol": self._rel_tol.hex(),
+            "buckets": [
+                [[value.hex() for value in key], [int(i) for i in ids]]
+                for key, ids in self._buckets.items()
+            ],
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "NormalizationIndex":
+        index = cls(rel_tol=float.fromhex(state["rel_tol"]))
+        for key, ids in state["buckets"]:
+            bucket = [int(i) for i in ids]
+            index._buckets[
+                tuple(float.fromhex(value) for value in key)
+            ] = bucket
+            index._size += len(bucket)
+        return index
 
     def insert(self, fingerprint: Fingerprint, basis_id: int) -> None:
         key = fingerprint.normal_form(self._rel_tol)
@@ -170,9 +236,28 @@ class SortedSIDIndex(FingerprintIndex):
     the SID sequence and its inverse").
     """
 
+    strategy = "sorted_sid"
+
     def __init__(self) -> None:
         super().__init__()
         self._buckets: Dict[Tuple[int, ...], List[int]] = {}
+
+    def dump_state(self) -> dict:
+        return {
+            "buckets": [
+                [[int(entry) for entry in key], [int(i) for i in ids]]
+                for key, ids in self._buckets.items()
+            ],
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "SortedSIDIndex":
+        index = cls()
+        for key, ids in state["buckets"]:
+            bucket = [int(i) for i in ids]
+            index._buckets[tuple(int(entry) for entry in key)] = bucket
+            index._size += len(bucket)
+        return index
 
     def insert(self, fingerprint: Fingerprint, basis_id: int) -> None:
         self._buckets.setdefault(fingerprint.sid_order(), []).append(basis_id)
@@ -230,6 +315,15 @@ class SortedSIDIndex(FingerprintIndex):
 
 
 INDEX_STRATEGIES = ("array", "normalization", "sorted_sid")
+
+#: Strategy name -> index class, for snapshot restore (``repro.core.
+#: persist``) and anything else that needs to rebuild an index variant
+#: from its recorded identity.
+STRATEGY_CLASSES: Dict[str, type] = {
+    ArrayIndex.strategy: ArrayIndex,
+    NormalizationIndex.strategy: NormalizationIndex,
+    SortedSIDIndex.strategy: SortedSIDIndex,
+}
 
 
 def make_index(strategy: str) -> FingerprintIndex:

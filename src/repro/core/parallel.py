@@ -322,6 +322,17 @@ class ParallelExplorer:
     ``store_factory`` builds each worker's shard-local store *and* the
     merged store; by default it mirrors the serial constructor
     (``mapping_family`` + ``index_strategy`` + shared estimator).
+
+    ``basis_store`` warm-starts the sweep: a caller-provided (typically
+    snapshot-loaded, see :mod:`repro.core.persist`) store becomes the
+    canonical replay/merge store, exactly as passing ``basis_store`` to
+    the serial explorer would.  Shard workers still speculate against
+    fresh cold stores — speculation only ever costs duplicate samples,
+    and the canonical replay probes the warm store, so per-point metrics
+    and decisions stay bit-identical to a serial warm sweep for any
+    worker count (a point a shard simulated but the warm store covers is
+    simply reused, its shipped samples dropped; the rare converse falls
+    through to a real resimulation, as ever).
     """
 
     def __init__(
@@ -336,6 +347,7 @@ class ParallelExplorer:
         estimator: Optional[Estimator] = None,
         store_factory: Optional[Callable[[], BasisStore]] = None,
         adaptive: Optional[AdaptiveBudget] = None,
+        basis_store: Optional[BasisStore] = None,
     ):
         if fingerprint_size < 1:
             raise ValueError("fingerprint_size must be at least 1")
@@ -366,7 +378,11 @@ class ParallelExplorer:
                 )
 
         self._store_factory = store_factory
-        self.store = store_factory()
+        # `is None`, not `or`: an empty warm store is falsy (len() == 0)
+        # and must still win over the factory default.
+        self.store = (
+            basis_store if basis_store is not None else store_factory()
+        )
         self._fingerprint_slice = self.seed_bank.slice(fingerprint_size)
 
     def run(self, space: Iterable[Params]) -> ExplorationResult:

@@ -1,0 +1,772 @@
+"""Persistent basis-store snapshots with cross-run warm start.
+
+Jigsaw's value proposition is amortization — bases built once answer every
+later probe — but (before this module) the reuse state died with the
+process.  A *snapshot* materializes the full state of one or more
+:class:`~repro.core.basis.BasisStore` instances so a later run (CLI sweep,
+bench figure, interactive session, sharded sweep master) can warm-start
+from it and only pay fingerprint rounds for points the stored bases cover.
+
+Format
+------
+
+A snapshot is a directory::
+
+    <path>/
+      manifest.json        structured state; CRC-guarded, floats hex-encoded
+      <name>.npy           fingerprint/key matrices and sample vectors
+
+* **Bitwise fidelity.**  Every float that crosses the JSON boundary is
+  encoded with ``float.hex()``; arrays are raw ``.npy`` files.  A loaded
+  store answers probes with the same basis ids, bitwise-identical mapping
+  parameters, and the same ``candidates_tested`` counters as the live
+  store it was saved from (``tests/unit/test_persist_parity.py``).
+* **Zero-copy matrices.**  Array files are opened with
+  ``np.load(mmap_mode="r")``: the columnar fingerprint matrices and basis
+  sample vectors are read-only views of the page cache, so forked shard
+  workers share physical pages instead of each materializing a copy.
+  Mutation paths (``add``/``merge``/``extend_basis``/interactive rebind)
+  promote to fresh writable arrays — copy-on-write at the array level; the
+  snapshot on disk is never written through.
+* **Atomicity.**  Saves build the snapshot under a temp name in the target
+  directory and rename it into place, so no reader ever observes a
+  partial snapshot at the target path.  Overwrites swap via an adjacent
+  ``.old-`` directory with in-process rollback; only a hard crash in the
+  instant between the two renames can leave the target absent, and even
+  then the previous snapshot survives intact under the ``.old-`` twin.
+* **Corruption detection.**  The manifest body carries a CRC32 over its
+  canonical serialization, and every array file records its byte length
+  and CRC32.  Truncation or bit damage anywhere raises
+  :class:`~repro.errors.SnapshotCorruptionError` before any state reaches
+  a store — a load returns a complete store or nothing.
+* **Compatibility validation.**  The manifest records the mapping family,
+  index strategy, match tolerances, estimator configuration, and
+  seed-bank identity each store was built under.  A load checked against
+  an expectation (a ``like`` store and/or a seed bank) refuses with
+  :class:`~repro.errors.SnapshotCompatibilityError` on any mismatch —
+  fingerprints are only comparable under one seed bank and one tolerance
+  regime, so silent cross-configuration reuse would be silently wrong.
+
+What is (not) persisted
+-----------------------
+
+Persisted: bases (fingerprints, raw sample vectors, metrics), the
+fingerprint index with verbatim bucket order (first-match-wins depends on
+it), the columnar matrices including any materialized SID-order /
+normal-form key matrices, and the deterministic ``StoreStats`` counters.
+Not persisted: ``match_seconds`` (wall clock), and the columnar engine's
+runtime knobs (``columnar_min_candidates``, the self-verification budget)
+— a loaded store re-verifies its first columnar lookups against the scalar
+loop, exactly like a fresh one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import zlib
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.basis import BasisDistribution, BasisStore, StoreStats
+from repro.core.columnar import ColumnarStore, _SizeBlock
+from repro.core.estimator import Estimator, Histogram, MetricSet
+from repro.core.fingerprint import Fingerprint
+from repro.core.index import STRATEGY_CLASSES, FingerprintIndex
+from repro.core.mapping import (
+    AffineMapping,
+    IdentityMappingFamily,
+    LinearMappingFamily,
+    Mapping as MappingFunction,
+    MappingFamily,
+    MonotoneMappingFamily,
+    PiecewiseLinearMapping,
+    ScaleMappingFamily,
+    ShiftMappingFamily,
+    _NegatedPiecewise,
+)
+from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank
+from repro.errors import (
+    PersistError,
+    SnapshotCompatibilityError,
+    SnapshotCorruptionError,
+)
+
+SNAPSHOT_MAGIC = "jigsaw-store-snapshot"
+
+#: Format version written by this build.  Loaders accept any version up to
+#: this one (older formats must stay loadable or be explicitly migrated);
+#: newer versions are refused — see the ROADMAP's version-bump procedure.
+SNAPSHOT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Mapping-family class name -> factory, for rebuilding a snapshot's family
+#: when the caller does not hand in a ``like`` store.  User-defined
+#: families round-trip by passing ``like`` (the instance is reused after a
+#: name check).
+FAMILY_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        LinearMappingFamily,
+        IdentityMappingFamily,
+        ShiftMappingFamily,
+        ScaleMappingFamily,
+        MonotoneMappingFamily,
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# Value codecs: floats, fingerprints, mappings, metric sets
+#
+# Everything structured goes through JSON with floats as hex strings, so a
+# serialize -> deserialize round trip is bitwise (including nan/inf) —
+# pinned by tests/property/test_prop_persist_roundtrip.py.
+
+
+def encode_float(value: float) -> str:
+    """Bitwise-exact JSON encoding of one float."""
+    return float(value).hex()
+
+
+def decode_float(text: str) -> float:
+    return float.fromhex(text)
+
+
+def encode_fingerprint(fingerprint: Fingerprint) -> dict:
+    return {"values": [encode_float(v) for v in fingerprint.values]}
+
+
+def decode_fingerprint(obj: dict) -> Fingerprint:
+    return Fingerprint(tuple(decode_float(v) for v in obj["values"]))
+
+
+def encode_mapping(mapping: MappingFunction) -> dict:
+    """Serialize a mapping function (every built-in kind)."""
+    if isinstance(mapping, AffineMapping):
+        return {
+            "kind": "affine",
+            "alpha": encode_float(mapping.alpha),
+            "beta": encode_float(mapping.beta),
+        }
+    if isinstance(mapping, PiecewiseLinearMapping):
+        return {
+            "kind": "piecewise",
+            "knots_x": [encode_float(v) for v in mapping.knots_x],
+            "knots_y": [encode_float(v) for v in mapping.knots_y],
+        }
+    if isinstance(mapping, _NegatedPiecewise):
+        return {"kind": "negated", "inner": encode_mapping(mapping.inner)}
+    raise PersistError(
+        f"cannot serialize mapping of type {type(mapping).__name__}"
+    )
+
+
+def decode_mapping(obj: dict) -> MappingFunction:
+    kind = obj.get("kind")
+    if kind == "affine":
+        return AffineMapping(
+            decode_float(obj["alpha"]), decode_float(obj["beta"])
+        )
+    if kind == "piecewise":
+        return PiecewiseLinearMapping(
+            tuple(decode_float(v) for v in obj["knots_x"]),
+            tuple(decode_float(v) for v in obj["knots_y"]),
+        )
+    if kind == "negated":
+        inner = decode_mapping(obj["inner"])
+        if not isinstance(inner, PiecewiseLinearMapping):
+            raise SnapshotCorruptionError(
+                "negated mapping wraps a non-piecewise inner mapping"
+            )
+        return _NegatedPiecewise(inner)
+    raise SnapshotCorruptionError(f"unknown mapping kind {kind!r}")
+
+
+def encode_metrics(metrics: MetricSet) -> dict:
+    body = {
+        "count": int(metrics.count),
+        "expectation": encode_float(metrics.expectation),
+        "stddev": encode_float(metrics.stddev),
+        "minimum": encode_float(metrics.minimum),
+        "maximum": encode_float(metrics.maximum),
+        "quantiles": [
+            [encode_float(p), encode_float(v)] for p, v in metrics.quantiles
+        ],
+    }
+    if metrics.histogram is not None:
+        body["histogram"] = {
+            "counts": [int(c) for c in metrics.histogram.counts],
+            "edges": [encode_float(e) for e in metrics.histogram.edges],
+        }
+    return body
+
+
+def decode_metrics(obj: dict) -> MetricSet:
+    histogram = None
+    if "histogram" in obj:
+        histogram = Histogram(
+            tuple(int(c) for c in obj["histogram"]["counts"]),
+            tuple(decode_float(e) for e in obj["histogram"]["edges"]),
+        )
+    return MetricSet(
+        count=int(obj["count"]),
+        expectation=decode_float(obj["expectation"]),
+        stddev=decode_float(obj["stddev"]),
+        minimum=decode_float(obj["minimum"]),
+        maximum=decode_float(obj["maximum"]),
+        quantiles=tuple(
+            (decode_float(p), decode_float(v)) for p, v in obj["quantiles"]
+        ),
+        histogram=histogram,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Store <-> manifest entry
+
+
+def store_config(store: BasisStore) -> dict:
+    """The compatibility-relevant identity of a store's configuration.
+
+    This is what a load validates an expectation against: same mapping
+    family, same *effective* index strategy (``BasisStore`` may have
+    downgraded ``normalization`` to ``array`` for families without a
+    normal form — the effective strategy is what the snapshot's candidate
+    lists were built under), same match tolerances (bitwise), and the
+    same estimator configuration (quantile probabilities, histogram bins
+    — a mismatched estimator would silently change every refreshed
+    metric).
+    """
+    return {
+        "mapping_family": store.mapping_family.name(),
+        "index_strategy": type(store.index).strategy,
+        "rel_tol": encode_float(store.rel_tol),
+        "abs_tol": encode_float(store.abs_tol),
+        "estimator": {
+            "quantile_probabilities": [
+                encode_float(p)
+                for p in store.estimator.quantile_probabilities
+            ],
+            "histogram_bins": int(store.estimator.histogram_bins),
+        },
+    }
+
+
+def _dump_store(name: str, store: BasisStore, arrays: dict) -> dict:
+    """One store's manifest entry; arrays land in ``arrays`` for writing."""
+    blocks = {}
+    for size, block in sorted(store.columnar._blocks.items()):
+        if block.count == 0:
+            continue
+        prefix = f"{name}.block{size}"
+        arrays[f"{prefix}.matrix"] = block.matrix[: block.count]
+        entry = {
+            "count": int(block.count),
+            "ids": [int(i) for i in block.ids],
+            "matrix": f"{prefix}.matrix",
+        }
+        if block._sid_matrix is not None and block._sid_filled == block.count:
+            arrays[f"{prefix}.sid"] = block._sid_matrix[: block.count]
+            entry["sid"] = f"{prefix}.sid"
+        normal_forms = {}
+        for rel_tol, (nf_matrix, filled) in sorted(block._nf_matrix.items()):
+            if filled != block.count:
+                continue
+            key = encode_float(rel_tol)
+            arrays[f"{prefix}.nf{key}"] = nf_matrix[: block.count]
+            normal_forms[key] = f"{prefix}.nf{key}"
+        if normal_forms:
+            entry["normal_forms"] = normal_forms
+        blocks[str(size)] = entry
+
+    bases = []
+    chunks = []
+    offset = 0
+    for basis_id in sorted(store._bases):
+        basis = store._bases[basis_id]
+        samples = np.asarray(basis.samples, dtype=np.float64)
+        bases.append(
+            {
+                "id": int(basis_id),
+                "metrics": encode_metrics(basis.metrics),
+                "samples": [int(offset), int(samples.size)],
+            }
+        )
+        chunks.append(samples)
+        offset += int(samples.size)
+    arrays[f"{name}.samples"] = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64)
+    )
+
+    return {
+        "config": store_config(store),
+        "index": store.index.dump_state(),
+        "next_id": int(store._next_id),
+        "stats": store.stats.as_dict(),
+        "blocks": blocks,
+        "bases": bases,
+        "samples": f"{name}.samples",
+    }
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SnapshotCorruptionError(message)
+
+
+def _restore_store(
+    entry: dict,
+    load_array,
+    mapping_family: MappingFamily,
+    estimator: Optional[Estimator],
+) -> BasisStore:
+    """Rebuild one store from its manifest entry (arrays via ``load_array``)."""
+    config = entry["config"]
+    strategy = config["index_strategy"]
+    index_class = STRATEGY_CLASSES.get(strategy)
+    if index_class is None:
+        raise SnapshotCompatibilityError(
+            f"snapshot uses unknown index strategy {strategy!r}; it cannot "
+            f"be rebuilt by this version"
+        )
+    index: FingerprintIndex = index_class.restore_state(entry["index"])
+    store = BasisStore(
+        mapping_family=mapping_family,
+        index=index,
+        estimator=estimator,
+        rel_tol=decode_float(config["rel_tol"]),
+        abs_tol=decode_float(config["abs_tol"]),
+    )
+
+    blocks: Dict[int, _SizeBlock] = {}
+    fingerprint_of: Dict[int, Fingerprint] = {}
+    for size_text, block_entry in entry["blocks"].items():
+        size = int(size_text)
+        matrix = load_array(block_entry["matrix"])
+        count = int(block_entry["count"])
+        ids = [int(i) for i in block_entry["ids"]]
+        _require(
+            matrix.ndim == 2 and matrix.shape == (count, size),
+            f"block matrix for size {size} has shape {matrix.shape}, "
+            f"expected ({count}, {size})",
+        )
+        _require(len(ids) == count, "block id list disagrees with count")
+        fingerprints = []
+        for row, basis_id in enumerate(ids):
+            row_view = np.asarray(matrix[row])
+            fingerprint = Fingerprint(tuple(float(v) for v in row_view))
+            # Seed the array cache with the read-only mapped row so the
+            # scalar find path shares pages with the columnar kernels.
+            fingerprint._cache["array"] = row_view
+            fingerprints.append(fingerprint)
+            fingerprint_of[basis_id] = fingerprint
+        sid_matrix = None
+        if "sid" in block_entry:
+            sid_matrix = load_array(block_entry["sid"])
+            _require(
+                sid_matrix.shape == (count, size),
+                "SID key matrix shape disagrees with its block",
+            )
+        nf_matrices = {}
+        for rel_tol_text, array_name in block_entry.get(
+            "normal_forms", {}
+        ).items():
+            nf_matrix = load_array(array_name)
+            _require(
+                nf_matrix.shape == (count, size),
+                "normal-form key matrix shape disagrees with its block",
+            )
+            nf_matrices[decode_float(rel_tol_text)] = nf_matrix
+        blocks[size] = _SizeBlock.restore(
+            size, matrix, ids, fingerprints, sid_matrix, nf_matrices
+        )
+    columnar = ColumnarStore()
+    columnar.restore_blocks(blocks)
+    store.columnar = columnar
+
+    samples_all = load_array(entry["samples"])
+    _require(samples_all.ndim == 1, "sample vector file is not 1-d")
+    for basis_entry in entry["bases"]:
+        basis_id = int(basis_entry["id"])
+        _require(
+            basis_id in fingerprint_of,
+            f"basis {basis_id} has no fingerprint row in any block",
+        )
+        start, count = (int(v) for v in basis_entry["samples"])
+        _require(
+            0 <= start and start + count <= samples_all.size,
+            f"basis {basis_id} sample slice escapes the sample vector",
+        )
+        store._bases[basis_id] = BasisDistribution(
+            basis_id=basis_id,
+            fingerprint=fingerprint_of[basis_id],
+            samples=samples_all[start : start + count],
+            metrics=decode_metrics(basis_entry["metrics"]),
+        )
+    _require(
+        len(store._bases) == len(fingerprint_of),
+        "block rows and basis entries disagree",
+    )
+    store._next_id = int(entry["next_id"])
+    store.stats = StoreStats(**{
+        key: int(value) for key, value in entry["stats"].items()
+    })
+    return store
+
+
+# ---------------------------------------------------------------------------
+# Manifest + array files: checksummed write, verified read
+
+
+def _canonical(body: dict) -> bytes:
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _write_snapshot(path: str, body: dict, arrays: Mapping[str, np.ndarray]):
+    """Serialize everything into a temp directory, then rename into place."""
+    path = os.path.abspath(path)
+    parent = os.path.dirname(path) or "."
+    os.makedirs(parent, exist_ok=True)
+    scratch = tempfile.mkdtemp(
+        prefix=os.path.basename(path) + ".tmp-", dir=parent
+    )
+    try:
+        table = {}
+        for name, array in arrays.items():
+            filename = name + ".npy"
+            target = os.path.join(scratch, filename)
+            np.save(target, np.ascontiguousarray(array))
+            with open(target, "rb") as handle:
+                raw = handle.read()
+            table[name] = {
+                "file": filename,
+                "nbytes": len(raw),
+                "crc32": zlib.crc32(raw),
+            }
+        body = dict(body, arrays=table)
+        manifest = {"crc32": zlib.crc32(_canonical(body)), "body": body}
+        with open(os.path.join(scratch, MANIFEST_NAME), "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if os.path.lexists(path):
+            # Swap: move the old snapshot aside, the new one in, then drop
+            # the old.  A reader never observes a half-written directory,
+            # and an in-process failure of the second rename rolls the
+            # previous snapshot back into place.  A hard crash (power
+            # loss) exactly between the two renames can leave the target
+            # briefly absent — the previous snapshot then survives intact
+            # under the adjacent ``<name>.old-*/previous`` directory, and
+            # no reader ever sees partial state.
+            graveyard = tempfile.mkdtemp(
+                prefix=os.path.basename(path) + ".old-", dir=parent
+            )
+            previous = os.path.join(graveyard, "previous")
+            os.rename(path, previous)
+            try:
+                os.rename(scratch, path)
+            except BaseException:
+                os.rename(previous, path)
+                raise
+            shutil.rmtree(graveyard)
+        else:
+            os.rename(scratch, path)
+    except BaseException:
+        shutil.rmtree(scratch, ignore_errors=True)
+        raise
+
+
+def _read_manifest(path: str) -> dict:
+    """Parse and checksum-verify a snapshot's manifest; returns the body."""
+    if not os.path.isdir(path):
+        raise PersistError(f"no snapshot directory at {path!r}")
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except OSError as error:
+        raise PersistError(
+            f"cannot read snapshot manifest {manifest_path!r}: {error}"
+        ) from error
+    except ValueError as error:
+        raise SnapshotCorruptionError(
+            f"snapshot manifest {manifest_path!r} is not valid JSON "
+            f"({error})"
+        ) from error
+    if not (
+        isinstance(manifest, dict)
+        and isinstance(manifest.get("body"), dict)
+        and isinstance(manifest.get("crc32"), int)
+    ):
+        raise SnapshotCorruptionError(
+            f"snapshot manifest {manifest_path!r} has an unrecognized shape"
+        )
+    body = manifest["body"]
+    if zlib.crc32(_canonical(body)) != manifest["crc32"]:
+        raise SnapshotCorruptionError(
+            f"snapshot manifest {manifest_path!r} fails its checksum"
+        )
+    if body.get("magic") != SNAPSHOT_MAGIC:
+        raise SnapshotCorruptionError(
+            f"{path!r} is not a jigsaw store snapshot"
+        )
+    version = body.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise SnapshotCorruptionError(
+            f"snapshot at {path!r} carries invalid version {version!r}"
+        )
+    if version > SNAPSHOT_VERSION:
+        raise SnapshotCompatibilityError(
+            f"snapshot at {path!r} is version {version}, newer than this "
+            f"build's {SNAPSHOT_VERSION}; upgrade to load it"
+        )
+    return body
+
+
+def _array_loader(path: str, body: dict, mmap: bool):
+    """Returns ``load(name) -> ndarray`` with size+CRC verification."""
+    table = body.get("arrays")
+    _require(isinstance(table, dict), "manifest has no array table")
+
+    def load(name: str) -> np.ndarray:
+        entry = table.get(name)
+        _require(
+            isinstance(entry, dict), f"array {name!r} missing from manifest"
+        )
+        file_path = os.path.join(path, os.path.basename(entry["file"]))
+        try:
+            with open(file_path, "rb") as handle:
+                raw = handle.read()
+        except OSError as error:
+            raise SnapshotCorruptionError(
+                f"array file {file_path!r} unreadable: {error}"
+            ) from error
+        if len(raw) != entry["nbytes"]:
+            raise SnapshotCorruptionError(
+                f"array file {file_path!r} is {len(raw)} bytes, manifest "
+                f"recorded {entry['nbytes']} (truncated?)"
+            )
+        if zlib.crc32(raw) != entry["crc32"]:
+            raise SnapshotCorruptionError(
+                f"array file {file_path!r} fails its checksum"
+            )
+        try:
+            array = np.load(file_path, mmap_mode="r" if mmap else None)
+        except ValueError as error:
+            raise SnapshotCorruptionError(
+                f"array file {file_path!r} is not a valid .npy file: "
+                f"{error}"
+            ) from error
+        if not mmap:
+            array = np.asarray(array)
+            array.setflags(write=False)
+        return array
+
+    return load
+
+
+# ---------------------------------------------------------------------------
+# Public save/load API
+
+
+def save_stores(
+    stores: Mapping[str, BasisStore],
+    path: str,
+    seed_bank: Optional[SeedBank] = None,
+    metadata: Optional[dict] = None,
+) -> None:
+    """Atomically snapshot a named collection of basis stores.
+
+    ``seed_bank`` records the identity the stores' fingerprints were drawn
+    under (default: the shared :data:`~repro.core.seeds.DEFAULT_SEED_BANK`)
+    — loads validate against it.  ``metadata`` is an arbitrary JSON-able
+    dict stored verbatim (avoid raw floats: JSON would round-trip them,
+    but the manifest convention is hex strings).
+    """
+    if not stores:
+        raise PersistError("refusing to save an empty store collection")
+    bank = seed_bank or DEFAULT_SEED_BANK
+    arrays: Dict[str, np.ndarray] = {}
+    body = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "seed_bank": {"master_seed": int(bank.master_seed)},
+        "metadata": metadata or {},
+        "stores": {
+            str(name): _dump_store(f"store{position}", store, arrays)
+            for position, (name, store) in enumerate(sorted(stores.items()))
+        },
+    }
+    _write_snapshot(path, body, arrays)
+
+
+def save_store(
+    store: BasisStore,
+    path: str,
+    seed_bank: Optional[SeedBank] = None,
+    metadata: Optional[dict] = None,
+) -> None:
+    """:func:`save_stores` for the common single-store case."""
+    save_stores({"default": store}, path, seed_bank=seed_bank,
+                metadata=metadata)
+
+
+def _check_compatible(
+    label: str, stored: dict, expected: dict
+) -> None:
+    """Refuse on any identity mismatch between snapshot and expectation."""
+    for key, description in (
+        ("mapping_family", "mapping family"),
+        ("index_strategy", "index strategy"),
+        ("rel_tol", "relative match tolerance"),
+        ("abs_tol", "absolute match tolerance"),
+        ("estimator", "estimator configuration"),
+    ):
+        if stored.get(key) != expected[key]:
+            raise SnapshotCompatibilityError(
+                f"snapshot store {label!r} was built with {description} "
+                f"{stored.get(key)!r}, caller expects {expected[key]!r}; "
+                f"refusing to reuse across configurations"
+            )
+
+
+def load_stores(
+    path: str,
+    like: Optional[Mapping[str, BasisStore]] = None,
+    seed_bank: Optional[SeedBank] = None,
+    estimator: Optional[Estimator] = None,
+    mmap: bool = True,
+) -> Dict[str, BasisStore]:
+    """Load a snapshot back into live stores, validating compatibility.
+
+    ``like`` maps store names to configured (typically empty) stores the
+    caller would otherwise use cold; the snapshot must cover exactly these
+    names, and each loaded store must match its ``like`` store's mapping
+    family, effective index strategy, tolerances, and estimator
+    configuration — the family and estimator *instances* are then reused,
+    which is also how user-defined families round-trip.  Without ``like``
+    every recorded store is rebuilt from the registry of built-in
+    families.
+
+    ``seed_bank``, when given, must match the bank recorded at save time.
+    ``mmap=False`` materializes arrays instead of memory-mapping them
+    (loaded arrays stay read-only either way).
+    """
+    body = _read_manifest(path)
+    if seed_bank is not None:
+        recorded = body.get("seed_bank", {}).get("master_seed")
+        if recorded != seed_bank.master_seed:
+            raise SnapshotCompatibilityError(
+                f"snapshot at {path!r} was built under seed bank master "
+                f"{recorded!r}, caller uses {seed_bank.master_seed:#x}; "
+                f"fingerprints are not comparable across seed banks"
+            )
+    entries = body.get("stores")
+    _require(isinstance(entries, dict) and entries, "snapshot has no stores")
+    if like is not None:
+        missing = sorted(set(like) - set(entries))
+        extra = sorted(set(entries) - set(like))
+        if missing or extra:
+            raise SnapshotCompatibilityError(
+                f"snapshot at {path!r} covers stores {sorted(entries)}, "
+                f"caller expects {sorted(like)} "
+                f"(missing {missing}, unexpected {extra})"
+            )
+    load_array = _array_loader(path, body, mmap)
+    stores: Dict[str, BasisStore] = {}
+    for name, entry in entries.items():
+        config = entry["config"]
+        if like is not None:
+            template = like[name]
+            _check_compatible(name, config, store_config(template))
+            family = template.mapping_family
+            store_estimator = estimator or template.estimator
+        else:
+            family_class = FAMILY_CLASSES.get(config["mapping_family"])
+            if family_class is None:
+                raise SnapshotCompatibilityError(
+                    f"snapshot store {name!r} uses mapping family "
+                    f"{config['mapping_family']!r}, which is not a "
+                    f"built-in; pass a configured `like` store to load it"
+                )
+            family = family_class()
+            store_estimator = estimator
+        try:
+            stores[name] = _restore_store(
+                entry, load_array, family, store_estimator
+            )
+        except (KeyError, TypeError) as error:
+            raise SnapshotCorruptionError(
+                f"snapshot store {name!r} at {path!r} has a malformed "
+                f"manifest entry ({type(error).__name__}: {error})"
+            ) from error
+    return stores
+
+
+def load_store(
+    path: str,
+    like: Optional[BasisStore] = None,
+    seed_bank: Optional[SeedBank] = None,
+    estimator: Optional[Estimator] = None,
+    mmap: bool = True,
+    name: str = "default",
+) -> BasisStore:
+    """:func:`load_stores` for the common single-store case."""
+    body_like = None if like is None else {name: like}
+    stores = load_stores(
+        path, like=body_like, seed_bank=seed_bank, estimator=estimator,
+        mmap=mmap,
+    )
+    if name not in stores:
+        raise SnapshotCompatibilityError(
+            f"snapshot at {path!r} has no store named {name!r} "
+            f"(available: {sorted(stores)})"
+        )
+    return stores[name]
+
+
+def snapshot_info(path: str) -> dict:
+    """Cheap summary of a snapshot (no arrays touched): version, seed
+    bank, metadata, and per-store basis counts / configuration."""
+    body = _read_manifest(path)
+    return {
+        "version": body["version"],
+        "seed_bank": dict(body.get("seed_bank", {})),
+        "metadata": dict(body.get("metadata", {})),
+        "stores": {
+            name: {
+                "bases": len(entry.get("bases", ())),
+                **{
+                    key: entry["config"][key]
+                    for key in ("mapping_family", "index_strategy")
+                },
+            }
+            for name, entry in body.get("stores", {}).items()
+        },
+    }
+
+
+# Re-exported for callers that only deal in snapshots.
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "FAMILY_CLASSES",
+    "encode_float",
+    "decode_float",
+    "encode_fingerprint",
+    "decode_fingerprint",
+    "encode_mapping",
+    "decode_mapping",
+    "encode_metrics",
+    "decode_metrics",
+    "store_config",
+    "save_store",
+    "save_stores",
+    "load_store",
+    "load_stores",
+    "snapshot_info",
+]

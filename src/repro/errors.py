@@ -63,3 +63,26 @@ class BindingError(JigsawError):
 
 class InteractiveError(JigsawError):
     """The interactive session was driven with inconsistent requests."""
+
+
+class PersistError(JigsawError):
+    """A basis-store snapshot could not be written or read."""
+
+
+class SnapshotCorruptionError(PersistError):
+    """A snapshot file is truncated, bit-damaged, or structurally broken.
+
+    Raised before any partial state reaches a store: a load either returns
+    a complete, checksum-verified store or raises this.
+    """
+
+
+class SnapshotCompatibilityError(PersistError):
+    """A snapshot is intact but was built under an incompatible
+    configuration (mapping family, index strategy, tolerances, estimator,
+    or seed bank).
+
+    Reusing such a store would be silently wrong — fingerprints are only
+    comparable under one seed bank and one tolerance regime — so the load
+    refuses instead.
+    """

@@ -172,6 +172,52 @@ class ScenarioRunner:
     def store_for(self, column: str) -> BasisStore:
         return self._stores[column]
 
+    @property
+    def stores(self) -> Dict[str, BasisStore]:
+        """Per-column basis stores, keyed by output column (a copy: the
+        runner's column -> store binding itself is not caller-mutable)."""
+        return dict(self._stores)
+
+    def basis_count(self) -> int:
+        """Total bases across every column's store (CLI/diagnostics)."""
+        return sum(len(store) for store in self._stores.values())
+
+    def save_stores(self, path: str, metadata=None) -> None:
+        """Snapshot every column's basis store for later warm starts.
+
+        Atomic and versioned (see :mod:`repro.core.persist`); records the
+        runner's seed bank so a later load can refuse cross-bank reuse.
+        """
+        from repro.core import persist
+
+        persist.save_stores(
+            self._stores, path, seed_bank=self.seed_bank, metadata=metadata
+        )
+
+    def load_stores(self, path: str, mmap: bool = True) -> None:
+        """Warm-start this runner from a :meth:`save_stores` snapshot.
+
+        The snapshot must cover exactly this scenario's output columns,
+        and each column's store must match the runner's configured mapping
+        family, index strategy, tolerances, estimator, and seed bank —
+        any mismatch raises a typed
+        :class:`~repro.errors.SnapshotCompatibilityError` instead of
+        silently reusing incompatible state.  Loaded stores are
+        memory-mapped read-only by default; sweeps that add bases promote
+        copy-on-write and leave the snapshot untouched.  Sharded runs
+        (``workers > 1``) warm-start too: the canonical replay probes the
+        loaded stores, so results stay bit-identical to a serial warm run.
+        """
+        from repro.core import persist
+
+        self._stores = persist.load_stores(
+            path,
+            like=self._stores,
+            seed_bank=self.seed_bank,
+            estimator=self.estimator,
+            mmap=mmap,
+        )
+
     def match_stats(self) -> Dict[str, "object"]:
         """Per-column basis-match counters (StoreStats), for diagnostics.
 

@@ -1,0 +1,303 @@
+"""Cross-run warm start: cold sweep -> save -> warm rerun.
+
+The amortization contract end to end, for every engine that can be
+warm-started:
+
+* the warm rerun's per-point estimates are **bitwise equal** to the cold
+  run's (a warm probe matches the basis the cold run built for — or
+  reused at — that point, and identity/first-match remapping reproduces
+  the metrics bit for bit);
+* the warm rerun draws **strictly fewer** samples (fingerprint rounds
+  only, for covered points);
+* warm decisions and counters are **worker-invariant**: sharded warm
+  sweeps at 1/2/4 workers all agree exactly (the canonical replay probes
+  the loaded store, so parallel warm == serial warm == the warm serial
+  algorithm).
+"""
+
+import numpy as np
+import pytest
+
+from repro.blackbox import BlackBoxRegistry, CapacityModel, DemandModel
+from repro.cli import main as cli_main
+from repro.core import persist
+from repro.core.basis import BasisStore
+from repro.core.explorer import ParameterExplorer
+from repro.core.parallel import ParallelExplorer
+from repro.lang.binder import compile_query
+from repro.scenario import ScenarioRunner
+
+
+def simulation(params, seed):
+    """Deterministic-under-seed toy F: affine in x across points, so warm
+    probes can also *remap* (not just identity-match) stored bases."""
+    noise = float(seed % 100003) / 100003.0
+    return params["x"] * (noise - 0.5) + 0.25 * params["y"]
+
+
+def batched(params, seeds):
+    seeds = np.atleast_1d(np.asarray(seeds, dtype=np.uint64))
+    noise = (seeds % np.uint64(100003)).astype(float) / 100003.0
+    return params["x"] * (noise - 0.5) + 0.25 * params["y"]
+
+
+batched_simulation = type(
+    "BatchedSim",
+    (),
+    {
+        "__call__": staticmethod(simulation),
+        "sample_batch": staticmethod(batched),
+    },
+)()
+
+POINTS = [
+    {"x": x, "y": y} for x in (1.0, 2.0, 3.0, 4.0) for y in (0.0, 1.0)
+]
+
+
+def make_explorer(store=None, workers=1):
+    if workers > 1:
+        return ParallelExplorer(
+            batched_simulation,
+            workers=workers,
+            samples_per_point=64,
+            fingerprint_size=8,
+            basis_store=store,
+        )
+    return ParameterExplorer(
+        batched_simulation,
+        samples_per_point=64,
+        fingerprint_size=8,
+        basis_store=store,
+    )
+
+
+class TestExplorerWarmStart:
+    def test_warm_rerun_reproduces_cold_exactly(self, tmp_path):
+        cold = make_explorer()
+        cold_run = cold.run(POINTS)
+        path = str(tmp_path / "store")
+        persist.save_store(cold.store, path)
+
+        warm = make_explorer(store=persist.load_store(path, like=BasisStore()))
+        warm_run = warm.run(POINTS)
+
+        assert len(warm_run) == len(cold_run)
+        for key, cold_point in cold_run.points.items():
+            warm_point = warm_run.points[key]
+            # Estimates: bitwise.
+            assert warm_point.metrics == cold_point.metrics
+            # Decisions: every point is covered by the saved store.
+            assert warm_point.reused
+        # Strictly fewer samples: fingerprints only.
+        assert (
+            warm_run.stats.samples_drawn < cold_run.stats.samples_drawn
+        )
+        assert warm_run.stats.samples_drawn == len(POINTS) * 8
+        assert warm_run.stats.bases_created == 0
+
+    def test_warm_workers_all_agree(self, tmp_path):
+        cold = make_explorer()
+        cold.run(POINTS)
+        path = str(tmp_path / "store")
+        persist.save_store(cold.store, path)
+
+        outcomes = {}
+        for workers in (1, 2, 4):
+            store = persist.load_store(path, like=BasisStore())
+            explorer = make_explorer(store=store, workers=workers)
+            run = explorer.run(POINTS)
+            outcomes[workers] = run
+
+        reference = outcomes[1]
+        for workers in (2, 4):
+            run = outcomes[workers]
+            assert run.stats == reference.stats
+            for key, want in reference.points.items():
+                got = run.points[key]
+                assert got.metrics == want.metrics
+                assert got.reused == want.reused
+                assert got.basis_id == want.basis_id
+                assert got.mapping == want.mapping
+                assert got.samples_drawn == want.samples_drawn
+
+    def test_partial_coverage_still_saves_work(self, tmp_path):
+        """A warm store covering only some points reuses those and
+        simulates the rest — then re-saving covers everything."""
+        cold = make_explorer()
+        cold.run(POINTS[:4])
+        path = str(tmp_path / "store")
+        persist.save_store(cold.store, path)
+
+        warm = make_explorer(store=persist.load_store(path, like=BasisStore()))
+        warm_run = warm.run(POINTS)
+        full_cold = make_explorer()
+        full_cold_run = full_cold.run(POINTS)
+        for key, want in full_cold_run.points.items():
+            assert warm_run.points[key].metrics == want.metrics
+        assert (
+            warm_run.stats.samples_drawn
+            < full_cold_run.stats.samples_drawn
+        )
+        persist.save_store(warm.store, path)
+        rewarm = make_explorer(
+            store=persist.load_store(path, like=BasisStore())
+        )
+        rewarm_run = rewarm.run(POINTS)
+        assert rewarm_run.stats.points_reused == len(POINTS)
+
+
+def registry():
+    reg = BlackBoxRegistry()
+    reg.register(DemandModel(), "DemandModel")
+    reg.register(
+        CapacityModel(base_capacity=10.0, purchase_volume=10.0),
+        "CapacityModel",
+    )
+    return reg
+
+
+SOURCE = """
+DECLARE PARAMETER @current_week AS RANGE 0 TO 8 STEP BY 2;
+DECLARE PARAMETER @purchase1 AS SET (0, 4);
+SELECT DemandModel(@current_week, 50) AS demand,
+       CapacityModel(@current_week, @purchase1, 50) AS capacity
+INTO results;
+"""
+
+
+@pytest.fixture
+def scenario():
+    return compile_query(SOURCE, registry()).scenario
+
+
+def make_runner(scenario, workers=1):
+    return ScenarioRunner(
+        scenario,
+        samples_per_point=48,
+        fingerprint_size=8,
+        workers=workers,
+    )
+
+
+class TestScenarioRunnerWarmStart:
+    def test_warm_rerun_reproduces_cold_exactly(self, scenario, tmp_path):
+        cold = make_runner(scenario)
+        cold_result = cold.run()
+        path = str(tmp_path / "stores")
+        cold.save_stores(path)
+
+        warm = make_runner(scenario)
+        warm.load_stores(path)
+        warm_result = warm.run()
+
+        assert set(warm_result.metrics) == set(cold_result.metrics)
+        for key, columns in cold_result.metrics.items():
+            for column, want in columns.items():
+                assert warm_result.metrics[key][column] == want
+        assert warm_result.stats.points_reused == len(cold_result.metrics)
+        assert (
+            warm_result.stats.rounds_executed
+            < cold_result.stats.rounds_executed
+        )
+        assert warm_result.stats.bases_created == 0
+
+    def test_warm_workers_all_agree(self, scenario, tmp_path):
+        cold = make_runner(scenario)
+        cold.run()
+        path = str(tmp_path / "stores")
+        cold.save_stores(path)
+
+        results = {}
+        for workers in (1, 2, 4):
+            runner = make_runner(scenario, workers=workers)
+            runner.load_stores(path)
+            results[workers] = runner.run()
+
+        reference = results[1]
+        for workers in (2, 4):
+            result = results[workers]
+            assert result.stats == reference.stats
+            assert set(result.metrics) == set(reference.metrics)
+            for key, columns in reference.metrics.items():
+                assert result.metrics[key] == columns
+
+    def test_snapshot_column_mismatch_refused(self, scenario, tmp_path):
+        from repro.errors import SnapshotCompatibilityError
+
+        cold = make_runner(scenario)
+        cold.run()
+        path = str(tmp_path / "stores")
+        cold.save_stores(path)
+
+        other = compile_query(
+            """
+            DECLARE PARAMETER @current_week AS RANGE 0 TO 8 STEP BY 2;
+            SELECT DemandModel(@current_week, 50) AS demand INTO results;
+            """,
+            registry(),
+        ).scenario
+        runner = ScenarioRunner(
+            other, samples_per_point=48, fingerprint_size=8
+        )
+        with pytest.raises(SnapshotCompatibilityError):
+            runner.load_stores(path)
+
+
+CLI_QUERY = """
+DECLARE PARAMETER @current_week AS RANGE 0 TO 6 STEP BY 2;
+DECLARE PARAMETER @feature_release AS SET (2, 4);
+SELECT DemandModel(@current_week, @feature_release) AS demand
+INTO results;
+OPTIMIZE SELECT @feature_release FROM results
+WHERE MAX(EXPECT demand) < 1000
+GROUP BY feature_release
+FOR MAX @feature_release;
+"""
+
+
+class TestCliWarmStart:
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "scenario.sql"
+        path.write_text(CLI_QUERY)
+        return str(path)
+
+    def test_save_then_warm_start(self, query_file, tmp_path, capsys):
+        store = str(tmp_path / "stores")
+        assert cli_main(
+            ["run", query_file, "--samples", "40", "--save-store", store]
+        ) == 0
+        cold_out = capsys.readouterr().out
+        assert cli_main(
+            ["run", query_file, "--samples", "40", "--store", store]
+        ) == 0
+        warm_out = capsys.readouterr().out
+        assert "reuse 100%" in warm_out
+        assert "warm store:" in warm_out
+        # Same OPTIMIZE answer either way.
+        assert cold_out.splitlines()[-1] == warm_out.splitlines()[-1]
+
+    def test_incompatible_store_is_typed_refusal(
+        self, query_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "stores")
+        assert cli_main(
+            ["run", query_file, "--samples", "40", "--save-store", store]
+        ) == 0
+        capsys.readouterr()
+        # A different fingerprint-size run still loads (sizes may differ
+        # per basis), but a different-column query must be refused.
+        graph_query = tmp_path / "other.sql"
+        graph_query.write_text(
+            """
+            DECLARE PARAMETER @current_week AS RANGE 0 TO 6 STEP BY 2;
+            SELECT DemandModel(@current_week, 3) AS other_name
+            INTO results;
+            """
+        )
+        code = cli_main(
+            ["run", str(graph_query), "--samples", "40", "--store", store]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

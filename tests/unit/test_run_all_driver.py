@@ -64,9 +64,8 @@ def _install_stubs(monkeypatch, run_all, counter=1.0):
             monkeypatch.setattr(
                 run_all,
                 f"run_fig{number}",
-                lambda scale, workers=1, adaptive=None, _n=name: (
-                    _stub_result(_n, counter)
-                ),
+                lambda scale, workers=1, adaptive=None, warm_store=None,
+                _n=name: _stub_result(_n, counter),
             )
         else:
             monkeypatch.setattr(
@@ -139,6 +138,70 @@ class TestFullRuns:
         assert kind == "compatible"
         kind, _ = run_all._classify_baseline(str(out), "quick", 4)
         assert kind == "other-workers"
+
+    def test_warm_run_is_tagged_and_never_replaces_cold_baseline(
+        self, tmp_path, monkeypatch, run_all, capsys
+    ):
+        """A --warm-store run records the tag and refuses to clobber a
+        cold baseline (and vice versa) — the adaptive-tagging pattern."""
+        _install_stubs(monkeypatch, run_all)
+        out = tmp_path / "bench.json"
+        run_all.main(["--bench-out", str(out)])
+        before = _read(out)
+        assert "warm_store" not in before  # cold documents stay untagged
+        run_all.main(
+            ["--bench-out", str(out), "--warm-store", str(tmp_path / "s")]
+        )
+        assert _read(out) == before
+        assert "warm" in capsys.readouterr().err
+        # A warm document written elsewhere carries the tag...
+        warm_out = tmp_path / "warm.json"
+        run_all.main(
+            [
+                "--bench-out", str(warm_out),
+                "--warm-store", str(tmp_path / "s"),
+            ]
+        )
+        assert _read(warm_out)["warm_store"] is True
+        # ... and a cold run refuses to clobber it.
+        run_all.main(["--bench-out", str(warm_out)])
+        assert _read(warm_out)["warm_store"] is True
+        assert "warm" in capsys.readouterr().err
+
+    def test_warm_only_merge_refused_into_cold_baseline(
+        self, tmp_path, monkeypatch, run_all, capsys
+    ):
+        _install_stubs(monkeypatch, run_all)
+        out = tmp_path / "bench.json"
+        run_all.main(["--bench-out", str(out)])
+        before = _read(out)
+        run_all.main(
+            [
+                "--bench-out", str(out), "--only", "fig9",
+                "--warm-store", str(tmp_path / "s"),
+            ]
+        )
+        assert _read(out) == before
+        assert "not overwriting" in capsys.readouterr().err
+
+    def test_warm_store_without_consuming_figures_runs_cold(
+        self, tmp_path, monkeypatch, run_all, capsys
+    ):
+        """fig12 has no store to persist: the document must stay untagged
+        (it is bit-identical to a cold run) and merge cleanly."""
+        _install_stubs(monkeypatch, run_all)
+        out = tmp_path / "bench.json"
+        run_all.main(["--bench-out", str(out)])
+        run_all.main(
+            [
+                "--bench-out", str(out), "--only", "fig12",
+                "--warm-store", str(tmp_path / "s"),
+            ]
+        )
+        bench = _read(out)
+        assert "warm_store" not in bench
+        assert bench["merged_figures"] == ["fig12"]
+        assert "no effect" in capsys.readouterr().err
 
 
 class TestOnlyMerge:
