@@ -25,6 +25,15 @@ replay-merge invariant the counters must *still* match the serial
 baseline, so CI runs this gate twice (serial and ``--workers 4``) against
 one committed file.
 
+``--faults-check`` runs the fault-injection smoke verification instead
+of the gate: the full suite at ``--workers 4`` with a deterministic
+fault plan that kills one shard's first attempt mid-sweep.  Shard
+supervision (:mod:`repro.core.supervise`) must retry the crashed shard
+and — because every shard is a pure function of the seed bank — land on
+deterministic counters that match the committed serial baseline
+**exactly**.  The check also asserts the fault actually fired, so a
+silently disabled injection seam cannot turn the check into a no-op.
+
 ``--warm-check`` runs the warm-start smoke verification instead of the
 gate: a cold ``--scale smoke`` pass that saves every sweep's basis store
 (``run_all.py --warm-store``), then a warm serial rerun and a warm
@@ -247,6 +256,56 @@ def warm_check(baseline_path):
     return failures
 
 
+def faults_check(baseline_path):
+    """The fault-injection smoke verification; returns failure strings.
+
+    Runs the whole smoke suite sharded (``--workers 4``) with a crash
+    injected into shard 1's first attempt of every sweep.  The
+    supervisor must retry the shard and reproduce the committed serial
+    baseline's deterministic counters bit-for-bit.
+    """
+    failures = []
+    baseline = None
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cannot read baseline {baseline_path}: {error}"]
+
+    from repro.testing import FaultPlan, use_faults
+
+    run_all = _load_run_all()
+    plan = FaultPlan({(1, 1): "crash"})
+    with tempfile.TemporaryDirectory() as scratch:
+        out = os.path.join(scratch, "faulted.json")
+        with use_faults(plan):
+            run_all.main(
+                [
+                    "--scale", "smoke",
+                    "--bench-out", out,
+                    "--workers", "4",
+                ]
+            )
+        with open(out) as handle:
+            measured = json.load(handle)
+
+    if not plan.triggered:
+        failures.append(
+            "fault plan never fired: the injection seam is disconnected, "
+            "so the check exercised nothing"
+        )
+    expected = deterministic_counters(baseline)
+    actual = deterministic_counters(measured)
+    for figure in sorted(set(expected) | set(actual)):
+        if actual.get(figure) != expected.get(figure):
+            failures.append(
+                f"{figure}: counters under injected shard crash drifted "
+                f"from baseline ({actual.get(figure)!r} != "
+                f"{expected.get(figure)!r})"
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -279,7 +338,33 @@ def main(argv=None):
             "estimates) instead of the baseline gate"
         ),
     )
+    parser.add_argument(
+        "--faults-check",
+        action="store_true",
+        help=(
+            "run the fault-injection smoke verification (kill one shard "
+            "mid-sweep at --workers 4; supervised retry must still match "
+            "the committed serial baseline exactly) instead of the gate"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.faults_check:
+        failures = faults_check(args.baseline)
+        if failures:
+            print(
+                "fault-injection smoke verification FAILED:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(
+            "fault-injection smoke verification passed: one shard crashed "
+            "and was retried in every sweep, counters still match the "
+            "serial baseline exactly"
+        )
+        return 0
 
     if args.warm_check:
         failures = warm_check(args.baseline)

@@ -277,6 +277,19 @@ def main(argv=None):
             "warm-start gate's exact estimate comparison"
         ),
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help=(
+            "persist the explorer sweeps' (fig8-11) completed-shard "
+            "outcomes under this directory as they run; an interrupted "
+            "run (exit code 130) re-invoked with the same arguments "
+            "resumes from them, with counters bit-identical to an "
+            "uninterrupted run (delete the directory after a completed "
+            "run — stale records would merely be re-consumed, but cost "
+            "disk)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
@@ -297,23 +310,24 @@ def main(argv=None):
         )
 
     warm_store = args.warm_store or None
+    checkpoint = args.checkpoint or None
     runners = {
         "fig7": lambda: run_fig7(args.scale),
         "fig8": lambda: run_fig8(
             args.scale, workers=args.workers, adaptive=adaptive,
-            warm_store=warm_store,
+            warm_store=warm_store, checkpoint=checkpoint,
         ),
         "fig9": lambda: run_fig9(
             args.scale, workers=args.workers, adaptive=adaptive,
-            warm_store=warm_store,
+            warm_store=warm_store, checkpoint=checkpoint,
         ),
         "fig10": lambda: run_fig10(
             args.scale, workers=args.workers, adaptive=adaptive,
-            warm_store=warm_store,
+            warm_store=warm_store, checkpoint=checkpoint,
         ),
         "fig11": lambda: run_fig11(
             args.scale, workers=args.workers, adaptive=adaptive,
-            warm_store=warm_store,
+            warm_store=warm_store, checkpoint=checkpoint,
         ),
         "fig12": lambda: run_fig12(args.scale),
         # The columnar FindMatch engine in isolation (no sampling): its
@@ -383,7 +397,21 @@ def main(argv=None):
     for name, runner in runners.items():
         started = time.perf_counter()
         print(f"running {name} ({args.scale} scale)...", file=sys.stderr)
-        result = runner()
+        try:
+            result = runner()
+        except KeyboardInterrupt:
+            # Figure sweeps flush completed-shard records through
+            # --checkpoint as they arrive (each write is atomic), so
+            # everything finished before Ctrl-C is already on disk; the
+            # partially measured figure is discarded (its wall clocks
+            # would be meaningless) and the same invocation resumes it.
+            note = (
+                f"; re-run with --checkpoint {checkpoint} to resume"
+                if checkpoint
+                else ""
+            )
+            print(f"interrupted during {name}{note}", file=sys.stderr)
+            return 130
         elapsed = time.perf_counter() - started
         total_seconds += elapsed
         if isinstance(result, str):
@@ -458,7 +486,8 @@ def main(argv=None):
             json.dump(bench, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"bench counters written to {args.bench_out}", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Repo-wide pytest options.
+
+``--workers N`` caps the shard-worker counts the fault-tolerance chaos
+suite (``tests/integration/test_fault_tolerance.py``) parametrizes over:
+the suite runs every fault plan at workers 1, 2, and 4 by default, and CI
+invokes it explicitly with ``--workers 4`` so the pooled (real fork)
+paths are always exercised there.  ``--workers 1`` keeps a quick local
+run in-process.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=4,
+        help=(
+            "maximum shard-worker count the fault-tolerance chaos suite "
+            "exercises (it parametrizes workers over {1, 2, 4} up to "
+            "this cap)"
+        ),
+    )

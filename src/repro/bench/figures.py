@@ -122,6 +122,16 @@ def _warm_context(warm_store: Optional[str]) -> Optional[WarmStores]:
     return WarmStores(warm_store) if warm_store else None
 
 
+def sweep_checkpoint_path(root: Optional[str], label: str) -> Optional[str]:
+    """Per-sweep checkpoint directory under ``--checkpoint``'s root.
+
+    Same label sanitization as :class:`WarmStores`, so each sweep of a
+    figure resumes from exactly its own completed-shard records."""
+    if not root:
+        return None
+    return os.path.join(root, re.sub(r"[^-A-Za-z0-9_.]", "_", label))
+
+
 def _make_explorer(
     simulation,
     samples: int,
@@ -132,6 +142,7 @@ def _make_explorer(
     adaptive: Optional[AdaptiveBudget] = None,
     warm: Optional[WarmStores] = None,
     warm_label: str = "",
+    checkpoint: Optional[str] = None,
 ):
     """Serial or sharded explorer with identical counters and estimates.
 
@@ -148,7 +159,10 @@ def _make_explorer(
     )
     if warm is not None:
         store = warm.store_for(warm_label, store)
-    if workers > 1:
+    if workers > 1 or checkpoint is not None:
+        # Checkpointing rides on the sharded engine's shard records, so a
+        # checkpointed sweep routes through it even single-worker — the
+        # canonical replay keeps counters bit-identical regardless.
         return ParallelExplorer(
             simulation,
             workers=workers,
@@ -158,6 +172,7 @@ def _make_explorer(
             mapping_family=mapping_family,
             adaptive=adaptive,
             basis_store=store,
+            checkpoint=checkpoint,
         )
     return ParameterExplorer(
         simulation,
@@ -326,6 +341,7 @@ def _explore_pair(
     adaptive: Optional[AdaptiveBudget] = None,
     warm: Optional[WarmStores] = None,
     warm_label: str = "",
+    checkpoint_root: Optional[str] = None,
 ) -> Tuple[float, float, Dict[str, float], "object"]:
     """(naive s, jigsaw s, extras, jigsaw stats) for one sweep workload."""
     simulation = workload.simulation()
@@ -346,6 +362,7 @@ def _explore_pair(
         adaptive=adaptive,
         warm=warm,
         warm_label=warm_label,
+        checkpoint=sweep_checkpoint_path(checkpoint_root, warm_label),
     )
     match_baseline = _match_counter_baseline(explorer.store)
     start = timing.perf_counter()
@@ -373,6 +390,7 @@ def run_fig8(
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
     warm_store: Optional[str] = None,
+    checkpoint: Optional[str] = None,
 ) -> FigureResult:
     """Jigsaw vs full evaluation on Usage, Capacity, Overload, MarkovStep."""
     # The paper's 1000 samples/point are affordable even at quick scale with
@@ -423,6 +441,7 @@ def run_fig8(
         naive_seconds, jigsaw_seconds, extras, stats = _explore_pair(
             workload, mapping_family=family, workers=workers,
             adaptive=adaptive, warm=warm, warm_label=f"fig8-{label}",
+            checkpoint_root=checkpoint,
         )
         accounting.record(stats, samples, workload.fingerprint_size)
         full_series.add(float(label_index), naive_seconds)
@@ -547,6 +566,7 @@ def run_fig9(
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
     warm_store: Optional[str] = None,
+    checkpoint: Optional[str] = None,
 ) -> FigureResult:
     if structure_sizes is None:
         structure_sizes = _pick(
@@ -583,6 +603,7 @@ def run_fig9(
                 adaptive=adaptive,
                 warm=warm,
                 warm_label=warm_label,
+                checkpoint=sweep_checkpoint_path(checkpoint, warm_label),
             )
             match_baseline = _match_counter_baseline(explorer.store)
             start = timing.perf_counter()
@@ -626,6 +647,7 @@ def run_fig10(
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
     warm_store: Optional[str] = None,
+    checkpoint: Optional[str] = None,
 ) -> FigureResult:
     """Static parameter space: time relative to the Array scan."""
     if basis_counts is None:
@@ -659,6 +681,7 @@ def run_fig10(
                 adaptive=adaptive,
                 warm=warm,
                 warm_label=warm_label,
+                checkpoint=sweep_checkpoint_path(checkpoint, warm_label),
             )
             match_baseline = _match_counter_baseline(explorer.store)
             start = timing.perf_counter()
@@ -692,6 +715,7 @@ def run_fig11(
     workers: int = 1,
     adaptive: Optional[AdaptiveBudget] = None,
     warm_store: Optional[str] = None,
+    checkpoint: Optional[str] = None,
 ) -> FigureResult:
     """Parameter space grown with basis size (basis = 10% of the space)."""
     if basis_counts is None:
@@ -727,6 +751,7 @@ def run_fig11(
                 adaptive=adaptive,
                 warm=warm,
                 warm_label=warm_label,
+                checkpoint=sweep_checkpoint_path(checkpoint, warm_label),
             )
             match_baseline = _match_counter_baseline(explorer.store)
             start = timing.perf_counter()

@@ -16,6 +16,13 @@ run from them (see :mod:`repro.core.persist`): repeated queries over the
 same scenario then pay only fingerprint rounds for covered points.  Models are resolved against
 :func:`repro.blackbox.default_registry`; applications embedding the library
 register their own boxes and call the same functions programmatically.
+
+Sweeps are fault tolerant (see :mod:`repro.core.supervise`):
+``--shard-timeout``/``--shard-retries`` tune the supervision policy,
+``--checkpoint DIR`` persists completed-shard outcomes so an interrupted
+run resumes from where it stopped, and Ctrl-C exits with code 130 after
+flushing any ``--save-store`` snapshot — never a half-written one (saves
+are atomic).
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.core.adaptive import (
     fixed_budget_samples,
     saved_fraction,
 )
+from repro.core.supervise import SupervisionPolicy
 from repro.errors import JigsawError
 from repro.interactive.plotting import render_graph
 from repro.lang.binder import BoundQuery, compile_query
@@ -71,6 +79,33 @@ def _adaptive_policy(args: argparse.Namespace) -> Optional[AdaptiveBudget]:
     return AdaptiveBudget(rtol=args.rtol, confidence=args.confidence)
 
 
+def _supervision_policy(
+    args: argparse.Namespace,
+) -> Optional[SupervisionPolicy]:
+    """Build the shard-supervision policy from ``--shard-timeout`` /
+    ``--shard-retries`` (None keeps the library default)."""
+    overrides = {}
+    if args.shard_timeout is not None:
+        overrides["timeout"] = args.shard_timeout
+    if args.shard_retries is not None:
+        overrides["max_attempts"] = args.shard_retries
+    return SupervisionPolicy(**overrides) if overrides else None
+
+
+def _build_runner(
+    bound: BoundQuery, args: argparse.Namespace
+) -> ScenarioRunner:
+    return ScenarioRunner(
+        bound.scenario,
+        samples_per_point=args.samples,
+        fingerprint_size=args.fingerprint,
+        workers=args.workers,
+        adaptive=_adaptive_policy(args),
+        supervision=_supervision_policy(args),
+        checkpoint=args.checkpoint,
+    )
+
+
 def _adaptive_note(args, stats) -> str:
     """Header annotation for an adaptive run: rounds saved vs fixed budget."""
     fixed = fixed_budget_samples(
@@ -107,17 +142,33 @@ def _save_after(runner: ScenarioRunner, args: argparse.Namespace) -> None:
         )
 
 
+def _interrupted(runner: ScenarioRunner, args: argparse.Namespace) -> int:
+    """Ctrl-C landing: flush recoverable state, exit with code 130.
+
+    Completed shards are already persisted by ``--checkpoint`` (each
+    record is written atomically as it arrives); any bases the stores
+    gathered are flushed to ``--save-store`` here via the atomic snapshot
+    writer, so no half-written snapshot can be left behind either way.
+    """
+    try:
+        _save_after(runner, args)
+    except JigsawError as error:
+        print(f"error while flushing stores: {error}", file=sys.stderr)
+    note = ""
+    if args.checkpoint:
+        note = f"; completed shards checkpointed in {args.checkpoint}"
+    print(f"interrupted{note}", file=sys.stderr)
+    return 130
+
+
 def _command_run(args: argparse.Namespace) -> int:
     bound = _load(args.query, None)
-    runner = ScenarioRunner(
-        bound.scenario,
-        samples_per_point=args.samples,
-        fingerprint_size=args.fingerprint,
-        workers=args.workers,
-        adaptive=_adaptive_policy(args),
-    )
+    runner = _build_runner(bound, args)
     warm_note = _warm_start(runner, args)
-    result = runner.run()
+    try:
+        result = runner.run()
+    except KeyboardInterrupt:
+        return _interrupted(runner, args)
     _save_after(runner, args)
     stats = result.stats
     sharding = ""
@@ -172,15 +223,12 @@ def _command_graph(args: argparse.Namespace) -> int:
     if bound.graph is None:
         print("query has no GRAPH clause", file=sys.stderr)
         return 2
-    runner = ScenarioRunner(
-        bound.scenario,
-        samples_per_point=args.samples,
-        fingerprint_size=args.fingerprint,
-        workers=args.workers,
-        adaptive=_adaptive_policy(args),
-    )
+    runner = _build_runner(bound, args)
     _warm_start(runner, args)
-    result = runner.run()
+    try:
+        result = runner.run()
+    except KeyboardInterrupt:
+        return _interrupted(runner, args)
     _save_after(runner, args)
     x_parameter = bound.graph.x_parameter
     x_values = sorted(
@@ -286,6 +334,35 @@ def build_parser() -> argparse.ArgumentParser:
                 "stores to this snapshot directory for later --store runs"
             ),
         )
+        sub.add_argument(
+            "--checkpoint",
+            default=None,
+            help=(
+                "persist completed-shard outcomes to this directory as the "
+                "sweep runs; an interrupted run re-invoked with the same "
+                "arguments resumes from them (results stay bit-identical "
+                "to an uninterrupted run)"
+            ),
+        )
+        sub.add_argument(
+            "--shard-timeout",
+            type=_positive_float,
+            default=None,
+            help=(
+                "per-shard-attempt deadline in seconds; a shard past it is "
+                "abandoned and retried on a fresh pool (default: none)"
+            ),
+        )
+        sub.add_argument(
+            "--shard-retries",
+            type=_positive_int,
+            default=None,
+            help=(
+                "total attempts per shard before degrading to in-process "
+                "recomputation (default 3; crashes and timeouts are "
+                "retried, application errors are not)"
+            ),
+        )
         sub.set_defaults(handler=handler)
     return parser
 
@@ -295,6 +372,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        # Interrupts inside a sweep are flushed by the command handlers;
+        # this is the boundary for everything outside one.
+        print("interrupted", file=sys.stderr)
+        return 130
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

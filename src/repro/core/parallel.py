@@ -48,9 +48,12 @@ re-probes incoming bases through the same columnar engine otherwise.
 
 from __future__ import annotations
 
+import itertools
+import json
 import multiprocessing
 import os
 import threading
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
@@ -71,6 +74,11 @@ from repro.core.explorer import (
 )
 from repro.core.mapping import MappingFamily
 from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank, SeedSlice
+from repro.core.supervise import (
+    ShardSupervisor,
+    SupervisionPolicy,
+    SupervisionReport,
+)
 
 # ---------------------------------------------------------------------------
 # Fork fan-out
@@ -79,12 +87,28 @@ from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank, SeedSlice
 # store factory, scenario object, ...) is handed over through inherited
 # memory instead of pickling, so closures and bound methods parallelize as
 # well as module-level functions.  Only the shard *results* cross the wire.
+#
+# Execution routes through repro.core.supervise: each shard attempt is an
+# individually submitted future the supervisor can deadline, retry on a
+# rebuilt pool after a worker death, or — once retries exhaust — recompute
+# in-process, so one dead or hung worker no longer costs the whole sweep.
+# Shards are deterministic under the shared seed bank, so none of that
+# recovery can change results.
 
-_SHARD_CONTEXT: Optional[Tuple[Any, Callable[[Any, int], Any]]] = None
-#: Serializes the set-context -> fork -> clear-context window so two
-#: threads sharding concurrently cannot hand each other's context to
-#: their workers (forked children snapshot the global at pool spawn).
+#: Token -> (context, runner).  Entries are registered *before* the pool
+#: forks, so every child inherits the full dict; the token each worker is
+#: handed picks its own sweep's entry, which is what lets two sweeps fork
+#: concurrently (the old design had a single context slot and had to hold
+#: its lock for the pool's entire lifetime, fully serializing them).
+_SHARD_CONTEXTS: Dict[int, Tuple[Any, Callable[[Any, int], Any]]] = {}
+#: Guards only the registry mutations, never held across a fork or a
+#: pool's lifetime.  Forked children must not touch it at all — another
+#: parent thread could have held it at fork time, which would deadlock
+#: the child — so ``_invoke_shard`` reads the dict with a bare ``get``
+#: (atomic under the GIL, and the fork itself happens while the forking
+#: thread holds the GIL, so children see a consistent dict).
 _SHARD_CONTEXT_LOCK = threading.Lock()
+_SHARD_TOKENS = itertools.count()
 _IN_WORKER = False
 
 
@@ -104,10 +128,43 @@ def _worker_initializer() -> None:
     draws.initialize_worker()
 
 
-def _invoke_shard(index: int) -> Any:
-    assert _SHARD_CONTEXT is not None, "shard context lost across fork"
-    context, runner = _SHARD_CONTEXT
+def _invoke_shard(token: int, index: int) -> Any:
+    entry = _SHARD_CONTEXTS.get(token)
+    assert entry is not None, "shard context lost across fork"
+    context, runner = entry
     return runner(context, index)
+
+
+class _ForkShardPool:
+    """Supervisable pool over a fork-context ``ProcessPoolExecutor``.
+
+    Workers resolve their sweep's context through the inherited registry
+    by token.  ``abandon`` terminates the worker processes outright —
+    it is the supervisor's remedy for a broken pool or a worker stuck
+    past its deadline, where a clean shutdown would block forever.
+    """
+
+    def __init__(self, token: int, workers: int):
+        self._token = token
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=_worker_initializer,
+        )
+
+    def submit(self, index: int):
+        return self._executor.submit(_invoke_shard, self._token, index)
+
+    def abandon(self) -> None:
+        processes = list(getattr(self._executor, "_processes", {}).values())
+        for process in processes:
+            process.terminate()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.join(timeout=1.0)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
 
 
 def fork_map(
@@ -115,6 +172,11 @@ def fork_map(
     context: Any,
     shard_count: int,
     workers: int,
+    *,
+    policy: Optional[SupervisionPolicy] = None,
+    indices: Optional[Iterable[int]] = None,
+    on_shard_complete: Optional[Callable[[int, Any], None]] = None,
+    report_sink: Optional[Callable[[SupervisionReport], None]] = None,
 ) -> List[Any]:
     """Run ``runner(context, i)`` for every shard, forking when it helps.
 
@@ -122,22 +184,49 @@ def fork_map(
     when one worker suffices, fork is unavailable (gated, not emulated
     with spawn: spawn would require pickling arbitrary simulations), or
     we are already inside a worker (no nested pools).
+
+    Execution is supervised (see :mod:`repro.core.supervise`): ``policy``
+    sets retry/timeout/degrade behavior (default
+    :data:`~repro.core.supervise.DEFAULT_POLICY`), ``indices`` restricts
+    the run to a subset of ``range(shard_count)`` (checkpoint resumes
+    recompute only the remainder; results come back in ``indices`` order),
+    ``on_shard_complete(index, result)`` fires as each shard's result is
+    accepted (checkpoint writers hook in here), and ``report_sink``
+    receives the :class:`~repro.core.supervise.SupervisionReport` after
+    the run.
     """
-    global _SHARD_CONTEXT
-    workers = min(int(workers), shard_count)
-    if workers <= 1 or _IN_WORKER or not fork_available():
-        return [runner(context, index) for index in range(shard_count)]
-    with _SHARD_CONTEXT_LOCK:
-        _SHARD_CONTEXT = (context, runner)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=multiprocessing.get_context("fork"),
-                initializer=_worker_initializer,
-            ) as pool:
-                return list(pool.map(_invoke_shard, range(shard_count)))
-        finally:
-            _SHARD_CONTEXT = None
+    if indices is None:
+        indices = range(shard_count)
+    indices = [int(i) for i in indices]
+    workers = min(int(workers), len(indices)) if indices else 0
+    pooled = workers > 1 and not _IN_WORKER and fork_available()
+    token: Optional[int] = None
+    pool_factory = None
+    if pooled:
+        token = next(_SHARD_TOKENS)
+        with _SHARD_CONTEXT_LOCK:
+            _SHARD_CONTEXTS[token] = (context, runner)
+
+        def pool_factory(token=token, workers=workers):
+            return _ForkShardPool(token, workers)
+
+    supervisor = ShardSupervisor(
+        runner,
+        context,
+        indices,
+        policy,
+        pool_factory=pool_factory,
+        on_shard_complete=on_shard_complete,
+    )
+    try:
+        results = supervisor.run()
+    finally:
+        if token is not None:
+            with _SHARD_CONTEXT_LOCK:
+                _SHARD_CONTEXTS.pop(token, None)
+    if report_sink is not None:
+        report_sink(supervisor.report)
+    return [results[index] for index in indices]
 
 
 def shard_slices(total: int, shard_count: int) -> List[slice]:
@@ -183,6 +272,12 @@ class ParallelStats:
     points_resimulated: int = 0
     #: Per-shard work counters (ExplorerStats or RunnerStats instances).
     shard_stats: List[object] = field(default_factory=list)
+    #: Shards whose outcomes were consumed from a resumable checkpoint
+    #: instead of being recomputed this run.
+    shards_resumed: int = 0
+    #: The :class:`~repro.core.supervise.SupervisionReport` for the shard
+    #: fan-out (None when every shard came from a checkpoint).
+    supervision: Optional[object] = None
 
 
 @dataclass
@@ -256,6 +351,69 @@ def _run_explorer_shard(
         records.append(
             _ShardPointRecord(point.fingerprint.array, samples)
         )
+    return _ShardOutcome(records, stats)
+
+
+def space_digest(points: List[Dict[str, float]]) -> str:
+    """Order-sensitive digest of a parameter space (bitwise on floats).
+
+    Checkpoint configs carry this so a resume against a *different* space
+    (or the same points in a different order — replay order is sacred)
+    refuses instead of silently mixing sweeps.
+    """
+    canonical = json.dumps(
+        [
+            [[str(k), float(v).hex()] for k, v in sorted(p.items())]
+            for p in points
+        ],
+        separators=(",", ":"),
+    )
+    return f"{zlib.crc32(canonical.encode()):08x}"
+
+
+def _encode_explorer_outcome(
+    outcome: _ShardOutcome,
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Checkpoint encoding of one shard outcome (meta dict + arrays)."""
+    arrays: Dict[str, np.ndarray] = {}
+    records = []
+    for position, record in enumerate(outcome.records):
+        arrays[f"fp{position}"] = np.asarray(
+            record.fingerprint_values, dtype=np.float64
+        )
+        records.append({"samples": record.samples is not None})
+        if record.samples is not None:
+            arrays[f"s{position}"] = np.asarray(
+                record.samples, dtype=np.float64
+            )
+    stats = outcome.stats
+    meta = {
+        "records": records,
+        "stats": {
+            "points_total": int(stats.points_total),
+            "points_reused": int(stats.points_reused),
+            "bases_created": int(stats.bases_created),
+            "fingerprint_samples": int(stats.fingerprint_samples),
+            "full_samples": int(stats.full_samples),
+        },
+    }
+    return meta, arrays
+
+
+def _decode_explorer_outcome(
+    meta: dict, arrays: Dict[str, np.ndarray]
+) -> _ShardOutcome:
+    records = []
+    for position, entry in enumerate(meta["records"]):
+        samples = (
+            np.asarray(arrays[f"s{position}"]) if entry["samples"] else None
+        )
+        records.append(
+            _ShardPointRecord(np.asarray(arrays[f"fp{position}"]), samples)
+        )
+    stats = ExplorerStats(
+        **{key: int(value) for key, value in meta["stats"].items()}
+    )
     return _ShardOutcome(records, stats)
 
 
@@ -348,6 +506,8 @@ class ParallelExplorer:
         store_factory: Optional[Callable[[], BasisStore]] = None,
         adaptive: Optional[AdaptiveBudget] = None,
         basis_store: Optional[BasisStore] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        checkpoint: Optional[str] = None,
     ):
         if fingerprint_size < 1:
             raise ValueError("fingerprint_size must be at least 1")
@@ -384,9 +544,39 @@ class ParallelExplorer:
             basis_store if basis_store is not None else store_factory()
         )
         self._fingerprint_slice = self.seed_bank.slice(fingerprint_size)
+        self.supervision = supervision
+        self.checkpoint = checkpoint
+
+    def _checkpoint_config(self, points, shards) -> dict:
+        adaptive = None
+        if self.adaptive is not None:
+            budget = self.adaptive
+            adaptive = {
+                "rtol": float(budget.rtol).hex(),
+                "atol": float(budget.atol).hex(),
+                "confidence": float(budget.confidence).hex(),
+                "max_samples": budget.max_samples,
+                "min_samples": budget.min_samples,
+                "method": budget.method,
+            }
+        return {
+            "engine": "explorer",
+            "space": space_digest(points),
+            "shard_sizes": [len(shard) for shard in shards],
+            "samples_per_point": int(self.samples_per_point),
+            "fingerprint_size": int(self.fingerprint_size),
+            "seed_master": int(self.seed_bank.master_seed),
+            "adaptive": adaptive,
+        }
 
     def run(self, space: Iterable[Params]) -> ExplorationResult:
-        """Explore every point of ``space``: speculate in shards, then merge."""
+        """Explore every point of ``space``: speculate in shards, then merge.
+
+        With ``checkpoint`` set, completed-shard outcomes are persisted as
+        they arrive and a restarted run consumes the valid records,
+        recomputing only the remainder — determinism makes the merged
+        result bit-identical to an uninterrupted run either way.
+        """
         points = [dict(p) for p in space]
         slices = shard_slices(len(points), self.workers)
         shards = [points[s] for s in slices]
@@ -400,10 +590,44 @@ class ParallelExplorer:
             store_factory=self._store_factory,
             adaptive=self.adaptive,
         )
-        outcomes = fork_map(
-            _run_explorer_shard, context, len(shards), self.workers
-        )
-        return self._merge(points, outcomes)
+        loaded: Dict[int, _ShardOutcome] = {}
+        on_complete = None
+        if self.checkpoint is not None:
+            from repro.core.persist import SweepCheckpoint
+
+            store = SweepCheckpoint(
+                self.checkpoint, self._checkpoint_config(points, shards)
+            )
+            loaded = {
+                index: _decode_explorer_outcome(meta, arrays)
+                for index, (meta, arrays) in store.load().items()
+                if 0 <= index < len(shards)
+            }
+
+            def on_complete(index: int, outcome: _ShardOutcome) -> None:
+                store.record(index, *_encode_explorer_outcome(outcome))
+
+        remaining = [i for i in range(len(shards)) if i not in loaded]
+        reports: List[SupervisionReport] = []
+        by_index = dict(loaded)
+        if remaining:
+            computed = fork_map(
+                _run_explorer_shard,
+                context,
+                len(shards),
+                self.workers,
+                policy=self.supervision,
+                indices=remaining,
+                on_shard_complete=on_complete,
+                report_sink=reports.append,
+            )
+            by_index.update(zip(remaining, computed))
+        outcomes = [by_index[index] for index in range(len(shards))]
+        result = self._merge(points, outcomes)
+        if result.parallel is not None:
+            result.parallel.shards_resumed = len(loaded)
+            result.parallel.supervision = reports[0] if reports else None
+        return result
 
     def _merge(
         self,

@@ -102,6 +102,13 @@ SNAPSHOT_MAGIC = "jigsaw-store-snapshot"
 #: newer versions are refused — see the ROADMAP's version-bump procedure.
 SNAPSHOT_VERSION = 1
 
+CHECKPOINT_MAGIC = "jigsaw-sweep-checkpoint"
+
+#: Checkpoint format version; bumped under the same procedure as
+#: :data:`SNAPSHOT_VERSION` (see the ROADMAP) — older checkpoints must
+#: stay loadable or be explicitly migrated, newer ones are refused.
+CHECKPOINT_VERSION = 1
+
 MANIFEST_NAME = "manifest.json"
 
 #: Mapping-family class name -> factory, for rebuilding a snapshot's family
@@ -480,8 +487,18 @@ def _write_snapshot(path: str, body: dict, arrays: Mapping[str, np.ndarray]):
         raise
 
 
-def _read_manifest(path: str) -> dict:
-    """Parse and checksum-verify a snapshot's manifest; returns the body."""
+def _read_manifest(
+    path: str,
+    magic: str = SNAPSHOT_MAGIC,
+    max_version: int = SNAPSHOT_VERSION,
+    kind: str = "store snapshot",
+) -> dict:
+    """Parse and checksum-verify a snapshot's manifest; returns the body.
+
+    ``magic``/``max_version``/``kind`` distinguish the snapshot families
+    sharing this container format (basis-store snapshots and sweep
+    checkpoints); the defaults read store snapshots.
+    """
     if not os.path.isdir(path):
         raise PersistError(f"no snapshot directory at {path!r}")
     manifest_path = os.path.join(path, MANIFEST_NAME)
@@ -510,19 +527,19 @@ def _read_manifest(path: str) -> dict:
         raise SnapshotCorruptionError(
             f"snapshot manifest {manifest_path!r} fails its checksum"
         )
-    if body.get("magic") != SNAPSHOT_MAGIC:
+    if body.get("magic") != magic:
         raise SnapshotCorruptionError(
-            f"{path!r} is not a jigsaw store snapshot"
+            f"{path!r} is not a jigsaw {kind}"
         )
     version = body.get("version")
     if not isinstance(version, int) or version < 1:
         raise SnapshotCorruptionError(
-            f"snapshot at {path!r} carries invalid version {version!r}"
+            f"{kind} at {path!r} carries invalid version {version!r}"
         )
-    if version > SNAPSHOT_VERSION:
+    if version > max_version:
         raise SnapshotCompatibilityError(
-            f"snapshot at {path!r} is version {version}, newer than this "
-            f"build's {SNAPSHOT_VERSION}; upgrade to load it"
+            f"{kind} at {path!r} is version {version}, newer than this "
+            f"build's {max_version}; upgrade to load it"
         )
     return body
 
@@ -750,10 +767,121 @@ def snapshot_info(path: str) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Sweep checkpoints: resumable completed-shard records
+
+
+class SweepCheckpoint:
+    """Resumable record of a sweep's completed shard outcomes.
+
+    A checkpoint is a snapshot directory in the same container format as
+    basis-store snapshots (CRC-guarded manifest + ``.npy`` array files,
+    written atomically via temp-dir + rename), holding one record per
+    *completed* shard plus the sweep configuration it belongs to.  The
+    supervision layer appends a record as each shard's result is accepted;
+    every append rewrites the whole directory atomically, so a reader —
+    including a restarted run — always sees a complete, checksum-valid
+    prefix of the sweep, never a torn write.
+
+    ``config`` is the sweep's identity (engine, shard layout, sampling
+    parameters, seed bank, a digest of the parameter space, ...).  A
+    resume whose configuration differs refuses with
+    :class:`~repro.errors.SnapshotCompatibilityError` — consuming shard
+    records across configurations would be silently wrong.  A checkpoint
+    that fails its checksums is *discarded* instead (:meth:`load` returns
+    no records): shards are deterministic, so recomputing is always
+    correct, merely slower — corruption must never block a sweep.
+    """
+
+    def __init__(self, path: str, config: dict):
+        self.path = os.path.abspath(str(path))
+        self.config = json.loads(json.dumps(config))
+        self._records: Dict[int, tuple] = {}
+
+    def load(self) -> Dict[int, tuple]:
+        """Valid completed-shard records, as ``{index: (meta, arrays)}``.
+
+        Returns an empty mapping when no checkpoint exists yet *or* the
+        existing one is corrupt (recompute-all fallback); raises
+        :class:`~repro.errors.SnapshotCompatibilityError` when an intact
+        checkpoint belongs to a different sweep configuration.  Loaded
+        records also re-seed this instance, so subsequent :meth:`record`
+        calls preserve them.
+        """
+        if not os.path.isdir(self.path):
+            return {}
+        try:
+            body = _read_manifest(
+                self.path,
+                magic=CHECKPOINT_MAGIC,
+                max_version=CHECKPOINT_VERSION,
+                kind="sweep checkpoint",
+            )
+        except SnapshotCorruptionError:
+            return {}
+        if body.get("config") != self.config:
+            raise SnapshotCompatibilityError(
+                f"sweep checkpoint at {self.path!r} belongs to a different "
+                f"sweep configuration; refusing to resume from it (move it "
+                f"aside to start fresh)"
+            )
+        load_array = _array_loader(self.path, body, mmap=False)
+        records: Dict[int, tuple] = {}
+        try:
+            for index_text, entry in body.get("shards", {}).items():
+                arrays = {
+                    name: np.asarray(load_array(ref))
+                    for name, ref in entry["arrays"].items()
+                }
+                records[int(index_text)] = (dict(entry["meta"]), arrays)
+        except (SnapshotCorruptionError, KeyError, TypeError, ValueError):
+            return {}
+        self._records = dict(records)
+        return records
+
+    def record(self, index: int, meta: dict, arrays: Mapping[str, np.ndarray]):
+        """Persist shard ``index``'s outcome (atomic full rewrite)."""
+        self._records[int(index)] = (
+            json.loads(json.dumps(meta)),
+            {
+                str(name): np.ascontiguousarray(array)
+                for name, array in arrays.items()
+            },
+        )
+        self._flush()
+
+    def _flush(self) -> None:
+        array_files: Dict[str, np.ndarray] = {}
+        shards = {}
+        for index in sorted(self._records):
+            meta, arrays = self._records[index]
+            refs = {}
+            for name in sorted(arrays):
+                ref = f"shard{index}.{name}"
+                array_files[ref] = arrays[name]
+                refs[name] = ref
+            shards[str(index)] = {"meta": meta, "arrays": refs}
+        body = {
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "config": self.config,
+            "shards": shards,
+        }
+        _write_snapshot(self.path, body, array_files)
+        # Fault seam: chaos tests corrupt the freshly written checkpoint
+        # here to prove resumes detect the damage and recompute.
+        from repro.testing import faults as _faults
+
+        _faults.checkpoint_written(self.path)
+
+
 # Re-exported for callers that only deal in snapshots.
 __all__ = [
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "SweepCheckpoint",
     "FAMILY_CLASSES",
     "encode_float",
     "decode_float",

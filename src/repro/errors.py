@@ -65,6 +65,81 @@ class InteractiveError(JigsawError):
     """The interactive session was driven with inconsistent requests."""
 
 
+class ExecutionError(JigsawError):
+    """A sweep's execution infrastructure (not its math) failed.
+
+    The branch for shard supervision: worker crashes, deadline expiries,
+    and retry exhaustion.  Because shards are deterministic under the
+    shared seed bank, none of these failures can change a sweep's results
+    — supervision recomputes the affected shard and the replay-merge stays
+    bit-identical to serial — so these errors describe *how* a sweep ran,
+    never *what* it computed.
+    """
+
+
+class ShardError(ExecutionError):
+    """Base class for per-shard supervision failures.
+
+    Carries the shard's index in the sweep's canonical shard layout and
+    the 1-based attempt number that failed.
+    """
+
+    def __init__(self, message: str, shard_index: int = -1, attempt: int = 0):
+        self.shard_index = int(shard_index)
+        self.attempt = int(attempt)
+        super().__init__(message)
+
+
+class ShardCrashError(ShardError):
+    """A shard's worker died before shipping its result.
+
+    Raised for a broken process pool (OOM kill, segfault in a native
+    library, stray signal) or an injected crash fault.  Retryable: the
+    shard is a pure function of its slice, so a re-run is bit-identical.
+    """
+
+
+class ShardTimeoutError(ShardError):
+    """A shard attempt exceeded its supervision deadline.
+
+    ``timeout`` records the policy deadline in seconds (``None`` when the
+    hang was injected into an in-process run, which enforces no real
+    deadline).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_index: int = -1,
+        attempt: int = 0,
+        timeout=None,
+    ):
+        self.timeout = timeout
+        super().__init__(message, shard_index=shard_index, attempt=attempt)
+
+
+class ShardRetryExhaustedError(ShardError):
+    """A shard failed every attempt its supervision policy allowed.
+
+    Only raised when the policy disables graceful degradation; with
+    degradation on (the default), an exhausted shard is recomputed
+    in-process instead and the sweep still completes.  ``attempts`` is the
+    number of attempts made; ``failures`` the classified per-attempt
+    errors, in order.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_index: int = -1,
+        attempts: int = 0,
+        failures=(),
+    ):
+        self.attempts = int(attempts)
+        self.failures = tuple(failures)
+        super().__init__(message, shard_index=shard_index, attempt=attempts)
+
+
 class PersistError(JigsawError):
     """A basis-store snapshot could not be written or read."""
 

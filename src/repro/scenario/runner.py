@@ -21,7 +21,13 @@ from repro.core.adaptive import AdaptiveBudget, next_target
 from repro.core.basis import BasisStore
 from repro.core.estimator import Estimator, MetricSet
 from repro.core.fingerprint import Fingerprint
-from repro.core.parallel import ParallelStats, fork_map, shard_slices
+from repro.core.parallel import (
+    ParallelStats,
+    fork_map,
+    shard_slices,
+    space_digest,
+)
+from repro.core.supervise import SupervisionPolicy, SupervisionReport
 from repro.core.mapping import (
     IdentityMappingFamily,
     LinearMappingFamily,
@@ -114,6 +120,62 @@ def _run_scenario_shard(
     return records, stats
 
 
+def _encode_scenario_outcome(
+    columns: Tuple[str, ...],
+    outcome: Tuple[List[_ScenarioPointRecord], RunnerStats],
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Checkpoint encoding of one scenario shard outcome.
+
+    Column arrays are keyed positionally (``fp{point}c{column}``) — the
+    checkpoint config pins the column list, so positions are stable."""
+    records, stats = outcome
+    arrays: Dict[str, np.ndarray] = {}
+    meta_records = []
+    for position, record in enumerate(records):
+        for col, column in enumerate(columns):
+            arrays[f"fp{position}c{col}"] = np.asarray(
+                record.fingerprints[column], dtype=np.float64
+            )
+        meta_records.append({"samples": record.samples is not None})
+        if record.samples is not None:
+            for col, column in enumerate(columns):
+                arrays[f"s{position}c{col}"] = np.asarray(
+                    record.samples[column], dtype=np.float64
+                )
+    meta = {
+        "records": meta_records,
+        "stats": {
+            "points_total": int(stats.points_total),
+            "points_reused": int(stats.points_reused),
+            "rounds_executed": int(stats.rounds_executed),
+            "bases_created": int(stats.bases_created),
+        },
+    }
+    return meta, arrays
+
+
+def _decode_scenario_outcome(
+    columns: Tuple[str, ...], meta: dict, arrays: Dict[str, np.ndarray]
+) -> Tuple[List[_ScenarioPointRecord], RunnerStats]:
+    records = []
+    for position, entry in enumerate(meta["records"]):
+        fingerprints = {
+            column: np.asarray(arrays[f"fp{position}c{col}"])
+            for col, column in enumerate(columns)
+        }
+        samples = None
+        if entry["samples"]:
+            samples = {
+                column: np.asarray(arrays[f"s{position}c{col}"])
+                for col, column in enumerate(columns)
+            }
+        records.append(_ScenarioPointRecord(fingerprints, samples))
+    stats = RunnerStats(
+        **{key: int(value) for key, value in meta["stats"].items()}
+    )
+    return records, stats
+
+
 class ScenarioRunner:
     """Executes a scenario over its whole parameter space with reuse.
 
@@ -141,6 +203,8 @@ class ScenarioRunner:
         use_fingerprints: bool = True,
         workers: int = 1,
         adaptive: Optional[AdaptiveBudget] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        checkpoint: Optional[str] = None,
     ):
         if fingerprint_size < 1:
             raise ValueError("fingerprint_size must be at least 1")
@@ -156,6 +220,8 @@ class ScenarioRunner:
         self.use_fingerprints = use_fingerprints
         self.workers = int(workers)
         self.adaptive = adaptive
+        self.supervision = supervision
+        self.checkpoint = checkpoint
         self._index_strategy = index_strategy
         self._family_overrides = dict(column_families or {})
         self._stores: Dict[str, BasisStore] = {}
@@ -247,8 +313,41 @@ class ScenarioRunner:
             adaptive=self.adaptive,
         )
 
+    def _checkpoint_config(self, points, shards) -> dict:
+        adaptive = None
+        if self.adaptive is not None:
+            budget = self.adaptive
+            adaptive = {
+                "rtol": float(budget.rtol).hex(),
+                "atol": float(budget.atol).hex(),
+                "confidence": float(budget.confidence).hex(),
+                "max_samples": budget.max_samples,
+                "min_samples": budget.min_samples,
+                "method": budget.method,
+            }
+        return {
+            "engine": "scenario",
+            "space": space_digest(points),
+            "shard_sizes": [len(shard) for shard in shards],
+            "samples_per_point": int(self.samples_per_point),
+            "fingerprint_size": int(self.fingerprint_size),
+            "seed_master": int(self.seed_bank.master_seed),
+            "columns": list(self.scenario.output_columns),
+            "use_fingerprints": bool(self.use_fingerprints),
+            "adaptive": adaptive,
+        }
+
     def run(self) -> ScenarioResult:
-        if self.workers > 1:
+        if (
+            self.workers > 1
+            or self.checkpoint is not None
+            or self.supervision is not None
+        ):
+            # Checkpointed or supervised runs route through the sharded
+            # engine even with one worker: shard records are the resumable
+            # unit, supervision watches shard attempts, and the canonical
+            # replay makes the result bit-identical to the plain serial
+            # loop regardless.
             return self._run_parallel()
         result = ScenarioResult()
         for point in self.scenario.space.points():
@@ -272,9 +371,42 @@ class ScenarioRunner:
         slices = shard_slices(len(points), self.workers)
         shards = [points[s] for s in slices]
         context = _ScenarioShardContext(self._clone_serial, shards)
-        outcomes = fork_map(
-            _run_scenario_shard, context, len(shards), self.workers
-        )
+        columns = tuple(self.scenario.output_columns)
+        loaded: Dict[int, Tuple[List[_ScenarioPointRecord], RunnerStats]] = {}
+        on_complete = None
+        if self.checkpoint is not None:
+            from repro.core.persist import SweepCheckpoint
+
+            checkpoint_store = SweepCheckpoint(
+                self.checkpoint, self._checkpoint_config(points, shards)
+            )
+            loaded = {
+                index: _decode_scenario_outcome(columns, meta, arrays)
+                for index, (meta, arrays) in checkpoint_store.load().items()
+                if 0 <= index < len(shards)
+            }
+
+            def on_complete(index, outcome) -> None:
+                checkpoint_store.record(
+                    index, *_encode_scenario_outcome(columns, outcome)
+                )
+
+        remaining = [i for i in range(len(shards)) if i not in loaded]
+        reports: List[SupervisionReport] = []
+        by_index = dict(loaded)
+        if remaining:
+            computed = fork_map(
+                _run_scenario_shard,
+                context,
+                len(shards),
+                self.workers,
+                policy=self.supervision,
+                indices=remaining,
+                on_shard_complete=on_complete,
+                report_sink=reports.append,
+            )
+            by_index.update(zip(remaining, computed))
+        outcomes = [by_index[index] for index in range(len(shards))]
         parallel = ParallelStats(
             workers=self.workers,
             shard_sizes=tuple(len(records) for records, _ in outcomes),
@@ -282,6 +414,8 @@ class ScenarioRunner:
                 stats.rounds_executed for _, stats in outcomes
             ),
             shard_stats=[stats for _, stats in outcomes],
+            shards_resumed=len(loaded),
+            supervision=reports[0] if reports else None,
         )
         shard_bases = sum(stats.bases_created for _, stats in outcomes)
         records = [

@@ -1,0 +1,27 @@
+"""Deterministic test harnesses shipped with the library.
+
+:mod:`repro.testing.faults` injects supervised-execution faults (crashes,
+hangs, interrupts, checkpoint corruption) addressed by shard index and
+attempt, so fault-tolerance tests exercise every supervision path without
+real signals or real clocks.
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultPlan,
+    InjectedCrash,
+    InjectedHang,
+    active_plan,
+    corrupt_array_file,
+    use_faults,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedHang",
+    "active_plan",
+    "corrupt_array_file",
+    "use_faults",
+]

@@ -1,0 +1,226 @@
+"""Deterministic fault injection for the shard-supervision layer.
+
+The supervision engine (:mod:`repro.core.supervise`) consults the *active
+fault plan* at two seams:
+
+* **Result collection** — after a shard attempt produces its value (in a
+  fork-pool worker or in-process), the supervisor calls
+  :meth:`FaultPlan.intercept` with the shard index and 1-based attempt
+  number.  A matching fault then raises:
+
+  - ``crash``      → :class:`InjectedCrash`, classified exactly like a
+    worker that died before shipping its result (broken process pool);
+  - ``hang``       → :class:`InjectedHang`, classified like a worker that
+    never responds: the attempt is parked with no completion and only its
+    supervision deadline can end it;
+  - ``interrupt``  → :class:`KeyboardInterrupt`, as if the user pressed
+    Ctrl-C while the supervisor was collecting that shard;
+  - ``error``      → an arbitrary application exception (never retried —
+    deterministic application errors propagate, matching unfaulted
+    semantics).
+
+* **Checkpoint writes** — after :class:`repro.core.persist.SweepCheckpoint`
+  persists a shard record, it calls :func:`checkpoint_written`; a plan
+  built with ``corrupt_checkpoint_after=N`` flips one byte in the
+  checkpoint's first array file after the ``N``-th write, so resume paths
+  can prove they detect CRC damage and recompute instead of loading
+  garbage.
+
+Faults are addressed by ``(shard_index, attempt)`` and trigger on every
+supervised run that reaches that address unless limited with ``times``.
+Because the interception happens on the supervisor (parent) side, plans
+work identically for in-process execution and real fork pools — no real
+signals, no real clocks, and the shard's deterministic work is simply
+discarded and recomputed, which is precisely the recovery path under test.
+
+The plan itself never changes *what* a sweep computes: supervision
+recomputes every faulted shard, and the replay-merge output stays
+bit-identical to an undisturbed serial run — the chaos suite
+(``tests/integration/test_fault_tolerance.py``) pins exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+FAULT_KINDS = ("crash", "hang", "error", "interrupt")
+
+
+class InjectedCrash(Exception):
+    """Simulates a worker that died before shipping its shard result."""
+
+
+class InjectedHang(Exception):
+    """Simulates a worker that never responds (consumed by the supervisor:
+    the attempt is parked until its deadline expires — it never surfaces
+    to callers)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injectable fault.
+
+    ``kind`` is one of :data:`FAULT_KINDS`; ``times`` bounds how many
+    times the fault triggers (``None`` = every time its address is
+    reached); ``error`` carries the exception instance for ``error``
+    faults.
+    """
+
+    kind: str
+    times: Optional[int] = None
+    error: Optional[BaseException] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be positive (or None for unlimited)")
+        if self.kind == "error" and self.error is None:
+            raise ValueError("error faults need an exception instance")
+
+
+FaultSpec = Union[Fault, str, BaseException]
+
+
+def _coerce(spec: FaultSpec) -> Fault:
+    if isinstance(spec, Fault):
+        return spec
+    if isinstance(spec, str):
+        return Fault(spec)
+    if isinstance(spec, BaseException):
+        return Fault("error", error=spec)
+    raise TypeError(f"cannot interpret fault spec {spec!r}")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults, addressed by (shard, attempt).
+
+    ``plan`` maps ``(shard_index, attempt)`` to a fault spec — a
+    :class:`Fault`, a kind string (``"crash"``/``"hang"``/...), or an
+    exception instance (an ``error`` fault).  ``triggered`` records every
+    fault that actually fired, in order, for test assertions.
+    """
+
+    plan: Mapping[Tuple[int, int], FaultSpec] = field(default_factory=dict)
+    corrupt_checkpoint_after: Optional[int] = None
+    triggered: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._faults: Dict[Tuple[int, int], Fault] = {
+            (int(index), int(attempt)): _coerce(spec)
+            for (index, attempt), spec in dict(self.plan).items()
+        }
+        self._fired: Dict[Tuple[int, int], int] = {}
+        self.checkpoints_written = 0
+        self.checkpoints_corrupted = 0
+
+    @classmethod
+    def fail_n_then_succeed(
+        cls, shard_index: int, failures: int, kind: str = "crash"
+    ) -> "FaultPlan":
+        """Fail attempts ``1..failures`` of one shard, then succeed."""
+        return cls(
+            {
+                (shard_index, attempt): Fault(kind)
+                for attempt in range(1, failures + 1)
+            }
+        )
+
+    def intercept(self, shard_index: int, attempt: int) -> None:
+        """Raise the scheduled fault for this address, if any.
+
+        Called by the supervisor after a shard attempt produced its value
+        and before the value is accepted — so a ``crash`` fault discards
+        genuinely computed work, exactly like a real worker death between
+        computation and result shipping.
+        """
+        key = (int(shard_index), int(attempt))
+        fault = self._faults.get(key)
+        if fault is None:
+            return
+        count = self._fired.get(key, 0)
+        if fault.times is not None and count >= fault.times:
+            return
+        self._fired[key] = count + 1
+        self.triggered.append((key[0], key[1], fault.kind))
+        if fault.kind == "crash":
+            raise InjectedCrash(
+                f"injected crash: shard {key[0]} attempt {key[1]}"
+            )
+        if fault.kind == "hang":
+            raise InjectedHang(
+                f"injected hang: shard {key[0]} attempt {key[1]}"
+            )
+        if fault.kind == "interrupt":
+            raise KeyboardInterrupt
+        assert fault.error is not None  # guaranteed by Fault validation
+        raise fault.error
+
+    def checkpoint_written(self, path: str) -> None:
+        """Checkpoint-write hook: corrupt the snapshot when scheduled."""
+        self.checkpoints_written += 1
+        if (
+            self.corrupt_checkpoint_after is not None
+            and self.checkpoints_written == self.corrupt_checkpoint_after
+        ):
+            corrupt_array_file(path)
+            self.checkpoints_corrupted += 1
+
+
+#: The active plan; installed with :func:`use_faults`, read by the
+#: supervisor through :func:`active_plan`.  Parent-process state only —
+#: interception happens on the supervisor side, never inside workers.
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed fault plan (None outside fault tests)."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scoped installation of a fault plan (restores the previous one)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def checkpoint_written(path: str) -> None:
+    """Notify the active plan (if any) that a checkpoint was persisted."""
+    if _ACTIVE is not None:
+        _ACTIVE.checkpoint_written(path)
+
+
+def corrupt_array_file(snapshot_path: str) -> str:
+    """Flip one byte in a snapshot directory's first ``.npy`` file.
+
+    Damages the array body (past the .npy header) so the snapshot's CRC
+    guard must catch it; returns the corrupted file's path.
+    """
+    names = sorted(
+        name
+        for name in os.listdir(snapshot_path)
+        if name.endswith(".npy")
+    )
+    if not names:
+        raise FileNotFoundError(
+            f"no array files to corrupt under {snapshot_path!r}"
+        )
+    target = os.path.join(snapshot_path, names[0])
+    with open(target, "r+b") as handle:
+        raw = handle.read()
+        position = min(len(raw) - 1, 128)
+        handle.seek(position)
+        handle.write(bytes([raw[position] ^ 0xFF]))
+    return target

@@ -20,9 +20,55 @@ class TestErrorHierarchy:
             "ParseError",
             "BindingError",
             "InteractiveError",
+            "ExecutionError",
+            "ShardError",
+            "ShardCrashError",
+            "ShardTimeoutError",
+            "ShardRetryExhaustedError",
+            "PersistError",
+            "SnapshotCorruptionError",
+            "SnapshotCompatibilityError",
         ):
             error_type = getattr(errors, name)
             assert issubclass(error_type, errors.JigsawError), name
+
+    def test_shard_errors_are_execution_errors(self):
+        for name in (
+            "ShardCrashError",
+            "ShardTimeoutError",
+            "ShardRetryExhaustedError",
+        ):
+            error_type = getattr(errors, name)
+            assert issubclass(error_type, errors.ShardError), name
+            assert issubclass(error_type, errors.ExecutionError), name
+
+    def test_shard_error_carries_address(self):
+        error = errors.ShardCrashError(
+            "worker died", shard_index=3, attempt=2
+        )
+        assert error.shard_index == 3
+        assert error.attempt == 2
+
+    def test_shard_timeout_carries_deadline(self):
+        error = errors.ShardTimeoutError(
+            "too slow", shard_index=1, attempt=1, timeout=2.5
+        )
+        assert error.timeout == 2.5
+        assert error.shard_index == 1
+
+    def test_retry_exhausted_carries_failure_history(self):
+        failures = [
+            errors.ShardCrashError("died", shard_index=0, attempt=1),
+            errors.ShardTimeoutError(
+                "slow", shard_index=0, attempt=2, timeout=1.0
+            ),
+        ]
+        error = errors.ShardRetryExhaustedError(
+            "gave up", shard_index=0, attempts=2, failures=failures
+        )
+        assert error.attempts == 2
+        assert error.attempt == 2
+        assert error.failures == tuple(failures)
 
     def test_parse_error_carries_position(self):
         error = errors.ParseError("bad token", line=3, column=7)
@@ -73,6 +119,44 @@ class TestPublicApi:
                     module.__name__,
                     name,
                 )
+
+
+class TestCliExitCodes:
+    """The CLI's exit-code contract: 0 success, 2 errors, 130 interrupt."""
+
+    def test_jigsaw_errors_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.sql"
+        bad.write_text("SELECT FROM;")
+        assert main(["run", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "/no/such/query.sql"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_interrupt_exits_130(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.testing import FaultPlan, use_faults
+
+        query = tmp_path / "q.sql"
+        query.write_text(
+            "DECLARE PARAMETER @week AS RANGE 0 TO 2 STEP BY 2;\n"
+            "SELECT DemandModel(@week, 1) AS demand INTO results;\n"
+        )
+        with use_faults(FaultPlan({(0, 1): "interrupt"})):
+            code = main(
+                [
+                    "run", str(query),
+                    "--samples", "20",
+                    "--checkpoint", str(tmp_path / "ckpt"),
+                ]
+            )
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
 
 
 class TestRunAllScript:

@@ -1,0 +1,168 @@
+"""Unit tests for the deterministic fault-injection harness
+(:mod:`repro.testing.faults`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.persist import (
+    _array_loader,
+    _read_manifest,
+    _write_snapshot,
+)
+from repro.errors import SnapshotCorruptionError
+from repro.testing import (
+    Fault,
+    FaultPlan,
+    InjectedCrash,
+    InjectedHang,
+    active_plan,
+    corrupt_array_file,
+    use_faults,
+)
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("explode")
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ValueError, match="times"):
+            Fault("crash", times=0)
+
+    def test_error_faults_need_an_exception(self):
+        with pytest.raises(ValueError, match="exception instance"):
+            Fault("error")
+
+    def test_uninterpretable_spec_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan({(0, 1): 42})
+
+
+class TestFaultPlanAddressing:
+    def test_faults_fire_only_at_their_address(self):
+        plan = FaultPlan({(2, 1): "crash"})
+        plan.intercept(0, 1)
+        plan.intercept(2, 2)
+        plan.intercept(1, 1)
+        assert plan.triggered == []
+        with pytest.raises(InjectedCrash):
+            plan.intercept(2, 1)
+        assert plan.triggered == [(2, 1, "crash")]
+
+    def test_kind_strings_coerce_to_faults(self):
+        plan = FaultPlan({(0, 1): "hang"})
+        with pytest.raises(InjectedHang):
+            plan.intercept(0, 1)
+
+    def test_exception_specs_become_error_faults(self):
+        boom = ValueError("app bug")
+        plan = FaultPlan({(0, 1): boom})
+        with pytest.raises(ValueError) as excinfo:
+            plan.intercept(0, 1)
+        assert excinfo.value is boom
+        assert plan.triggered == [(0, 1, "error")]
+
+    def test_interrupt_kind_raises_keyboard_interrupt(self):
+        plan = FaultPlan({(0, 1): "interrupt"})
+        with pytest.raises(KeyboardInterrupt):
+            plan.intercept(0, 1)
+
+    def test_unlimited_faults_fire_every_time(self):
+        plan = FaultPlan({(0, 1): "crash"})
+        for _ in range(3):
+            with pytest.raises(InjectedCrash):
+                plan.intercept(0, 1)
+        assert plan.triggered == [(0, 1, "crash")] * 3
+
+    def test_times_bounds_how_often_a_fault_fires(self):
+        plan = FaultPlan({(0, 1): Fault("crash", times=1)})
+        with pytest.raises(InjectedCrash):
+            plan.intercept(0, 1)
+        plan.intercept(0, 1)  # spent: passes through
+        assert plan.triggered == [(0, 1, "crash")]
+
+    def test_fail_n_then_succeed_builds_attempt_ladder(self):
+        plan = FaultPlan.fail_n_then_succeed(3, failures=2)
+        with pytest.raises(InjectedCrash):
+            plan.intercept(3, 1)
+        with pytest.raises(InjectedCrash):
+            plan.intercept(3, 2)
+        plan.intercept(3, 3)  # third attempt succeeds
+        assert plan.triggered == [(3, 1, "crash"), (3, 2, "crash")]
+
+
+class TestActivePlanScoping:
+    def test_no_plan_outside_fault_tests(self):
+        assert active_plan() is None
+
+    def test_use_faults_installs_and_restores(self):
+        outer = FaultPlan()
+        inner = FaultPlan()
+        with use_faults(outer) as installed:
+            assert installed is outer
+            assert active_plan() is outer
+            with use_faults(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+    def test_use_faults_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_faults(FaultPlan()):
+                raise RuntimeError("test escape")
+        assert active_plan() is None
+
+
+class TestCheckpointCorruption:
+    def _snapshot(self, path):
+        _write_snapshot(
+            str(path),
+            {"magic": "test-snap", "version": 1},
+            {"a": np.arange(64, dtype=np.float64)},
+        )
+
+    def _load(self, path):
+        body = _read_manifest(
+            str(path), magic="test-snap", max_version=1, kind="test snapshot"
+        )
+        return _array_loader(str(path), body, mmap=False)("a")
+
+    def test_corrupt_array_file_defeats_the_crc_guard(self, tmp_path):
+        self._snapshot(tmp_path / "snap")
+        assert self._load(tmp_path / "snap").shape == (64,)  # intact
+        target = corrupt_array_file(str(tmp_path / "snap"))
+        assert target.endswith(".npy")
+        with pytest.raises(SnapshotCorruptionError):
+            self._load(tmp_path / "snap")
+
+    def test_corrupt_array_file_requires_arrays(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError):
+            corrupt_array_file(str(empty))
+
+    def test_corrupt_checkpoint_after_counts_writes(self, tmp_path):
+        plan = FaultPlan(corrupt_checkpoint_after=2)
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        self._snapshot(first)
+        self._snapshot(second)
+        with use_faults(plan):
+            from repro.testing import faults
+
+            faults.checkpoint_written(str(first))
+            assert plan.checkpoints_corrupted == 0
+            faults.checkpoint_written(str(second))
+        assert plan.checkpoints_written == 2
+        assert plan.checkpoints_corrupted == 1
+        assert self._load(first).shape == (64,)  # first write untouched
+        with pytest.raises(SnapshotCorruptionError):
+            self._load(second)
+
+    def test_checkpoint_hook_is_inert_without_a_plan(self, tmp_path):
+        from repro.testing import faults
+
+        self._snapshot(tmp_path / "snap")
+        faults.checkpoint_written(str(tmp_path / "snap"))
+        assert self._load(tmp_path / "snap").shape == (64,)

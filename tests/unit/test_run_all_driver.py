@@ -65,7 +65,7 @@ def _install_stubs(monkeypatch, run_all, counter=1.0):
                 run_all,
                 f"run_fig{number}",
                 lambda scale, workers=1, adaptive=None, warm_store=None,
-                _n=name: _stub_result(_n, counter),
+                checkpoint=None, _n=name: _stub_result(_n, counter),
             )
         else:
             monkeypatch.setattr(
@@ -93,6 +93,46 @@ class TestFullRuns:
         assert "merged_figures" not in bench
         assert bench["figures"]["fig9"]["samples_drawn"] == 1.0
         assert bench["total_seconds"] >= 0.0
+
+    def test_interrupt_during_figure_exits_130(
+        self, tmp_path, monkeypatch, run_all, capsys
+    ):
+        _install_stubs(monkeypatch, run_all)
+
+        def interrupted(
+            scale, workers=1, adaptive=None, warm_store=None, checkpoint=None
+        ):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(run_all, "run_fig9", interrupted)
+        out = tmp_path / "bench.json"
+        code = run_all.main(
+            [
+                "--bench-out", str(out),
+                "--checkpoint", str(tmp_path / "ckpt"),
+            ]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted during fig9" in err
+        # The operator is told how to resume the interrupted sweep.
+        assert "--checkpoint" in err
+
+    def test_interrupt_without_checkpoint_suggests_nothing(
+        self, tmp_path, monkeypatch, run_all, capsys
+    ):
+        _install_stubs(monkeypatch, run_all)
+
+        def interrupted(
+            scale, workers=1, adaptive=None, warm_store=None, checkpoint=None
+        ):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(run_all, "run_fig9", interrupted)
+        assert run_all.main(["--bench-out", ""]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted during fig9" in err
+        assert "--checkpoint" not in err
 
     def test_other_scale_full_run_refuses_overwrite(
         self, tmp_path, monkeypatch, run_all, capsys

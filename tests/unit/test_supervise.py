@@ -1,0 +1,348 @@
+"""Unit tests for the shard-supervision layer (:mod:`repro.core.supervise`).
+
+Everything here runs with fake pools, fake clocks, and scripted fault
+plans — no real processes, signals, or wall-clock waits — so each
+supervision path (retry, backoff, deadline expiry, pool rebuild,
+degradation) is pinned with exact assertions.  The end-to-end behavior
+over real fork pools lives in ``tests/integration/test_fault_tolerance.py``.
+"""
+
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.core.supervise import (
+    DEFAULT_POLICY,
+    ShardSupervisor,
+    SupervisionPolicy,
+)
+from repro.errors import (
+    ExecutionError,
+    JigsawError,
+    ShardCrashError,
+    ShardRetryExhaustedError,
+    ShardTimeoutError,
+)
+from repro.testing import FaultPlan, use_faults
+from repro.util.timing import FakeClock
+
+
+def double(context, index):
+    return context * index
+
+
+class RecordingSleep:
+    """Collects requested delays; optionally advances a fake clock."""
+
+    def __init__(self, clock=None):
+        self.calls = []
+        self.clock = clock
+
+    def __call__(self, seconds):
+        self.calls.append(seconds)
+        if self.clock is not None:
+            self.clock.advance(seconds)
+
+
+class FakePool:
+    """A supervisable pool that runs submissions in-process, immediately.
+
+    Each ``submit`` resolves a real :class:`concurrent.futures.Future`
+    (so the supervisor's ``wait`` sees genuine completions) either with
+    the runner's value or with a scripted exception for that
+    ``(index, submission_number)``.
+    """
+
+    def __init__(self, runner, context, scripted=None):
+        self.runner = runner
+        self.context = context
+        self.scripted = dict(scripted or {})
+        self.submissions = []
+        self.abandoned = 0
+        self.closed = 0
+
+    def submit(self, index):
+        count = sum(1 for i in self.submissions if i == index) + 1
+        self.submissions.append(index)
+        future = Future()
+        error = self.scripted.get((index, count))
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(self.runner(self.context, index))
+        return future
+
+    def abandon(self):
+        self.abandoned += 1
+
+    def close(self):
+        self.closed += 1
+
+
+class FakePoolFactory:
+    def __init__(self, runner, context, scripts=()):
+        """``scripts[k]`` scripts the k-th pool built (missing = clean)."""
+        self.runner = runner
+        self.context = context
+        self.scripts = list(scripts)
+        self.pools = []
+
+    def __call__(self):
+        scripted = (
+            self.scripts[len(self.pools)]
+            if len(self.pools) < len(self.scripts)
+            else None
+        )
+        pool = FakePool(self.runner, self.context, scripted)
+        self.pools.append(pool)
+        return pool
+
+
+class TestSupervisionPolicy:
+    def test_defaults_are_the_documented_contract(self):
+        assert DEFAULT_POLICY.max_attempts == 3
+        assert DEFAULT_POLICY.timeout is None
+        assert DEFAULT_POLICY.degrade is True
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"max_attempts": 0},
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_cap": -1.0},
+            {"poll_interval": 0.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(**overrides)
+
+    def test_backoff_is_capped_exponential(self):
+        policy = SupervisionPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_cap=0.35
+        )
+        assert policy.backoff(1) == 0.1
+        assert policy.backoff(2) == 0.2
+        assert policy.backoff(3) == 0.35  # 0.4 capped
+        assert policy.backoff(10) == 0.35
+
+    def test_backoff_rejects_zeroth_attempt(self):
+        with pytest.raises(ValueError):
+            DEFAULT_POLICY.backoff(0)
+
+
+class TestInlineSupervision:
+    def test_happy_path_runs_every_shard_once(self):
+        supervisor = ShardSupervisor(double, 3, [0, 1, 2])
+        assert supervisor.run() == {0: 0, 1: 3, 2: 6}
+        report = supervisor.report
+        assert report.retries == 0
+        assert report.failures == 0
+        assert report.degraded_shards == ()
+        assert report.backoff_delays == []
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            ShardSupervisor(double, 3, [0, 0])
+
+    def test_empty_indices_is_a_noop(self):
+        assert ShardSupervisor(double, 3, []).run() == {}
+
+    def test_crash_fault_is_retried_with_backoff(self):
+        sleep = RecordingSleep()
+        policy = SupervisionPolicy(backoff_base=0.25, backoff_factor=2.0)
+        supervisor = ShardSupervisor(
+            double, 3, [0, 1], policy, sleep=sleep
+        )
+        plan = FaultPlan.fail_n_then_succeed(1, failures=2, kind="crash")
+        with use_faults(plan):
+            assert supervisor.run() == {0: 0, 1: 3}
+        shard = supervisor.report.shards[1]
+        assert shard.attempts == 3
+        assert [type(f) for f in shard.failures] == [
+            ShardCrashError,
+            ShardCrashError,
+        ]
+        assert shard.failures[0].shard_index == 1
+        assert shard.failures[0].attempt == 1
+        assert sleep.calls == [0.25, 0.5]
+        assert supervisor.report.retries == 2
+        assert plan.triggered == [(1, 1, "crash"), (1, 2, "crash")]
+
+    def test_hang_fault_classifies_as_timeout_inline(self):
+        supervisor = ShardSupervisor(
+            double, 3, [0], SupervisionPolicy(backoff_base=0.0)
+        )
+        with use_faults(FaultPlan({(0, 1): "hang"})):
+            assert supervisor.run() == {0: 0}
+        failure = supervisor.report.shards[0].failures[0]
+        assert isinstance(failure, ShardTimeoutError)
+        assert failure.timeout is None
+
+    def test_exhaustion_degrades_in_process_by_default(self):
+        supervisor = ShardSupervisor(
+            double,
+            3,
+            [0, 1],
+            SupervisionPolicy(max_attempts=2, backoff_base=0.0),
+        )
+        with use_faults(FaultPlan.fail_n_then_succeed(0, failures=5)):
+            assert supervisor.run() == {0: 0, 1: 3}
+        report = supervisor.report
+        assert report.degraded_shards == (0,)
+        assert report.shards[0].attempts == 2
+        assert len(report.shards[0].failures) == 2
+
+    def test_exhaustion_without_degrade_raises_typed_error(self):
+        supervisor = ShardSupervisor(
+            double,
+            3,
+            [0],
+            SupervisionPolicy(
+                max_attempts=2, backoff_base=0.0, degrade=False
+            ),
+        )
+        with use_faults(FaultPlan.fail_n_then_succeed(0, failures=5)):
+            with pytest.raises(ShardRetryExhaustedError) as excinfo:
+                supervisor.run()
+        error = excinfo.value
+        assert isinstance(error, JigsawError)
+        assert error.shard_index == 0
+        assert error.attempts == 2
+        assert len(error.failures) == 2
+
+    def test_application_exception_propagates_unretried(self):
+        boom = ValueError("deterministic application bug")
+        supervisor = ShardSupervisor(double, 3, [0])
+        with use_faults(FaultPlan({(0, 1): boom})):
+            with pytest.raises(ValueError, match="deterministic"):
+                supervisor.run()
+        # One attempt only: a re-run of a pure shard would fail identically.
+        assert supervisor.report.shards[0].attempts == 1
+
+    def test_on_shard_complete_fires_per_acceptance(self):
+        accepted = []
+        supervisor = ShardSupervisor(
+            double,
+            3,
+            [0, 1],
+            on_shard_complete=lambda i, value: accepted.append((i, value)),
+        )
+        supervisor.run()
+        assert accepted == [(0, 0), (1, 3)]
+
+
+class TestPooledSupervision:
+    def test_happy_path_uses_the_pool_once_per_shard(self):
+        factory = FakePoolFactory(double, 3)
+        supervisor = ShardSupervisor(
+            double, 3, [0, 1, 2], pool_factory=factory
+        )
+        assert supervisor.run() == {0: 0, 1: 3, 2: 6}
+        (pool,) = factory.pools
+        assert sorted(pool.submissions) == [0, 1, 2]
+        assert pool.closed == 1
+        assert pool.abandoned == 0
+
+    def test_broken_pool_is_rebuilt_and_shard_retried(self):
+        clock = FakeClock(tick=0.0)
+        sleep = RecordingSleep(clock)
+        factory = FakePoolFactory(
+            double,
+            3,
+            scripts=[{(1, 1): BrokenProcessPool("worker died")}],
+        )
+        supervisor = ShardSupervisor(
+            double,
+            3,
+            [0, 1],
+            SupervisionPolicy(backoff_base=0.0),
+            pool_factory=factory,
+            clock=clock,
+            sleep=sleep,
+        )
+        assert supervisor.run() == {0: 0, 1: 3}
+        report = supervisor.report
+        assert report.pools_rebuilt == 1
+        assert len(factory.pools) == 2
+        assert factory.pools[0].abandoned == 1
+        assert isinstance(report.shards[1].failures[0], ShardCrashError)
+
+    def test_injected_crash_retries_without_rebuilding(self):
+        factory = FakePoolFactory(double, 3)
+        supervisor = ShardSupervisor(
+            double,
+            3,
+            [0, 1],
+            SupervisionPolicy(backoff_base=0.0),
+            pool_factory=factory,
+        )
+        with use_faults(FaultPlan({(1, 1): "crash"})):
+            assert supervisor.run() == {0: 0, 1: 3}
+        assert supervisor.report.pools_rebuilt == 0
+        assert len(factory.pools) == 1
+
+    def test_hang_without_timeout_is_a_configuration_error(self):
+        factory = FakePoolFactory(double, 3)
+        supervisor = ShardSupervisor(
+            double, 3, [0], pool_factory=factory
+        )
+        with use_faults(FaultPlan({(0, 1): "hang"})):
+            with pytest.raises(ExecutionError, match="no timeout"):
+                supervisor.run()
+        # The failure path abandons rather than closing: workers may be
+        # stuck, so a clean shutdown could block forever.
+        assert factory.pools[0].abandoned == 1
+
+    def test_hung_shard_expires_at_its_deadline_and_retries(self):
+        clock = FakeClock(tick=0.0)
+        sleep = RecordingSleep(clock)
+        factory = FakePoolFactory(double, 3)
+        supervisor = ShardSupervisor(
+            double,
+            3,
+            [0, 1],
+            SupervisionPolicy(
+                timeout=5.0, backoff_base=0.0, poll_interval=1.0
+            ),
+            pool_factory=factory,
+            clock=clock,
+            sleep=sleep,
+        )
+        with use_faults(FaultPlan({(1, 1): "hang"})):
+            assert supervisor.run() == {0: 0, 1: 3}
+        failure = supervisor.report.shards[1].failures[0]
+        assert isinstance(failure, ShardTimeoutError)
+        assert failure.timeout == 5.0
+        assert supervisor.report.shards[1].attempts == 2
+        # The hang was injected (no real stuck worker), so no pool had to
+        # be torn down to get rid of it.
+        assert supervisor.report.pools_rebuilt == 0
+        # Virtual time only advanced through the injected sleep.
+        assert sleep.calls, "deadline expiry requires waiting"
+
+    def test_keyboard_interrupt_abandons_the_pool_and_propagates(self):
+        factory = FakePoolFactory(double, 3)
+        supervisor = ShardSupervisor(
+            double, 3, [0, 1], pool_factory=factory
+        )
+        with use_faults(FaultPlan({(0, 1): "interrupt"})):
+            with pytest.raises(KeyboardInterrupt):
+                supervisor.run()
+        assert factory.pools[0].abandoned == 1
+        assert factory.pools[0].closed == 0
+
+    def test_application_exception_propagates_unretried_pooled(self):
+        factory = FakePoolFactory(
+            double, 3, scripts=[{(0, 1): RuntimeError("app bug")}]
+        )
+        supervisor = ShardSupervisor(
+            double, 3, [0], pool_factory=factory
+        )
+        with pytest.raises(RuntimeError, match="app bug"):
+            supervisor.run()
+        assert supervisor.report.shards[0].attempts == 1
