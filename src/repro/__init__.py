@@ -14,6 +14,12 @@ library provides:
   OPTIMIZE / GRAPH);
 * :mod:`repro.scenario` — parameter spaces and batch scenario runners;
 * :mod:`repro.interactive` — the online what-if engine (Fuzzy Prophet);
+* :mod:`repro.api` — the unified session facade: typed
+  estimate/match/refine requests over basis-store reuse state, one
+  warm-start surface for every entry point;
+* :mod:`repro.serve` — the serving daemon: one warm mmap-loaded
+  snapshot answering concurrent clients over a socket, bitwise equal to
+  in-process answers;
 * :mod:`repro.bench` — reproduction runners for every evaluation figure.
 
 Quickstart::
@@ -25,8 +31,26 @@ Quickstart::
     runner = ScenarioRunner(bound.scenario, samples_per_point=200)
     result = runner.run()
     answer = result.optimize(bound.selector)
+
+Warm-start and serving::
+
+    from repro import Session
+
+    runner.save_stores("snapshots/demand")        # or session.save(...)
+    session = Session.open("snapshots/demand")    # zero-copy mmap
+    response = session.estimate(EstimateRequest(fingerprint=probe))
+    # over the wire instead: python -m repro serve --store snapshots/demand
 """
 
+from repro.api import (
+    EstimateRequest,
+    EstimateResponse,
+    MatchRequest,
+    MatchResponse,
+    RefineRequest,
+    RefineResponse,
+    Session,
+)
 from repro.core import (
     AffineMapping,
     BasisStore,
@@ -61,7 +85,14 @@ __all__ = [
     "BasisStore",
     "Constraint",
     "Estimator",
+    "EstimateRequest",
+    "EstimateResponse",
     "Fingerprint",
+    "MatchRequest",
+    "MatchResponse",
+    "RefineRequest",
+    "RefineResponse",
+    "Session",
     "LinearMappingFamily",
     "MarkovJumpRunner",
     "MetricSet",

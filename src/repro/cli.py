@@ -6,16 +6,28 @@ Usage::
                                      [--store DIR] [--save-store DIR]
     python -m repro graph scenario.sql [--samples N]
     python -m repro explain scenario.sql
+    python -m repro serve --store DIR [--port P] [--save-store DIR]
+    python -m repro bench [--store DIR] [--rate R] [--concurrency N,M]
+    python -m repro store info DIR | verify DIR
 
 ``run`` executes the batch pipeline (explore + OPTIMIZE) and prints the
 answer; ``graph`` renders the query's GRAPH clause as an ASCII chart over
 its x parameter; ``explain`` parses and binds the query, reporting the
 scenario structure without simulating.  ``--save-store`` persists the
 per-column basis stores after a run and ``--store`` warm-starts a later
-run from them (see :mod:`repro.core.persist`): repeated queries over the
-same scenario then pay only fingerprint rounds for covered points.  Models are resolved against
+run from them (one snapshot surface: :class:`repro.api.Session`):
+repeated queries over the same scenario then pay only fingerprint rounds
+for covered points.  Models are resolved against
 :func:`repro.blackbox.default_registry`; applications embedding the library
 register their own boxes and call the same functions programmatically.
+
+``serve`` opens a snapshot as a warm :class:`~repro.api.Session` and
+serves estimate/match/refine over the socket protocol
+(:mod:`repro.serve`), printing one parseable ``SERVE_READY`` line when
+listening; SIGTERM drains and exits 0, Ctrl-C drains and exits 130.
+``bench`` drives the open-loop load generator against an ephemeral
+daemon and prints a JSON latency/throughput summary.  ``store`` inspects
+(``info``) or load-checks (``verify``) a snapshot without serving it.
 
 Sweeps are fault tolerant (see :mod:`repro.core.supervise`):
 ``--shard-timeout``/``--shard-retries`` tune the supervision policy,
@@ -255,6 +267,125 @@ def _command_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Serve a snapshot over the socket protocol until told to stop."""
+    from repro.api import Session
+    from repro.serve import BasisServer
+
+    session = Session.open(args.store, mmap=not args.no_mmap)
+    server = BasisServer(
+        session,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        save_path=args.save_store,
+    )
+    server.start()
+    # Handlers go in before the readiness line: an orchestrator may
+    # signal the moment it reads it, and must still get a drain.
+    server.install_signal_handlers()
+    host, port = server.address
+    # One parseable line for orchestrators (CI, the bench harness):
+    # everything needed to connect, nothing that varies per host.
+    print(
+        f"SERVE_READY host={host} port={port} "
+        f"bases={session.basis_count()}",
+        flush=True,
+    )
+    return server.serve_forever(install_signals=False)
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    """Open-loop load against an ephemeral daemon; JSON summary out."""
+    import json
+
+    from repro.api import Session
+    from repro.serve import (
+        BasisServer,
+        build_fixture_session,
+        build_request_stream,
+        run_open_loop,
+    )
+
+    if args.store:
+        serve_session = Session.open(args.store)
+        probe_session = Session.open(args.store)
+    else:
+        serve_session = build_fixture_session(seed=args.seed)
+        probe_session = build_fixture_session(seed=args.seed)
+    requests = build_request_stream(
+        probe_session, args.requests, seed=args.seed
+    )
+    concurrency_levels = [
+        int(level) for level in args.concurrency.split(",") if level
+    ]
+    runs = []
+    server = BasisServer(serve_session).start()
+    try:
+        host, port = server.address
+        for concurrency in concurrency_levels:
+            result = run_open_loop(
+                host,
+                port,
+                requests,
+                rate=args.rate,
+                concurrency=concurrency,
+                seed=args.seed,
+            )
+            runs.append(result.summarize())
+    finally:
+        server.stop()
+    document = {
+        "requests": len(requests),
+        "seed": args.seed,
+        "store": args.store or "(seeded fixture)",
+        "runs": runs,
+    }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"bench summary written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    """Inspect (``info``) or load-check (``verify``) a snapshot."""
+    import json
+
+    from repro.core.persist import snapshot_info
+
+    info = snapshot_info(args.path)
+    if args.action == "info":
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    # verify: actually load every store (mmap) through the Session
+    # surface, so index rebuild + CRC + compatibility checks all run.
+    from repro.api import Session
+
+    session = Session.open(args.path)
+    counts = {
+        name: len(store) for name, store in session.stores.items()
+    }
+    recorded = {
+        name: entry["bases"] for name, entry in info["stores"].items()
+    }
+    if counts != recorded:
+        print(
+            f"error: snapshot at {args.path} loads {counts} bases but "
+            f"records {recorded}",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"snapshot OK: {sum(counts.values())} bases across "
+        f"{len(counts)} store(s) [version {info['version']}]"
+    )
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -364,6 +495,89 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         sub.set_defaults(handler=handler)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a snapshot over the socket protocol"
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        help="snapshot directory to serve (opened zero-copy via mmap)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to listen on (0 picks a free one; see SERVE_READY)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=64,
+        help="largest micro-batch the dispatcher forms (default 64)",
+    )
+    serve.add_argument(
+        "--save-store",
+        default=None,
+        help=(
+            "flush the (possibly refined) stores to this snapshot "
+            "directory on shutdown (atomic)"
+        ),
+    )
+    serve.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="materialize arrays instead of memory-mapping the snapshot",
+    )
+    serve.set_defaults(handler=_command_serve)
+
+    bench = subparsers.add_parser(
+        "bench", help="open-loop load against an ephemeral daemon"
+    )
+    bench.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "snapshot to serve and probe (default: a seeded built-in "
+            "fixture store)"
+        ),
+    )
+    bench.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=400,
+        help="length of the seeded request stream (default 400)",
+    )
+    bench.add_argument(
+        "--rate",
+        type=_positive_float,
+        default=1000.0,
+        help="target open-loop arrival rate, requests/second",
+    )
+    bench.add_argument(
+        "--concurrency",
+        default="1,4",
+        help="comma-separated client connection counts (default 1,4)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON summary here instead of stdout",
+    )
+    bench.set_defaults(handler=_command_bench)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or verify a snapshot directory"
+    )
+    store.add_argument(
+        "action",
+        choices=("info", "verify"),
+        help="info: print the manifest summary; verify: load-check it",
+    )
+    store.add_argument("path", help="snapshot directory")
+    store.set_defaults(handler=_command_store)
     return parser
 
 

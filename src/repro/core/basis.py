@@ -183,7 +183,9 @@ class BasisStore:
         return result
 
     def match_batch(
-        self, fingerprints: Iterable[Fingerprint]
+        self,
+        fingerprints: Iterable[Fingerprint],
+        tested_out: Optional[List[int]] = None,
     ) -> List[Optional[MatchResult]]:
         """:meth:`match` for a batch of probes against the current store.
 
@@ -193,6 +195,11 @@ class BasisStore:
         kernels.  Probes do not see each other: the store is read-only
         during the call, so result ``i`` is exactly ``match(fps[i])`` —
         ids, mapping parameters, and counter increments all identical.
+
+        ``tested_out``, when given, receives one per-probe
+        candidates-tested count per result (the serving layer reports it
+        on each response; the sum is exactly what ``candidates_tested``
+        grew by).
         """
         started = time.perf_counter()
         probes = list(fingerprints)
@@ -205,6 +212,8 @@ class BasisStore:
             self.stats.candidates_tested += tested
             if result is not None:
                 self.stats.matches += 1
+            if tested_out is not None:
+                tested_out.append(tested)
             results.append(result)
         self.stats.match_seconds += time.perf_counter() - started
         return results

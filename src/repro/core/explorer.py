@@ -156,6 +156,12 @@ class ParameterExplorer:
         self.samples_per_point = samples_per_point
         self.fingerprint_size = fingerprint_size
         self.estimator = estimator or Estimator()
+        # A repro.api.Session stands in for its store wherever a
+        # basis_store is accepted (duck-typed: no core -> api import).
+        if basis_store is not None and hasattr(
+            basis_store, "resolve_basis_store"
+        ):
+            basis_store = basis_store.resolve_basis_store()
         # `is None`, not `or`: an empty BasisStore has len() == 0 and is
         # falsy, so `or` would silently discard a caller's fresh store
         # (and its mapping family / index strategy) in favor of the

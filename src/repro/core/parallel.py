@@ -538,6 +538,12 @@ class ParallelExplorer:
                 )
 
         self._store_factory = store_factory
+        # A repro.api.Session stands in for its store wherever a
+        # basis_store is accepted (duck-typed: no core -> api import).
+        if basis_store is not None and hasattr(
+            basis_store, "resolve_basis_store"
+        ):
+            basis_store = basis_store.resolve_basis_store()
         # `is None`, not `or`: an empty warm store is falsy (len() == 0)
         # and must still win over the factory default.
         self.store = (

@@ -161,3 +161,28 @@ class SnapshotCompatibilityError(PersistError):
     comparable under one seed bank and one tolerance regime — so the load
     refuses instead.
     """
+
+
+class ApiError(JigsawError):
+    """A :mod:`repro.api` session request is malformed or unroutable.
+
+    In-process :class:`~repro.api.Session` method calls raise this for
+    typed misuse (unknown store name, unknown basis id, empty
+    fingerprint); the generic ``handle``/``handle_batch`` dispatchers —
+    which back the serving daemon — convert it into an
+    ``ErrorResponse`` instead, so one bad request in a stream never
+    takes down the stream.
+    """
+
+
+class ServeError(JigsawError):
+    """The basis-store serving daemon could not start, bind, or route."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame violates the length-prefixed JSON protocol.
+
+    Raised for oversized frames, truncated length prefixes mid-frame,
+    or payloads that are not valid UTF-8 JSON objects.  A connection
+    that produced one is dropped; the daemon itself keeps serving.
+    """

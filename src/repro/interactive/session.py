@@ -96,6 +96,12 @@ class InteractiveSession:
         self.fingerprint_size = fingerprint_size
         self.chunk = chunk
         self.estimator = estimator or Estimator()
+        # A repro.api.Session stands in for its store wherever a
+        # basis_store is accepted (duck-typed: no core -> api import).
+        if basis_store is not None and hasattr(
+            basis_store, "resolve_basis_store"
+        ):
+            basis_store = basis_store.resolve_basis_store()
         # `is None`, not `or`: an empty BasisStore is falsy (len() == 0)
         # and `or` would silently replace a caller's configured store.
         if basis_store is None:
@@ -137,11 +143,15 @@ class InteractiveSession:
         return [self.tick() for _ in range(ticks)]
 
     def save_store(self, path: str, metadata=None) -> None:
-        """Snapshot the session's basis store for later warm starts."""
-        from repro.core import persist
+        """Snapshot the session's basis store for later warm starts.
 
-        persist.save_store(
-            self.store, path, seed_bank=self.seed_bank, metadata=metadata
+        Delegates to the unified :class:`repro.api.Session` surface
+        (same snapshot format as before; saved stores load anywhere).
+        """
+        from repro.api import Session
+
+        Session(self.store, seed_bank=self.seed_bank).save(
+            path, metadata=metadata
         )
 
     def load_store(self, path: str, mmap: bool = True) -> None:
@@ -154,20 +164,20 @@ class InteractiveSession:
         (:meth:`_rebind_from_scratch` included) promote copy-on-write and
         never write through to the snapshot.
         """
-        from repro.core import persist
+        from repro.api import Session
 
         if self._states:
             raise InteractiveError(
                 "load_store must run before any point is focused; start a "
                 "fresh session to switch stores"
             )
-        self.store = persist.load_store(
+        self.store = Session.open(
             path,
             like=self.store,
             seed_bank=self.seed_bank,
             estimator=self.estimator,
             mmap=mmap,
-        )
+        ).resolve_basis_store()
 
     def estimate(self, point: Mapping[str, float]) -> Optional[MetricSet]:
         """Current best estimate for a point, or None if never visited."""

@@ -254,10 +254,10 @@ class ScenarioRunner:
         Atomic and versioned (see :mod:`repro.core.persist`); records the
         runner's seed bank so a later load can refuse cross-bank reuse.
         """
-        from repro.core import persist
+        from repro.api import Session
 
-        persist.save_stores(
-            self._stores, path, seed_bank=self.seed_bank, metadata=metadata
+        Session(self._stores, seed_bank=self.seed_bank).save(
+            path, metadata=metadata
         )
 
     def load_stores(self, path: str, mmap: bool = True) -> None:
@@ -274,15 +274,15 @@ class ScenarioRunner:
         (``workers > 1``) warm-start too: the canonical replay probes the
         loaded stores, so results stay bit-identical to a serial warm run.
         """
-        from repro.core import persist
+        from repro.api import Session
 
-        self._stores = persist.load_stores(
+        self._stores = Session.open(
             path,
             like=self._stores,
             seed_bank=self.seed_bank,
             estimator=self.estimator,
             mmap=mmap,
-        )
+        ).stores
 
     def match_stats(self) -> Dict[str, "object"]:
         """Per-column basis-match counters (StoreStats), for diagnostics.

@@ -1,0 +1,143 @@
+"""Client for the basis-store serving daemon.
+
+:class:`ServeClient` speaks the length-prefixed JSON protocol and the
+typed message vocabulary of :mod:`repro.api.messages`, so a caller can
+swap it for an in-process :class:`repro.api.Session` without touching
+request or response handling — the daemon's answers are bitwise the
+session's.  The convenience methods (:meth:`match`, :meth:`estimate`,
+:meth:`refine`, :meth:`stats`) mirror the Session surface; :meth:`send`
+and :meth:`recv` expose the pipelined form (many requests in flight on
+one connection, answered in order) that the load generator uses.
+
+One client is one connection and is not thread-safe — give each thread
+its own.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Sequence
+
+from repro.api.messages import (
+    EstimateRequest,
+    EstimateResponse,
+    MatchRequest,
+    MatchResponse,
+    RefineRequest,
+    RefineResponse,
+    ShutdownRequest,
+    ShutdownResponse,
+    StatsRequest,
+    StatsResponse,
+    DEFAULT_STORE,
+    decode_response,
+    encode_request,
+)
+from repro.errors import ServeError
+from repro.serve.protocol import recv_frame, send_frame
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.daemon.BasisServer`."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection ---------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as error:
+            raise ServeError(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            ) from error
+        # Frames are small; Nagle + delayed ACK would add ~40ms.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- pipelined primitives -----------------------------------------------
+
+    def send(self, request) -> None:
+        """Queue one request on the wire without waiting for its answer."""
+        if self._sock is None:
+            self.connect()
+        send_frame(self._sock, encode_request(request))
+
+    def recv(self):
+        """The next in-order response; raises if the daemon hung up."""
+        if self._sock is None:
+            raise ServeError("client is not connected")
+        body = recv_frame(self._sock)
+        if body is None:
+            raise ServeError(
+                "server closed the connection before answering"
+            )
+        return decode_response(body)
+
+    def request(self, request):
+        """One synchronous round trip."""
+        self.send(request)
+        return self.recv()
+
+    # -- session-mirroring conveniences -------------------------------------
+
+    def match(
+        self,
+        fingerprint: Sequence[float],
+        store: str = DEFAULT_STORE,
+    ) -> MatchResponse:
+        return self.request(
+            MatchRequest(fingerprint=tuple(fingerprint), store=store)
+        )
+
+    def estimate(
+        self,
+        fingerprint: Sequence[float],
+        store: str = DEFAULT_STORE,
+    ) -> EstimateResponse:
+        return self.request(
+            EstimateRequest(fingerprint=tuple(fingerprint), store=store)
+        )
+
+    def refine(
+        self,
+        basis_id: int,
+        samples: Sequence[float],
+        store: str = DEFAULT_STORE,
+    ) -> RefineResponse:
+        return self.request(
+            RefineRequest(
+                basis_id=basis_id, samples=tuple(samples), store=store
+            )
+        )
+
+    def stats(self) -> StatsResponse:
+        return self.request(StatsRequest())
+
+    def shutdown(self) -> ShutdownResponse:
+        """Ask the daemon to drain and exit (it still answers this)."""
+        return self.request(ShutdownRequest())

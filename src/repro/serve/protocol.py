@@ -1,0 +1,94 @@
+"""Length-prefixed JSON framing for the serving daemon's socket protocol.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  Requests and responses are the
+:mod:`repro.api.messages` dicts — every float crosses as ``float.hex()``
+(the snapshot manifest convention), so answers survive the wire
+bitwise.  The framing is deliberately boring: any language can speak it
+with a dozen lines, and a stuck peer can never desynchronize the stream
+(the length is read before the body, oversized frames are refused
+before allocation).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+#: Refuse frames larger than this before reading the body — a corrupt or
+#: hostile length prefix must not become an allocation.  64 MiB is far
+#: beyond any legitimate request (a million-sample refine is ~24 MiB of
+#: hex floats).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(body: dict) -> bytes:
+    """One framed message as bytes (length prefix + UTF-8 JSON)."""
+    payload = json.dumps(
+        body, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, body: dict) -> None:
+    """Write one framed message to a connected socket."""
+    sock.sendall(encode_frame(body))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on clean EOF at a boundary,
+    ProtocolError on EOF mid-message."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one framed message; None on clean EOF between frames."""
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame, over the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise ProtocolError("connection closed between prefix and body")
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError(
+            f"frame body is not valid UTF-8 JSON "
+            f"({type(error).__name__}: {error})"
+        ) from error
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got "
+            f"{type(body).__name__}"
+        )
+    return body

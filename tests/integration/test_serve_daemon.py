@@ -1,0 +1,249 @@
+"""The serving daemon end to end: parity, batching, drain, signals.
+
+The acceptance contract of the serve tentpole:
+
+* **Parity** — a serial client stream against the daemon returns
+  *bitwise* the responses an in-process ``Session.open`` on the same
+  snapshot returns for the same requests (mappings, metrics, per-probe
+  counters, mid-stream stats included);
+* **Concurrency** — under concurrent clients, every probe/refine
+  response is still bitwise the in-process answer, and the final
+  deterministic counters equal the serial run's (mid-stream stats
+  snapshots legitimately depend on interleaving and are exempt);
+* **Drain** — requests admitted before shutdown are all answered;
+  SIGTERM exits 0 and flushes ``--save-store`` atomically; Ctrl-C
+  (SIGINT) exits 130, preserving the CLI interrupt contract.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import (
+    ErrorResponse,
+    EstimateRequest,
+    MatchRequest,
+    Session,
+    ShutdownRequest,
+    StatsRequest,
+)
+from repro.serve import (
+    BasisServer,
+    ServeClient,
+    build_fixture_session,
+    build_request_stream,
+    expected_responses,
+    run_open_loop,
+)
+
+REPO_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = str(tmp_path / "snap")
+    build_fixture_session(bases=10, seed=99).save(path)
+    return path
+
+
+@pytest.fixture
+def server(snapshot):
+    instance = BasisServer(Session.open(snapshot)).start()
+    yield instance
+    instance.stop()
+
+
+class TestSerialParity:
+    """The acceptance parity test: wire answers == in-process answers."""
+
+    def test_serial_stream_is_bitwise_in_process(self, snapshot, server):
+        reference = Session.open(snapshot)
+        requests = build_request_stream(reference, 150, seed=5)
+        want = expected_responses(reference, requests)
+        host, port = server.address
+        with ServeClient(host, port) as client:
+            got = [client.request(request) for request in requests]
+        # Dataclass equality is field-by-field; floats crossed the wire
+        # as hex, so == here is bitwise for every mapping parameter,
+        # metric, and counter — mid-stream stats included (serial
+        # stream, so the counter sequence is the in-process one).
+        assert got == want
+
+    def test_convenience_methods_match_session(self, snapshot, server):
+        reference = Session.open(snapshot)
+        base = reference.store().bases[0]
+        probe = tuple(2.0 * v + 1.0 for v in base.fingerprint.values)
+        host, port = server.address
+        with ServeClient(host, port) as client:
+            wire = client.estimate(probe)
+        in_process = reference.estimate(
+            EstimateRequest(fingerprint=probe)
+        )
+        assert wire.basis_id == in_process.basis_id
+        assert wire.mapping == in_process.mapping
+        assert wire.metrics == in_process.metrics
+
+
+class TestConcurrentParity:
+    def test_open_loop_probes_are_bitwise_with_equal_counters(
+        self, snapshot, server
+    ):
+        reference = Session.open(snapshot)
+        requests = build_request_stream(reference, 300, seed=11)
+        want = expected_responses(Session.open(snapshot), requests)
+        host, port = server.address
+        result = run_open_loop(
+            host, port, requests, rate=3000.0, concurrency=4, seed=2
+        )
+        by_id = {
+            response.request_id: response
+            for response in result.responses
+            if response.request_id is not None
+        }
+        stats_positions = {
+            request.request_id
+            for request in requests
+            if isinstance(request, StatsRequest)
+        }
+        for expected in want:
+            if expected.request_id in stats_positions:
+                continue  # point-in-time snapshots; checked at the end
+            assert by_id[expected.request_id] == expected
+        # Final counters: ask the daemon after the run completes.
+        with ServeClient(host, port) as client:
+            final = client.stats()
+        serial = Session.open(snapshot)
+        for request in requests:
+            serial.handle(request)
+        assert final.counters == serial.stats().counters
+        assert final.bases == serial.stats().bases
+
+    def test_errors_do_not_poison_the_stream(self, server):
+        host, port = server.address
+        with ServeClient(host, port) as client:
+            bad = client.request(
+                MatchRequest(fingerprint=(1.0,), store="nope")
+            )
+            assert isinstance(bad, ErrorResponse)
+            assert bad.code == "ApiError"
+            # The connection keeps serving after an error response.
+            follow_up = client.stats()
+            assert follow_up.bases == {"default": 10}
+
+
+class TestDrain:
+    def test_shutdown_request_drains_and_answers_everything(
+        self, snapshot
+    ):
+        server = BasisServer(Session.open(snapshot)).start()
+        host, port = server.address
+        reference = Session.open(snapshot)
+        requests = build_request_stream(reference, 40, seed=3)
+        with ServeClient(host, port) as client:
+            for request in requests:
+                client.send(request)
+            # Pipelined behind everything else; answered in order, so
+            # every admitted request is served before the ack arrives.
+            client.send(ShutdownRequest(request_id=999))
+            responses = [client.recv() for _ in range(len(requests) + 1)]
+        ack = responses[-1]
+        assert ack.kind == "shutdown"
+        assert ack.request_id == 999
+        server.shutdown_requested.wait(timeout=10)
+        server.stop()
+        assert server.requests_served == len(requests) + 1
+
+    def test_stop_without_drain_still_saves(self, snapshot, tmp_path):
+        out = str(tmp_path / "flushed")
+        server = BasisServer(
+            Session.open(snapshot), save_path=out
+        ).start()
+        server.stop(drain=False)
+        assert Session.open(out).basis_count() == 10
+
+
+def _boot_daemon(snapshot, tmp_path, extra_args=()):
+    """Start ``python -m repro serve`` and parse its SERVE_READY line."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--store",
+            snapshot,
+            "--port",
+            "0",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    line = process.stdout.readline().strip()
+    assert line.startswith("SERVE_READY "), (
+        line,
+        process.stderr.read() if process.poll() is not None else "",
+    )
+    fields = dict(
+        part.split("=", 1) for part in line.split()[1:]
+    )
+    return process, fields["host"], int(fields["port"]), fields
+
+
+class TestSignals:
+    def test_sigterm_drains_flushes_and_exits_0(self, snapshot, tmp_path):
+        out = str(tmp_path / "flushed")
+        process, host, port, _ = _boot_daemon(
+            snapshot, tmp_path, ("--save-store", out)
+        )
+        try:
+            reference = Session.open(snapshot)
+            requests = build_request_stream(reference, 30, seed=21)
+            with ServeClient(host, port) as client:
+                for request in requests:
+                    client.send(request)
+                process.send_signal(signal.SIGTERM)
+                # Everything already sent must still be answered.
+                responses = [client.recv() for _ in requests]
+            assert len(responses) == len(requests)
+            code = process.wait(timeout=30)
+            assert code == 0
+            # The drain flushed the (refined) stores atomically.
+            flushed = Session.open(out)
+            assert flushed.basis_count() == 10
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+    def test_sigint_exits_130(self, snapshot, tmp_path):
+        process, host, port, _ = _boot_daemon(snapshot, tmp_path)
+        try:
+            with ServeClient(host, port) as client:
+                assert client.stats().bases == {"default": 10}
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=30) == 130
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+    def test_ready_line_reports_basis_count(self, snapshot, tmp_path):
+        process, host, port, fields = _boot_daemon(snapshot, tmp_path)
+        try:
+            assert fields["bases"] == "10"
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()

@@ -1,0 +1,189 @@
+"""Concurrent readers over one shared warm store.
+
+The serving daemon's admission model rests on two properties pinned
+here:
+
+* N threads hammering one shared :class:`repro.api.Session` with probe
+  requests get exactly the answers a serial run produces, and the
+  store's deterministic counters total the same — the session's lock
+  plus the read-only-probe invariant make interleaving unobservable;
+* a memory-mapped snapshot underneath it all is never written through:
+  concurrent probing (and even concurrent refining, which promotes
+  copy-on-write) leaves the snapshot bytes bit-identical.
+
+This extends the persistence layer's single-threaded COW regression to
+the concurrent regime the daemon actually runs in.
+"""
+
+import hashlib
+import os
+import threading
+
+import pytest
+
+from repro.api import (
+    EstimateRequest,
+    MatchRequest,
+    RefineRequest,
+    Session,
+)
+from repro.serve import build_fixture_session, build_request_stream
+
+THREADS = 8
+
+
+def snapshot_digest(path):
+    """One digest over every byte of every file in the snapshot."""
+    digest = hashlib.sha256()
+    for root, _, files in sorted(os.walk(path)):
+        for name in sorted(files):
+            with open(os.path.join(root, name), "rb") as handle:
+                digest.update(name.encode())
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = str(tmp_path / "snap")
+    build_fixture_session(bases=10, seed=4242).save(path)
+    return path
+
+
+def run_threads(session, per_thread_requests):
+    """Each thread serves its own request list; returns per-thread
+    responses in submission order."""
+    results = [None] * len(per_thread_requests)
+    errors = []
+
+    def work(index):
+        try:
+            results[index] = [
+                session.handle(request)
+                for request in per_thread_requests[index]
+            ]
+        except BaseException as error:
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=work, args=(index,))
+        for index in range(len(per_thread_requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return results
+
+
+class TestConcurrentProbes:
+    def test_threaded_probe_answers_equal_serial(self, snapshot):
+        shared = Session.open(snapshot)
+        serial = Session.open(snapshot)
+        streams = [
+            [
+                r
+                for r in build_request_stream(
+                    serial, 60, seed=thread_index, stats_every=0
+                )
+                if isinstance(r, (MatchRequest, EstimateRequest))
+            ]
+            for thread_index in range(THREADS)
+        ]
+        got = run_threads(shared, streams)
+        for stream, responses in zip(streams, got):
+            want = [serial.handle(request) for request in stream]
+            assert responses == want
+
+    def test_counters_total_the_serial_sum(self, snapshot):
+        shared = Session.open(snapshot)
+        serial = Session.open(snapshot)
+        streams = [
+            [
+                r
+                for r in build_request_stream(
+                    serial, 40, seed=100 + i, stats_every=0
+                )
+                if isinstance(r, (MatchRequest, EstimateRequest))
+            ]
+            for i in range(THREADS)
+        ]
+        run_threads(shared, streams)
+        for stream in streams:
+            for request in stream:
+                serial.handle(request)
+        assert (
+            shared.store().stats.as_dict()
+            == serial.store().stats.as_dict()
+        )
+
+    def test_match_batch_under_shared_session(self, snapshot):
+        """Concurrent handle_batch calls stay serial-equivalent."""
+        shared = Session.open(snapshot)
+        serial = Session.open(snapshot)
+        streams = [
+            build_request_stream(serial, 30, seed=7 + i, stats_every=0)
+            for i in range(4)
+        ]
+        streams = [
+            [
+                r
+                for r in stream
+                if isinstance(r, (MatchRequest, EstimateRequest))
+            ]
+            for stream in streams
+        ]
+        results = [None] * len(streams)
+
+        def work(index):
+            results[index] = shared.handle_batch(streams[index])
+
+        threads = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(len(streams))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for stream, responses in zip(streams, results):
+            want = [serial.handle(request) for request in stream]
+            assert responses == want
+
+
+class TestSnapshotNeverWrittenThrough:
+    def test_concurrent_probes_leave_snapshot_bytes_alone(self, snapshot):
+        before = snapshot_digest(snapshot)
+        shared = Session.open(snapshot)
+        streams = [
+            [
+                r
+                for r in build_request_stream(
+                    shared, 50, seed=i, stats_every=0
+                )
+                if isinstance(r, (MatchRequest, EstimateRequest))
+            ]
+            for i in range(THREADS)
+        ]
+        run_threads(shared, streams)
+        assert snapshot_digest(snapshot) == before
+
+    def test_concurrent_refines_promote_cow_not_write_through(
+        self, snapshot
+    ):
+        before = snapshot_digest(snapshot)
+        shared = Session.open(snapshot)
+        basis_ids = [b.basis_id for b in shared.store().bases]
+        streams = [
+            [
+                RefineRequest(
+                    basis_id=basis_id, samples=(0.5 * i, -1.0, 2.0)
+                )
+            ]
+            for i, basis_id in enumerate(basis_ids)
+        ]
+        run_threads(shared, streams)
+        for basis_id in basis_ids:
+            assert shared.store().get(basis_id).samples.size > 0
+        assert snapshot_digest(snapshot) == before

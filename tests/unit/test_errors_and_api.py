@@ -28,9 +28,15 @@ class TestErrorHierarchy:
             "PersistError",
             "SnapshotCorruptionError",
             "SnapshotCompatibilityError",
+            "ApiError",
+            "ServeError",
+            "ProtocolError",
         ):
             error_type = getattr(errors, name)
             assert issubclass(error_type, errors.JigsawError), name
+
+    def test_protocol_error_is_a_serve_error(self):
+        assert issubclass(errors.ProtocolError, errors.ServeError)
 
     def test_shard_errors_are_execution_errors(self):
         for name in (
@@ -95,6 +101,7 @@ class TestPublicApi:
         assert major >= 1
 
     def test_subpackage_exports_resolve(self):
+        import repro.api as api
         import repro.bench as bench
         import repro.blackbox as blackbox
         import repro.core as core
@@ -102,9 +109,11 @@ class TestPublicApi:
         import repro.lang as lang
         import repro.probdb as probdb
         import repro.scenario as scenario
+        import repro.serve as serve
         import repro.util as util
 
         for module in (
+            api,
             bench,
             blackbox,
             core,
@@ -112,6 +121,7 @@ class TestPublicApi:
             lang,
             probdb,
             scenario,
+            serve,
             util,
         ):
             for name in module.__all__:
@@ -157,6 +167,74 @@ class TestCliExitCodes:
             )
         assert code == 130
         assert "interrupted" in capsys.readouterr().err
+
+    def test_store_verify_success_exits_0(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.serve import build_fixture_session
+
+        snap = tmp_path / "snap"
+        build_fixture_session(bases=4).save(str(snap))
+        assert main(["store", "verify", str(snap)]) == 0
+        assert "snapshot OK" in capsys.readouterr().out
+
+    def test_store_info_missing_snapshot_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["store", "info", "/no/such/snapshot"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_missing_snapshot_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--store", "/no/such/snapshot"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_unbindable_host_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.serve import build_fixture_session
+
+        snap = tmp_path / "snap"
+        build_fixture_session(bases=2).save(str(snap))
+        code = main(
+            ["serve", "--store", str(snap), "--host", "203.0.113.7"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_warm_start_flags_still_work(self, tmp_path, capsys):
+        """The pre-Session ``--store``/``--save-store`` spellings keep
+        working after the entry points were rerouted through
+        repro.api.Session."""
+        from repro.cli import main
+
+        query = tmp_path / "q.sql"
+        query.write_text(
+            "DECLARE PARAMETER @week AS RANGE 0 TO 2 STEP BY 2;\n"
+            "SELECT DemandModel(@week, 1) AS demand INTO results;\n"
+        )
+        snap = tmp_path / "snap"
+        assert (
+            main(
+                [
+                    "run", str(query),
+                    "--samples", "20",
+                    "--save-store", str(snap),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "run", str(query),
+                    "--samples", "20",
+                    "--store", str(snap),
+                ]
+            )
+            == 0
+        )
+        assert "warm store" in capsys.readouterr().out
 
 
 class TestRunAllScript:
