@@ -34,6 +34,14 @@ deterministic counters that match the committed serial baseline
 **exactly**.  The check also asserts the fault actually fired, so a
 silently disabled injection seam cannot turn the check into a no-op.
 
+``--lifecycle-check`` runs the store-lifecycle smoke verification
+instead of the gate: a fixture store is warmed by a deterministic probe
+stream, half its bases are evicted by the reuse-value policy, and every
+surviving answer — basis identity, mapping parameters, per-probe
+``candidates_tested`` work — is exact-diffed against a fresh store built
+from only the survivors.  The committed version-1 snapshot fixture must
+also still load through the snapshot version-compat branch.
+
 ``--warm-check`` runs the warm-start smoke verification instead of the
 gate: a cold ``--scale smoke`` pass that saves every sweep's basis store
 (``run_all.py --warm-store``), then a warm serial rerun and a warm
@@ -306,6 +314,129 @@ def faults_check(baseline_path):
     return failures
 
 
+#: Committed version-1 snapshot fixture (see ROADMAP subsystem notes):
+#: the lifecycle check proves the compat branch still reads it.
+V1_FIXTURE = os.path.join(
+    _BENCH_DIR, os.pardir, "tests", "unit", "data", "snapshot_v1"
+)
+
+
+def lifecycle_check():
+    """The store-lifecycle smoke verification; returns failure strings.
+
+    Warms a fixture store with a deterministic probe stream, evicts half
+    of it by the reuse-value policy, and exact-diffs every surviving
+    answer — basis identity, mapping parameters, per-probe
+    ``candidates_tested`` work — against a fresh store built from only
+    the survivors.  Also proves the committed version-1 snapshot fixture
+    still loads through the version-compat branch.
+    """
+    failures = []
+    from repro.api import EstimateRequest, MatchRequest
+    from repro.core import persist
+    from repro.core.basis import BasisStore, EvictionPolicy
+    from repro.serve import build_fixture_session, build_request_stream
+
+    session = build_fixture_session(bases=32, seed=2026)
+    store = session.store()
+    store._verify_remaining = 0
+    probes = [
+        request.fingerprint
+        for request in build_request_stream(
+            session, 200, seed=9, stats_every=0
+        )
+        if isinstance(request, (MatchRequest, EstimateRequest))
+    ]
+    from repro.core.fingerprint import Fingerprint
+
+    fingerprints = [Fingerprint(values) for values in probes]
+    for fingerprint in fingerprints:  # warm: bump reuse counters
+        store.match(fingerprint)
+
+    bound = len(store) // 2
+    evicted = store.evict(EvictionPolicy(max_bases=bound))
+    if len(store) != bound:
+        failures.append(
+            f"eviction left {len(store)} bases, wanted the bound {bound}"
+        )
+    if len(evicted) != 32 - bound:
+        failures.append(
+            f"evicted {len(evicted)} bases, expected {32 - bound}"
+        )
+
+    rebuild = BasisStore(
+        mapping_family=type(store.mapping_family)(),
+        index_strategy=type(store.index).strategy,
+    )
+    rebuild.columnar_min_candidates = store.columnar_min_candidates
+    rebuild._verify_remaining = 0
+    id_map = {}
+    for new_id, basis in enumerate(store.bases):
+        id_map[basis.basis_id] = new_id
+        rebuild.add(basis.fingerprint, basis.samples)
+
+    for index, fingerprint in enumerate(fingerprints):
+        lived_before = store.stats.candidates_tested
+        fresh_before = rebuild.stats.candidates_tested
+        lived = store.match(fingerprint)
+        fresh = rebuild.match(fingerprint)
+        lived_work = store.stats.candidates_tested - lived_before
+        fresh_work = rebuild.stats.candidates_tested - fresh_before
+        if (lived is None) != (fresh is None):
+            failures.append(
+                f"probe {index}: lifecycle store "
+                f"{'missed' if lived is None else 'matched'} but the "
+                f"survivors-only rebuild did not agree"
+            )
+            continue
+        if lived_work != fresh_work:
+            failures.append(
+                f"probe {index}: candidates_tested {lived_work} != "
+                f"rebuild's {fresh_work}"
+            )
+        if lived is None:
+            continue
+        if id_map.get(lived.basis.basis_id) != fresh.basis.basis_id:
+            failures.append(
+                f"probe {index}: basis {lived.basis.basis_id} does not "
+                f"map to the rebuild's {fresh.basis.basis_id}"
+            )
+        if lived.mapping != fresh.mapping:
+            failures.append(
+                f"probe {index}: mapping parameters drifted from the "
+                f"survivors-only rebuild"
+            )
+        if lived.basis.basis_id in evicted:
+            failures.append(
+                f"probe {index}: matched evicted basis "
+                f"{lived.basis.basis_id}"
+            )
+
+    try:
+        info = persist.snapshot_info(V1_FIXTURE)
+        if info["version"] != 1:
+            failures.append(
+                f"v1 fixture reports version {info['version']}, not 1"
+            )
+        loaded = persist.load_store(V1_FIXTURE, mmap=False)
+        if len(loaded) != 5:
+            failures.append(
+                f"v1 fixture loaded {len(loaded)} bases, expected 5"
+            )
+        if any(basis.hits != 0 for basis in loaded.bases):
+            failures.append(
+                "v1 fixture restored non-zero hits; version-1 snapshots "
+                "predate reuse counters and must restore cold"
+            )
+        if loaded.match(loaded.bases[0].fingerprint) is None:
+            failures.append("v1 fixture store cannot answer a probe")
+    except Exception as error:  # noqa: BLE001 - any load failure gates
+        failures.append(
+            f"version-1 snapshot fixture no longer loads: {error}"
+        )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -347,7 +478,34 @@ def main(argv=None):
             "the committed serial baseline exactly) instead of the gate"
         ),
     )
+    parser.add_argument(
+        "--lifecycle-check",
+        action="store_true",
+        help=(
+            "run the store-lifecycle smoke verification (warm a store, "
+            "evict half by policy, exact-diff survivors against a "
+            "survivors-only rebuild; v1 snapshot fixture must still "
+            "load) instead of the gate"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.lifecycle_check:
+        failures = lifecycle_check()
+        if failures:
+            print(
+                "store-lifecycle smoke verification FAILED:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(
+            "store-lifecycle smoke verification passed: evicted store "
+            "answers exactly like a survivors-only rebuild, and the "
+            "version-1 snapshot fixture still loads"
+        )
+        return 0
 
     if args.faults_check:
         failures = faults_check(args.baseline)

@@ -23,9 +23,13 @@ Quickstart::
 
 from repro.api.messages import (
     DEFAULT_STORE,
+    CompactRequest,
+    CompactResponse,
     ErrorResponse,
     EstimateRequest,
     EstimateResponse,
+    EvictRequest,
+    EvictResponse,
     MatchRequest,
     MatchResponse,
     RefineRequest,
@@ -45,9 +49,13 @@ from repro.api.session import Session
 
 __all__ = [
     "DEFAULT_STORE",
+    "CompactRequest",
+    "CompactResponse",
     "ErrorResponse",
     "EstimateRequest",
     "EstimateResponse",
+    "EvictRequest",
+    "EvictResponse",
     "MatchRequest",
     "MatchResponse",
     "RefineRequest",

@@ -21,6 +21,11 @@ Requests
   stored basis and return its refreshed metrics.
 * :class:`StatsRequest` — the deterministic :class:`StoreStats` counters
   and basis counts per store (bench gates diff these exactly).
+* :class:`EvictRequest` — admin: apply a reuse-value-aware
+  :class:`~repro.core.basis.EvictionPolicy` bound (``max_bases`` /
+  ``max_bytes``) to one store or all of them.
+* :class:`CompactRequest` — admin: force the columnar matrices
+  tombstone-free now instead of at the next threshold crossing or save.
 * :class:`ShutdownRequest` — ask a daemon to drain and exit (the
   signal-free alternative to SIGTERM, for tests and orchestrators).
 
@@ -115,6 +120,38 @@ class StatsRequest:
 
 
 @dataclass(frozen=True)
+class EvictRequest:
+    """Admin: bound a store (or every store) by an eviction policy.
+
+    At least one of ``max_bases``/``max_bytes`` must be set; ``keep``
+    selects the :class:`~repro.core.basis.EvictionPolicy` ranking
+    (``"value"`` or ``"recent"``).  ``store=None`` applies the bound to
+    every store in the session.
+    """
+
+    max_bases: Optional[int] = None
+    max_bytes: Optional[int] = None
+    keep: str = "value"
+    store: Optional[str] = None
+    request_id: Optional[int] = None
+
+    kind = "evict"
+
+
+@dataclass(frozen=True)
+class CompactRequest:
+    """Admin: compact the columnar matrices tombstone-free now.
+
+    ``store=None`` compacts every store in the session.
+    """
+
+    store: Optional[str] = None
+    request_id: Optional[int] = None
+
+    kind = "compact"
+
+
+@dataclass(frozen=True)
 class ShutdownRequest:
     """Drain in-flight requests, flush state, and stop the daemon."""
 
@@ -128,6 +165,8 @@ Request = (
     EstimateRequest,
     RefineRequest,
     StatsRequest,
+    EvictRequest,
+    CompactRequest,
     ShutdownRequest,
 )
 
@@ -199,6 +238,30 @@ class StatsResponse:
 
 
 @dataclass(frozen=True)
+class EvictResponse:
+    """Outcome of an eviction bound: which ids each store retired (in
+    eviction order) and how many bases each store holds afterwards."""
+
+    evicted: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    bases: Dict[str, int] = field(default_factory=dict)
+    request_id: Optional[int] = None
+
+    kind = "evict"
+
+
+@dataclass(frozen=True)
+class CompactResponse:
+    """Outcome of a forced compaction: tombstoned rows dropped per store
+    and the (unchanged) per-store basis counts."""
+
+    rows_dropped: Dict[str, int] = field(default_factory=dict)
+    bases: Dict[str, int] = field(default_factory=dict)
+    request_id: Optional[int] = None
+
+    kind = "compact"
+
+
+@dataclass(frozen=True)
 class ShutdownResponse:
     """Acknowledged; the daemon drains and exits after answering."""
 
@@ -224,6 +287,8 @@ Response = (
     EstimateResponse,
     RefineResponse,
     StatsResponse,
+    EvictResponse,
+    CompactResponse,
     ShutdownResponse,
     ErrorResponse,
 )
@@ -243,6 +308,17 @@ def encode_request(request) -> dict:
         body["store"] = request.store
         body["basis_id"] = int(request.basis_id)
         body["samples"] = [encode_float(v) for v in request.samples]
+    elif isinstance(request, EvictRequest):
+        body["max_bases"] = (
+            None if request.max_bases is None else int(request.max_bases)
+        )
+        body["max_bytes"] = (
+            None if request.max_bytes is None else int(request.max_bytes)
+        )
+        body["keep"] = str(request.keep)
+        body["store"] = request.store
+    elif isinstance(request, CompactRequest):
+        body["store"] = request.store
     elif isinstance(request, (StatsRequest, ShutdownRequest)):
         pass
     else:
@@ -282,6 +358,21 @@ def decode_request(body: dict):
             )
         if kind == "stats":
             return StatsRequest(request_id=request_id)
+        if kind == "evict":
+            max_bases = body.get("max_bases")
+            max_bytes = body.get("max_bytes")
+            return EvictRequest(
+                max_bases=None if max_bases is None else int(max_bases),
+                max_bytes=None if max_bytes is None else int(max_bytes),
+                keep=str(body.get("keep", "value")),
+                store=body.get("store"),
+                request_id=request_id,
+            )
+        if kind == "compact":
+            return CompactRequest(
+                store=body.get("store"),
+                request_id=request_id,
+            )
         if kind == "shutdown":
             return ShutdownRequest(request_id=request_id)
     except ProtocolError:
@@ -341,6 +432,21 @@ def encode_response(response) -> dict:
             },
             bases={name: int(v) for name, v in response.bases.items()},
         )
+    elif isinstance(response, EvictResponse):
+        body.update(
+            evicted={
+                name: [int(i) for i in ids]
+                for name, ids in response.evicted.items()
+            },
+            bases={name: int(v) for name, v in response.bases.items()},
+        )
+    elif isinstance(response, CompactResponse):
+        body.update(
+            rows_dropped={
+                name: int(v) for name, v in response.rows_dropped.items()
+            },
+            bases={name: int(v) for name, v in response.bases.items()},
+        )
     elif isinstance(response, ShutdownResponse):
         body["draining"] = bool(response.draining)
     elif isinstance(response, ErrorResponse):
@@ -390,6 +496,28 @@ def decode_response(body: dict):
                 counters={
                     name: {k: int(v) for k, v in counters.items()}
                     for name, counters in body.get("counters", {}).items()
+                },
+                bases={
+                    name: int(v) for name, v in body.get("bases", {}).items()
+                },
+                request_id=request_id,
+            )
+        if kind == "evict":
+            return EvictResponse(
+                evicted={
+                    name: tuple(int(i) for i in ids)
+                    for name, ids in body.get("evicted", {}).items()
+                },
+                bases={
+                    name: int(v) for name, v in body.get("bases", {}).items()
+                },
+                request_id=request_id,
+            )
+        if kind == "compact":
+            return CompactResponse(
+                rows_dropped={
+                    name: int(v)
+                    for name, v in body.get("rows_dropped", {}).items()
                 },
                 bases={
                     name: int(v) for name, v in body.get("bases", {}).items()

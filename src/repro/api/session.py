@@ -13,8 +13,9 @@ all of them:
 * it opens and saves snapshots (:meth:`Session.open` / :meth:`save` —
   the old entry points now delegate here and keep working),
 * it answers the typed request vocabulary of
-  :mod:`repro.api.messages` (estimate / match / refine / stats), both
-  one at a time (:meth:`handle`) and in micro-batches routed through
+  :mod:`repro.api.messages` (estimate / match / refine / stats, plus
+  the evict / compact lifecycle admin kinds), both one at a time
+  (:meth:`handle`) and in micro-batches routed through
   :meth:`BasisStore.match_batch` (:meth:`handle_batch`), and
 * it can stand in anywhere a ``basis_store=`` argument is expected —
   explorers resolve a passed Session to its store via
@@ -45,9 +46,13 @@ import numpy as np
 
 from repro.api.messages import (
     DEFAULT_STORE,
+    CompactRequest,
+    CompactResponse,
     ErrorResponse,
     EstimateRequest,
     EstimateResponse,
+    EvictRequest,
+    EvictResponse,
     MatchRequest,
     MatchResponse,
     RefineRequest,
@@ -57,7 +62,7 @@ from repro.api.messages import (
     StatsRequest,
     StatsResponse,
 )
-from repro.core.basis import BasisStore
+from repro.core.basis import BasisStore, EvictionPolicy
 from repro.core.estimator import Estimator
 from repro.core.fingerprint import Fingerprint
 from repro.core.seeds import DEFAULT_SEED_BANK, SeedBank
@@ -74,6 +79,7 @@ class Session:
         stores: Optional[StoreArg] = None,
         seed_bank: Optional[SeedBank] = None,
         estimator: Optional[Estimator] = None,
+        eviction: Optional[EvictionPolicy] = None,
     ):
         if stores is None:
             stores = BasisStore(estimator=estimator)
@@ -84,6 +90,11 @@ class Session:
         self._stores: Dict[str, BasisStore] = dict(stores)
         self.seed_bank = seed_bank or DEFAULT_SEED_BANK
         self.estimator = estimator
+        #: Standing eviction bound, re-applied to a store after every
+        #: refine (the only in-session mutation that grows state) — a
+        #: long-running daemon with a policy stays within it indefinitely.
+        #: Admin :class:`EvictRequest` messages work with or without one.
+        self.eviction = eviction
         self._lock = threading.RLock()
 
     # -- construction / persistence (the unified warm-start surface) -------
@@ -153,20 +164,23 @@ class Session:
     def stores(self) -> Dict[str, BasisStore]:
         """Named stores (a copy; the name -> store binding is not
         caller-mutable, the stores themselves are live)."""
-        return dict(self._stores)
+        with self._lock:
+            return dict(self._stores)
 
     @property
     def store_names(self) -> List[str]:
-        return sorted(self._stores)
+        with self._lock:
+            return sorted(self._stores)
 
     def store(self, name: str = DEFAULT_STORE) -> BasisStore:
-        try:
-            return self._stores[name]
-        except KeyError:
-            raise ApiError(
-                f"session has no store named {name!r} "
-                f"(available: {self.store_names})"
-            ) from None
+        with self._lock:
+            try:
+                return self._stores[name]
+            except KeyError:
+                raise ApiError(
+                    f"session has no store named {name!r} "
+                    f"(available: {sorted(self._stores)})"
+                ) from None
 
     def resolve_basis_store(
         self, name: str = DEFAULT_STORE
@@ -247,13 +261,20 @@ class Session:
                 request.basis_id,
                 np.asarray(request.samples, dtype=float),
             )
-            return RefineResponse(
+            response = RefineResponse(
                 basis_id=basis.basis_id,
                 sample_count=int(basis.samples.size),
                 metrics=basis.metrics,
                 store=request.store,
                 request_id=request.request_id,
             )
+            if self.eviction is not None:
+                # Refines are the only in-session growth; re-applying the
+                # standing bound here keeps a long-running session within
+                # it.  The response reflects the refine that did happen,
+                # even if the policy then retired the refined basis.
+                store.evict(self.eviction)
+            return response
 
     def stats(
         self, request: Optional[StatsRequest] = None
@@ -270,6 +291,63 @@ class Session:
                     name: len(store)
                     for name, store in sorted(self._stores.items())
                 },
+                request_id=request.request_id,
+            )
+
+    def evict(self, request: EvictRequest) -> EvictResponse:
+        """Admin: bound one store (or all) by an eviction policy now.
+
+        Survivors answer every future probe bitwise as a store rebuilt
+        from only them would (the lifecycle parity invariant); evicted
+        ids are retired permanently, never reissued.
+        """
+        if request.max_bases is None and request.max_bytes is None:
+            raise ApiError(
+                "evict needs max_bases and/or max_bytes; an unbounded "
+                "eviction would be a no-op"
+            )
+        policy = EvictionPolicy(
+            max_bases=request.max_bases,
+            max_bytes=request.max_bytes,
+            keep=request.keep,
+        )
+        with self._lock:
+            names = (
+                sorted(self._stores)
+                if request.store is None
+                else [request.store]
+            )
+            evicted: Dict[str, tuple] = {}
+            bases: Dict[str, int] = {}
+            for name in names:
+                store = self.store(name)
+                evicted[name] = tuple(store.evict(policy))
+                bases[name] = len(store)
+            return EvictResponse(
+                evicted=evicted,
+                bases=bases,
+                request_id=request.request_id,
+            )
+
+    def compact(self, request: Optional[CompactRequest] = None):
+        """Admin: drop tombstoned columnar rows now (also migrates any
+        version-1 state to the compacted on-disk form at the next save)."""
+        request = request or CompactRequest()
+        with self._lock:
+            names = (
+                sorted(self._stores)
+                if request.store is None
+                else [request.store]
+            )
+            rows_dropped: Dict[str, int] = {}
+            bases: Dict[str, int] = {}
+            for name in names:
+                store = self.store(name)
+                rows_dropped[name] = store.compact()
+                bases[name] = len(store)
+            return CompactResponse(
+                rows_dropped=rows_dropped,
+                bases=bases,
                 request_id=request.request_id,
             )
 
@@ -291,6 +369,10 @@ class Session:
                 return self.refine(request)
             if isinstance(request, StatsRequest):
                 return self.stats(request)
+            if isinstance(request, EvictRequest):
+                return self.evict(request)
+            if isinstance(request, CompactRequest):
+                return self.compact(request)
             if isinstance(request, ShutdownRequest):
                 # In-process there is nothing to drain; the daemon
                 # intercepts this kind before it reaches the session.
@@ -364,11 +446,9 @@ class Session:
                     )
                 continue
             probes = []
-            bad: List[int] = []
             for position in positions:
                 values = requests[position].fingerprint
                 if not values:
-                    bad.append(position)
                     responses[position] = ErrorResponse(
                         code="ApiError",
                         message=(
@@ -378,6 +458,11 @@ class Session:
                     )
                 else:
                     probes.append((position, Fingerprint(values)))
+            if not probes:
+                # Every probe in this group was malformed; sequential
+                # handle() never touches the store for a bad request, so
+                # the batch path must not call match_batch either.
+                continue
             tested_counts: List[int] = []
             results = store.match_batch(
                 [fp for _, fp in probes], tested_out=tested_counts

@@ -9,6 +9,9 @@ Usage::
     python -m repro serve --store DIR [--port P] [--save-store DIR]
     python -m repro bench [--store DIR] [--rate R] [--concurrency N,M]
     python -m repro store info DIR | verify DIR
+    python -m repro store compact DIR [--out DIR]
+    python -m repro store evict DIR --max-bases N [--max-bytes B]
+                                    [--keep value|recent] [--out DIR]
 
 ``run`` executes the batch pipeline (explore + OPTIMIZE) and prints the
 answer; ``graph`` renders the query's GRAPH clause as an ASCII chart over
@@ -27,7 +30,11 @@ serves estimate/match/refine over the socket protocol
 listening; SIGTERM drains and exits 0, Ctrl-C drains and exits 130.
 ``bench`` drives the open-loop load generator against an ephemeral
 daemon and prints a JSON latency/throughput summary.  ``store`` inspects
-(``info``) or load-checks (``verify``) a snapshot without serving it.
+(``info``) or load-checks (``verify``) a snapshot without serving it,
+and runs the lifecycle maintenance passes offline: ``compact`` rewrites
+a snapshot tombstone-free at the current format version (so it also
+migrates version-1 snapshots), ``evict`` applies a reuse-value-aware
+:class:`~repro.core.basis.EvictionPolicy` bound and rewrites.
 
 Sweeps are fault tolerant (see :mod:`repro.core.supervise`):
 ``--shard-timeout``/``--shard-retries`` tune the supervision policy,
@@ -352,7 +359,7 @@ def _command_bench(args: argparse.Namespace) -> int:
 
 
 def _command_store(args: argparse.Namespace) -> int:
-    """Inspect (``info``) or load-check (``verify``) a snapshot."""
+    """Inspect, load-check, compact, or evict a snapshot directory."""
     import json
 
     from repro.core.persist import snapshot_info
@@ -361,10 +368,46 @@ def _command_store(args: argparse.Namespace) -> int:
     if args.action == "info":
         print(json.dumps(info, indent=2, sort_keys=True))
         return 0
+    from repro.api import CompactRequest, EvictRequest, Session
+
+    if args.action in ("compact", "evict"):
+        # Lifecycle rewrites materialize the arrays (no mmap): the write
+        # may replace the very files a mapped load would keep pages from.
+        session = Session.open(args.path, mmap=False)
+        target = args.out or args.path
+        if args.action == "compact":
+            response = session.compact(CompactRequest())
+            session.save(target)
+            print(
+                f"compacted: dropped {sum(response.rows_dropped.values())} "
+                f"tombstoned row(s); saved "
+                f"{sum(response.bases.values())} bases to {target} "
+                f"[version {snapshot_info(target)['version']}]"
+            )
+            return 0
+        if args.max_bases is None and args.max_bytes is None:
+            print(
+                "error: evict needs --max-bases and/or --max-bytes",
+                file=sys.stderr,
+            )
+            return 2
+        response = session.evict(
+            EvictRequest(
+                max_bases=args.max_bases,
+                max_bytes=args.max_bytes,
+                keep=args.keep,
+            )
+        )
+        session.save(target)
+        evicted_total = sum(len(ids) for ids in response.evicted.values())
+        print(
+            f"evicted {evicted_total} basis/bases "
+            f"({json.dumps({k: list(v) for k, v in sorted(response.evicted.items())})}); "
+            f"saved {sum(response.bases.values())} bases to {target}"
+        )
+        return 0
     # verify: actually load every store (mmap) through the Session
     # surface, so index rebuild + CRC + compatibility checks all run.
-    from repro.api import Session
-
     session = Session.open(args.path)
     counts = {
         name: len(store) for name, store in session.stores.items()
@@ -569,14 +612,49 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(handler=_command_bench)
 
     store = subparsers.add_parser(
-        "store", help="inspect or verify a snapshot directory"
+        "store",
+        help="inspect, verify, compact, or evict a snapshot directory",
     )
     store.add_argument(
         "action",
-        choices=("info", "verify"),
-        help="info: print the manifest summary; verify: load-check it",
+        choices=("info", "verify", "compact", "evict"),
+        help=(
+            "info: print the manifest summary; verify: load-check it; "
+            "compact: rewrite tombstone-free at the current snapshot "
+            "version (migrates older formats); evict: apply an eviction "
+            "policy and rewrite"
+        ),
     )
     store.add_argument("path", help="snapshot directory")
+    store.add_argument(
+        "--max-bases",
+        type=int,
+        default=None,
+        help="evict: bound each store to this many bases",
+    )
+    store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict: bound each store's resident sample bytes",
+    )
+    store.add_argument(
+        "--keep",
+        choices=("value", "recent"),
+        default="value",
+        help=(
+            "evict: ranking — 'value' retires the least-hit bases first, "
+            "'recent' the oldest (default value)"
+        ),
+    )
+    store.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "compact/evict: write the result here instead of rewriting "
+            "the snapshot in place"
+        ),
+    )
     store.set_defaults(handler=_command_store)
     return parser
 

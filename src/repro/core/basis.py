@@ -12,11 +12,21 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.core.columnar import CandidateKeys, ColumnarStore
+from repro.errors import LifecycleError
 from repro.core.estimator import Estimator, MetricSet
 from repro.core.fingerprint import (
     DEFAULT_ABS_TOL,
@@ -45,9 +55,18 @@ class BasisDistribution:
     fingerprint: Fingerprint
     samples: np.ndarray
     metrics: MetricSet
+    #: Successful reuses of this basis (probes it answered), bumped by the
+    #: match engine.  The eviction policy's notion of reuse *value*;
+    #: persisted since snapshot version 2.
+    hits: int = 0
 
     def __post_init__(self) -> None:
         self.samples = np.asarray(self.samples, dtype=float)
+
+    def nbytes(self) -> int:
+        """Approximate resident size (samples + fingerprint vector), the
+        unit :class:`EvictionPolicy`'s ``max_bytes`` bound is written in."""
+        return int(self.samples.nbytes) + 8 * self.fingerprint.size
 
 
 @dataclass
@@ -84,6 +103,64 @@ class MatchResult(NamedTuple):
 
     basis: BasisDistribution
     mapping: Mapping
+
+
+@dataclass(frozen=True)
+class EvictionPolicy:
+    """Bound a store's size by evicting its least-reusable bases first.
+
+    ``max_bases`` caps the basis count, ``max_bytes`` the summed
+    :meth:`BasisDistribution.nbytes`; either (or both) may be set, and
+    eviction runs until every configured bound holds.  ``keep`` picks the
+    ranking: ``"value"`` retires the least-hit basis first (ties broken
+    toward the older id, so a never-hit newcomer outlives a never-hit
+    veteran), ``"recent"`` ignores hit counts and retires oldest-first.
+    Ranking is a pure function of the store's contents, so applying a
+    policy is deterministic — the lifecycle parity suites rely on that.
+    """
+
+    max_bases: Optional[int] = None
+    max_bytes: Optional[int] = None
+    keep: str = "value"
+
+    def __post_init__(self) -> None:
+        if self.keep not in ("value", "recent"):
+            raise LifecycleError(
+                f"unknown eviction ranking {self.keep!r}; "
+                f"choose 'value' or 'recent'"
+            )
+        for name in ("max_bases", "max_bytes"):
+            bound = getattr(self, name)
+            if bound is not None and int(bound) < 0:
+                raise LifecycleError(f"{name} must be non-negative")
+
+    def victims(self, store: "BasisStore") -> List[int]:
+        """Basis ids to evict, in eviction order (store unchanged)."""
+        bases = store.bases
+        if self.keep == "value":
+            ranked = sorted(bases, key=lambda b: (b.hits, b.basis_id))
+        else:
+            ranked = list(bases)  # ascending id == oldest first
+        count = len(bases)
+        total = (
+            sum(basis.nbytes() for basis in bases)
+            if self.max_bytes is not None
+            else 0
+        )
+        victims: List[int] = []
+        for basis in ranked:
+            over_count = (
+                self.max_bases is not None and count > int(self.max_bases)
+            )
+            over_bytes = (
+                self.max_bytes is not None and total > int(self.max_bytes)
+            )
+            if not (over_count or over_bytes):
+                break
+            victims.append(basis.basis_id)
+            count -= 1
+            total -= basis.nbytes()
+        return victims
 
 
 #: Columnar lookups per store that are cross-checked against the scalar
@@ -141,8 +218,11 @@ class BasisStore:
             index = make_index(index_strategy)
         self.index = index
         self.estimator = estimator or Estimator()
-        self.rel_tol = rel_tol
-        self.abs_tol = abs_tol
+        # Coerce so integer tolerances survive the snapshot hex codec
+        # (``float.hex`` exists, ``int.hex`` does not) and compare
+        # consistently across save/load.
+        self.rel_tol = float(rel_tol)
+        self.abs_tol = float(abs_tol)
         self.stats = StoreStats()
         self._bases: Dict[int, BasisDistribution] = {}
         self._next_id = 0
@@ -224,8 +304,19 @@ class BasisStore:
         """Validate a probe's candidate list; returns (result, tested).
 
         ``tested`` is the scalar loop's accounting: candidates visited up
-        to and including the first match (all of them on a miss).
+        to and including the first match (all of them on a miss).  The
+        winning basis's :attr:`~BasisDistribution.hits` reuse counter is
+        bumped here, so both the scalar and columnar paths (and every
+        verify/fallback branch) count a reuse exactly once.
         """
+        result, tested = self._validate_candidates(fingerprint, candidates)
+        if result is not None:
+            result.basis.hits += 1
+        return result, tested
+
+    def _validate_candidates(
+        self, fingerprint: Fingerprint, candidates: Sequence[int]
+    ) -> Tuple[Optional[MatchResult], int]:
         if (
             not self.columnar_enabled
             or len(candidates) < self.columnar_min_candidates
@@ -328,6 +419,51 @@ class BasisStore:
         self._next_id += 1
         self.stats.bases_created += 1
         return basis
+
+    def remove(self, basis_id: int) -> BasisDistribution:
+        """Excise one basis: targeted invalidation (lifecycle layer).
+
+        The basis leaves ``_bases``, its index bucket (survivor order
+        preserved verbatim — first-match-wins is part of the FindMatch
+        contract), and the columnar mirror (tombstoned, compacted past the
+        threshold).  Its id is retired, never reissued: ``_next_id`` only
+        grows, so snapshots, merges, and external references stay
+        unambiguous.  Returns the removed basis; raises :class:`KeyError`
+        for an unknown id (mirroring :meth:`get`).
+        """
+        basis = self._bases.pop(basis_id, None)
+        if basis is None:
+            raise KeyError(basis_id)
+        self.index.remove(basis.fingerprint, basis_id)
+        self.columnar.discard(basis_id)
+        return basis
+
+    def invalidate_where(
+        self, predicate: Callable[[BasisDistribution], bool]
+    ) -> List[int]:
+        """Remove every basis the predicate marks stale; returns their ids
+        (ascending).  The predicate sees each live basis exactly once and
+        must not mutate the store."""
+        doomed = [
+            basis_id
+            for basis_id in sorted(self._bases)
+            if predicate(self._bases[basis_id])
+        ]
+        for basis_id in doomed:
+            self.remove(basis_id)
+        return doomed
+
+    def evict(self, policy: EvictionPolicy) -> List[int]:
+        """Apply an eviction policy; returns the evicted ids in order."""
+        victims = policy.victims(self)
+        for basis_id in victims:
+            self.remove(basis_id)
+        return victims
+
+    def compact(self) -> int:
+        """Force the columnar mirror tombstone-free now (snapshots do this
+        implicitly); returns the number of rows dropped."""
+        return self.columnar.compact()
 
     def merge(
         self,

@@ -37,6 +37,10 @@ from repro.core.fingerprint import (
 
 _EMPTY_ROWS = np.empty(0, dtype=np.int64)
 
+#: Tombstoned rows are compacted away once they exceed this fraction of a
+#: store's total rows — removal stays O(1) amortized, matrices stay dense.
+COMPACT_TOMBSTONE_FRACTION = 0.5
+
 
 class _SizeBlock:
     """All stored fingerprints of one size, as contiguous matrices."""
@@ -47,6 +51,7 @@ class _SizeBlock:
         self.matrix = np.empty((capacity, size), dtype=np.float64)
         self.ids: List[int] = []
         self.fingerprints: List[Fingerprint] = []
+        self.dead = 0
         self._sid_matrix: Optional[np.ndarray] = None
         self._sid_filled = 0
         self._nf_matrix: Dict[float, Tuple[np.ndarray, int]] = {}
@@ -83,6 +88,45 @@ class _SizeBlock:
         self.fingerprints.append(fingerprint)
         self.count += 1
         return row
+
+    def tombstone(self, row: int) -> None:
+        """Mark one row dead.  The matrix row and the fingerprint object
+        stay in place (lazy key fills must still walk every live row's
+        cache) until :meth:`compact` rebuilds the block without them."""
+        self.ids[row] = -1
+        self.dead += 1
+
+    def compact(self) -> int:
+        """Rebuild the block without tombstoned rows; returns rows dropped.
+
+        Fancy indexing materializes fresh writable matrices, so compacting
+        a memory-mapped block is also a copy-on-write promotion — the
+        snapshot file is never written through.  Fully filled key matrices
+        are carried over row-for-row (they stay bitwise the inserted keys);
+        partially filled ones are dropped and lazily refilled from the
+        fingerprints' own caches, which yields the same bits.
+        """
+        if self.dead == 0:
+            return 0
+        keep = [row for row in range(self.count) if self.ids[row] >= 0]
+        dropped = self.count - len(keep)
+        self.matrix = self.matrix[keep]
+        if self._sid_matrix is not None and self._sid_filled == self.count:
+            self._sid_matrix = self._sid_matrix[keep]
+            self._sid_filled = len(keep)
+        else:
+            self._sid_matrix = None
+            self._sid_filled = 0
+        self._nf_matrix = {
+            rel_tol: (matrix[keep], len(keep))
+            for rel_tol, (matrix, filled) in self._nf_matrix.items()
+            if filled == self.count
+        }
+        self.ids = [self.ids[row] for row in keep]
+        self.fingerprints = [self.fingerprints[row] for row in keep]
+        self.count = len(keep)
+        self.dead = 0
+        return dropped
 
     def rows(self, row_indices: np.ndarray) -> np.ndarray:
         """Gathered fingerprint rows (a no-copy view for the full scan)."""
@@ -138,6 +182,7 @@ class _SizeBlock:
         block.matrix = matrix
         block.ids = list(ids)
         block.fingerprints = list(fingerprints)
+        block.dead = 0
         block._sid_matrix = sid_matrix
         block._sid_filled = block.count if sid_matrix is not None else 0
         block._nf_matrix = {
@@ -189,9 +234,18 @@ class ColumnarStore:
         self._size_of = np.zeros(8, dtype=np.int64)
         self._row_of = np.zeros(8, dtype=np.int64)
         self._known = 0
+        self._tombstones = 0
+        # Sticky: once any id has been retired, `gather` stops trusting
+        # `_row_of` unconditionally (see the single-block fast path there).
+        self._had_holes = False
 
     def __len__(self) -> int:
         return self._known
+
+    @property
+    def tombstones(self) -> int:
+        """Rows currently marked dead but not yet compacted away."""
+        return self._tombstones
 
     def _block(self, size: int) -> _SizeBlock:
         block = self._blocks.get(size)
@@ -230,6 +284,49 @@ class ColumnarStore:
         for size, block in self._blocks.items():
             for row, basis_id in enumerate(block.ids):
                 self._register(basis_id, size, row)
+
+    def discard(self, basis_id: int) -> None:
+        """Retire one basis's row (tombstone now, compact past threshold).
+
+        The id's dense-array entries are zeroed — ``_size_of == 0`` never
+        equals a real fingerprint size, so a stale id handed to ``gather``
+        is filtered out by the size check rather than aliasing a live row.
+        """
+        if (
+            basis_id < 0
+            or basis_id >= self._known
+            or self._size_of[basis_id] == 0
+        ):
+            raise KeyError(basis_id)
+        size = int(self._size_of[basis_id])
+        block = self._blocks[size]
+        block.tombstone(int(self._row_of[basis_id]))
+        self._size_of[basis_id] = 0
+        self._row_of[basis_id] = 0
+        self._tombstones += 1
+        self._had_holes = True
+        total = sum(block.count for block in self._blocks.values())
+        if self._tombstones > COMPACT_TOMBSTONE_FRACTION * total:
+            self.compact()
+
+    def compact(self) -> int:
+        """Rebuild every block tombstone-free; returns rows dropped.
+
+        Surviving rows keep their relative order (and their key-matrix
+        bits), so a compacted store answers every probe exactly as the
+        tombstoned one did — only ``_row_of`` is renumbered.
+        """
+        dropped = 0
+        for size in list(self._blocks):
+            block = self._blocks[size]
+            dropped += block.compact()
+            if block.count == 0:
+                del self._blocks[size]
+            else:
+                for row, basis_id in enumerate(block.ids):
+                    self._row_of[basis_id] = row
+        self._tombstones = 0
+        return dropped
 
     def adopt(self, other: "ColumnarStore", id_map: Dict[int, int]) -> None:
         """Bulk-append another store's rows under translated basis ids.
@@ -276,7 +373,12 @@ class ColumnarStore:
         ids = np.fromiter(
             candidates, dtype=np.int64, count=len(candidates)
         )
-        if len(self._blocks) == 1:
+        if len(self._blocks) == 1 and not self._had_holes:
+            # Single-size store with no retired ids: every candidate is
+            # testable and `_row_of` is authoritative for any id the index
+            # can hand us.  Once a removal has happened neither holds (a
+            # stale id's `_row_of` entry would alias row 0), so holey
+            # stores always take the size-checked gather below.
             positions = np.arange(len(ids))
             rows = self._row_of[ids]
         else:

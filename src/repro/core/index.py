@@ -31,6 +31,23 @@ from repro.core.fingerprint import (
 from repro.errors import IndexError_, PersistError
 
 
+def _remove_from_bucket(buckets: Dict, key, basis_id: int) -> None:
+    """Excise one id from one hash bucket, dropping the bucket if emptied.
+
+    ``list.remove`` deletes the first occurrence and shifts survivors left —
+    ids are unique across an index, so this keeps the survivors' relative
+    order exactly as inserted.
+    """
+    bucket = buckets.get(key)
+    if bucket is None or basis_id not in bucket:
+        raise IndexError_(
+            f"basis {basis_id} is not indexed under its fingerprint key"
+        )
+    bucket.remove(basis_id)
+    if not bucket:
+        del buckets[key]
+
+
 class FingerprintIndex(ABC):
     """Maps a probe fingerprint to candidate basis ids."""
 
@@ -73,6 +90,22 @@ class FingerprintIndex(ABC):
     @abstractmethod
     def candidates(self, fingerprint: Fingerprint) -> List[int]:
         """Basis ids that may be similar to the probe (superset of truth)."""
+
+    def remove(self, fingerprint: Fingerprint, basis_id: int) -> None:
+        """Drop one stored basis from the index (lifecycle layer).
+
+        ``fingerprint`` is the basis's own stored fingerprint: hash-keyed
+        strategies recompute its insertion key (key derivation is a
+        deterministic function of the values, so the recomputed key names
+        the bucket ``insert`` used) and excise exactly one entry.  The
+        order of surviving ids is preserved verbatim — first-match-wins is
+        part of the FindMatch contract, so removal must never reshuffle a
+        bucket.
+        """
+        raise IndexError_(
+            f"{type(self).__name__} does not support removal; implement "
+            f"remove to run the store lifecycle layer over it"
+        )
 
     def candidates_batch(
         self, fingerprints: Sequence[Fingerprint]
@@ -145,6 +178,15 @@ class ArrayIndex(FingerprintIndex):
         # No keys to vectorize: every probe scans every stored basis.
         return [list(self._ids) for _ in fingerprints]
 
+    def remove(self, fingerprint: Fingerprint, basis_id: int) -> None:
+        try:
+            self._ids.remove(basis_id)
+        except ValueError:
+            raise IndexError_(
+                f"basis {basis_id} is not in this index"
+            ) from None
+        self._size -= 1
+
     def merge(
         self, other: FingerprintIndex, id_map: Mapping[int, int]
     ) -> None:
@@ -169,7 +211,9 @@ class NormalizationIndex(FingerprintIndex):
 
     def __init__(self, rel_tol: float = DEFAULT_REL_TOL):
         super().__init__()
-        self._rel_tol = rel_tol
+        # Coerce so integer tolerances survive the hex snapshot codec
+        # (``int.hex`` does not exist; ``float.hex`` does).
+        self._rel_tol = float(rel_tol)
         self._buckets: Dict[Tuple[float, ...], List[int]] = {}
 
     def dump_state(self) -> dict:
@@ -177,7 +221,7 @@ class NormalizationIndex(FingerprintIndex):
         # trip bitwise, and the bucket list order (dict insertion order)
         # is preserved verbatim.
         return {
-            "rel_tol": self._rel_tol.hex(),
+            "rel_tol": float(self._rel_tol).hex(),
             "buckets": [
                 [[value.hex() for value in key], [int(i) for i in ids]]
                 for key, ids in self._buckets.items()
@@ -209,6 +253,11 @@ class NormalizationIndex(FingerprintIndex):
     ) -> List[List[int]]:
         keys = batch_normal_forms(list(fingerprints), self._rel_tol)
         return [list(self._buckets.get(key, ())) for key in keys]
+
+    def remove(self, fingerprint: Fingerprint, basis_id: int) -> None:
+        key = fingerprint.normal_form(self._rel_tol)
+        _remove_from_bucket(self._buckets, key, basis_id)
+        self._size -= 1
 
     def merge(
         self, other: FingerprintIndex, id_map: Mapping[int, int]
@@ -262,6 +311,12 @@ class SortedSIDIndex(FingerprintIndex):
     def insert(self, fingerprint: Fingerprint, basis_id: int) -> None:
         self._buckets.setdefault(fingerprint.sid_order(), []).append(basis_id)
         self._size += 1
+
+    def remove(self, fingerprint: Fingerprint, basis_id: int) -> None:
+        # Ids are inserted under the ascending key only; the descending
+        # probe key is a lookup-time alias, so one excision suffices.
+        _remove_from_bucket(self._buckets, fingerprint.sid_order(), basis_id)
+        self._size -= 1
 
     def candidates(self, fingerprint: Fingerprint) -> List[int]:
         return self._candidates_for(

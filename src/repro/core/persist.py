@@ -100,7 +100,15 @@ SNAPSHOT_MAGIC = "jigsaw-store-snapshot"
 #: Format version written by this build.  Loaders accept any version up to
 #: this one (older formats must stay loadable or be explicitly migrated);
 #: newer versions are refused — see the ROADMAP's version-bump procedure.
-SNAPSHOT_VERSION = 1
+#:
+#: Version history:
+#:
+#: 1. initial format (PR 5).
+#: 2. lifecycle (PR 8): per-basis ``hits`` reuse counters in each basis
+#:    entry; block matrices are written tombstone-free (the columnar
+#:    mirror is compacted at save time).  Version-1 snapshots still load
+#:    — their bases restore with ``hits = 0``.
+SNAPSHOT_VERSION = 2
 
 CHECKPOINT_MAGIC = "jigsaw-sweep-checkpoint"
 
@@ -265,7 +273,14 @@ def store_config(store: BasisStore) -> dict:
 
 
 def _dump_store(name: str, store: BasisStore, arrays: dict) -> dict:
-    """One store's manifest entry; arrays land in ``arrays`` for writing."""
+    """One store's manifest entry; arrays land in ``arrays`` for writing.
+
+    Snapshots are compacted by construction (format version 2): any
+    tombstoned columnar rows are dropped before the matrices are
+    serialized.  Compaction preserves every observable answer, so saving
+    remains semantically read-only even though it may renumber rows.
+    """
+    store.columnar.compact()
     blocks = {}
     for size, block in sorted(store.columnar._blocks.items()):
         if block.count == 0:
@@ -300,6 +315,7 @@ def _dump_store(name: str, store: BasisStore, arrays: dict) -> dict:
         bases.append(
             {
                 "id": int(basis_id),
+                "hits": int(basis.hits),
                 "metrics": encode_metrics(basis.metrics),
                 "samples": [int(offset), int(samples.size)],
             }
@@ -331,8 +347,14 @@ def _restore_store(
     load_array,
     mapping_family: MappingFamily,
     estimator: Optional[Estimator],
+    version: int = SNAPSHOT_VERSION,
 ) -> BasisStore:
-    """Rebuild one store from its manifest entry (arrays via ``load_array``)."""
+    """Rebuild one store from its manifest entry (arrays via ``load_array``).
+
+    ``version`` is the snapshot body's format version; the version-1
+    compatibility branch restores bases without reuse counters (the field
+    did not exist) as ``hits = 0``.
+    """
     config = entry["config"]
     strategy = config["index_strategy"]
     index_class = STRATEGY_CLASSES.get(strategy)
@@ -414,6 +436,8 @@ def _restore_store(
             fingerprint=fingerprint_of[basis_id],
             samples=samples_all[start : start + count],
             metrics=decode_metrics(basis_entry["metrics"]),
+            # Version-1 snapshots predate reuse counters: restore cold.
+            hits=int(basis_entry["hits"]) if version >= 2 else 0,
         )
     _require(
         len(store._bases) == len(fingerprint_of),
@@ -714,7 +738,8 @@ def load_stores(
             store_estimator = estimator
         try:
             stores[name] = _restore_store(
-                entry, load_array, family, store_estimator
+                entry, load_array, family, store_estimator,
+                version=int(body["version"]),
             )
         except (KeyError, TypeError) as error:
             raise SnapshotCorruptionError(

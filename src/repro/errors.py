@@ -140,6 +140,12 @@ class ShardRetryExhaustedError(ShardError):
         super().__init__(message, shard_index=shard_index, attempt=attempts)
 
 
+class LifecycleError(JigsawError):
+    """A store lifecycle operation (eviction, invalidation, compaction)
+    was configured inconsistently — e.g. an :class:`~repro.core.basis.
+    EvictionPolicy` with an unknown ``keep`` ranking or negative bounds."""
+
+
 class PersistError(JigsawError):
     """A basis-store snapshot could not be written or read."""
 

@@ -315,7 +315,10 @@ class InteractiveSession:
         scale = max(float(np.abs(expected).max()), 1.0)
         rebound = False
         if not np.allclose(values, expected, rtol=1e-9, atol=1e-9 * scale):
-            self._rebind_from_scratch(state)
+            # The basis's samples no longer predict this point through the
+            # recorded mapping — the basis is stale (model drift), not just
+            # mis-bound.  Invalidate it so no future probe can match it.
+            self._rebind_from_scratch(state, invalidate=True)
             rebound = True
         return TickReport(
             task=TASK_VALIDATION,
@@ -356,13 +359,33 @@ class InteractiveSession:
             task=TASK_EXPLORATION, point=dict(neighbor), samples_drawn=drawn
         )
 
-    def _rebind_from_scratch(self, state: PointState) -> None:
+    def _rebind_from_scratch(
+        self, state: PointState, invalidate: bool = False
+    ) -> None:
         """FindMatch again after a failed validation; spawn a basis if none.
+
+        With ``invalidate=True`` (the failed-validation path) the state's
+        stale basis is first *removed from the store* — a basis whose
+        samples stopped predicting a bound point is stale for every point,
+        so leaving it matchable would keep serving drifted answers.  Any
+        other point bound to it is unbound and re-bootstraps at its next
+        tick.  Without the flag (the non-invertible-mapping refinement
+        path) the basis itself is fine and stays.
 
         A fresh basis is built from the point's contiguous sample-id prefix
         so the invariant "basis sample index == global sample id" (which
         validation relies on) keeps holding.
         """
+        if invalidate and state.basis_id is not None:
+            stale_id = state.basis_id
+            try:
+                self.store.remove(stale_id)
+            except KeyError:
+                pass
+            for other in self._states.values():
+                if other.basis_id == stale_id:
+                    other.basis_id = None
+                    other.mapping = None
         fingerprint = Fingerprint(
             tuple(state.samples[i] for i in range(self.fingerprint_size))
         )

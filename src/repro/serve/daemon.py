@@ -5,7 +5,13 @@ The daemon wraps a :class:`repro.api.Session` (typically
 page cache is the working set and copy-on-write promotion protects the
 snapshot) and serves the typed estimate / match / refine / stats
 vocabulary of :mod:`repro.api.messages` over the length-prefixed JSON
-socket protocol of :mod:`repro.serve.protocol`.
+socket protocol of :mod:`repro.serve.protocol`.  The lifecycle admin
+kinds (:class:`~repro.api.messages.EvictRequest` /
+:class:`~repro.api.messages.CompactRequest`) ride the same dispatch:
+they reach :meth:`Session.handle_batch` like any other request, take
+the session lock there, and apply their bound between probe runs — so
+an operator can cap a long-running daemon's store without restarting
+it, and in-flight probes still see a consistent store.
 
 Architecture
 ------------

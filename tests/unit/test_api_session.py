@@ -13,8 +13,10 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    CompactRequest,
     ErrorResponse,
     EstimateRequest,
+    EvictRequest,
     MatchRequest,
     RefineRequest,
     Session,
@@ -193,6 +195,27 @@ class TestBatchParity:
         assert isinstance(got[1], ErrorResponse)
         assert isinstance(got[5], ErrorResponse)
 
+    def test_all_invalid_probes_batch_parity(self):
+        """A batch where *every* probe is bad must still equal sequential
+        handle — and neither path may touch the store (a sequential
+        handle never reaches match_batch for a bad request, so the batch
+        path must not call it either)."""
+        session = make_session()
+        reference = make_session()
+        before = session.store().stats.as_dict()
+        requests = [
+            MatchRequest(fingerprint=(), request_id=0),
+            EstimateRequest(fingerprint=(), request_id=1),
+            MatchRequest(fingerprint=BASE.values, store="nope",
+                         request_id=2),
+            EstimateRequest(fingerprint=(1.0,), store="nope", request_id=3),
+        ]
+        want = [reference.handle(r) for r in requests]
+        got = session.handle_batch(requests)
+        assert got == want
+        assert all(isinstance(r, ErrorResponse) for r in got)
+        assert session.store().stats.as_dict() == before
+
     def test_empty_batch(self):
         assert make_session().handle_batch([]) == []
 
@@ -207,6 +230,11 @@ class TestWireCodec:
             EstimateRequest(fingerprint=tricky, store="s"),
             RefineRequest(basis_id=3, samples=tricky, request_id=1),
             StatsRequest(request_id=2),
+            EvictRequest(max_bases=4, max_bytes=1 << 20, keep="recent",
+                         store="s", request_id=5),
+            EvictRequest(max_bytes=0),
+            CompactRequest(store="s", request_id=6),
+            CompactRequest(),
             ShutdownRequest(),
         ):
             assert decode_request(encode_request(request)) == request
@@ -222,6 +250,8 @@ class TestWireCodec:
             ),
             RefineRequest(basis_id=2, samples=(0.125,), request_id=2),
             StatsRequest(request_id=3),
+            EvictRequest(max_bases=2, request_id=4),
+            CompactRequest(request_id=5),
         ]
         for request in requests:
             response = session.handle(request)

@@ -103,6 +103,29 @@ class TestStoreCommand:
         assert main(["store", "verify", snapshot]) == 0
         assert "5 bases" in capsys.readouterr().out
 
+    def test_evict_bounds_snapshot_in_place(self, snapshot, capsys):
+        from repro.api import Session
+
+        assert main(
+            ["store", "evict", snapshot, "--max-bases", "2"]
+        ) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert Session.open(snapshot).basis_count() == 2
+
+    def test_evict_without_bounds_exits_2(self, snapshot, capsys):
+        assert main(["store", "evict", snapshot]) == 2
+        assert "max-bases" in capsys.readouterr().err
+
+    def test_compact_writes_to_out_path(self, snapshot, tmp_path, capsys):
+        from repro.api import Session
+
+        out = str(tmp_path / "compacted")
+        assert main(
+            ["store", "compact", snapshot, "--out", out]
+        ) == 0
+        assert "saved" in capsys.readouterr().out
+        assert Session.open(out).basis_count() == 5
+
     def test_verify_corrupt_snapshot_exits_2(self, snapshot, capsys):
         import os
 

@@ -152,6 +152,84 @@ class TestConcurrentProbes:
             assert responses == want
 
 
+class TestAccessorsUnderMutation:
+    """`stats`/`stores`/`store_names`/`store()` take the session lock,
+    so hammering them while refines (and lifecycle evictions) mutate the
+    store never observes a torn state or raises."""
+
+    def test_accessors_race_refines_without_tearing(self, snapshot):
+        shared = Session.open(snapshot)
+        basis_ids = [b.basis_id for b in shared.store().bases]
+        stop = threading.Event()
+        errors = []
+
+        def hammer_accessors():
+            try:
+                while not stop.is_set():
+                    response = shared.stats()
+                    counts = response.bases
+                    # A consistent snapshot: every reported store is
+                    # reachable by name and sized like the counters say.
+                    for name in shared.store_names:
+                        assert name in counts
+                        assert len(shared.store(name)) == counts[name]
+                    assert set(shared.stores) == set(counts)
+                    assert shared.basis_count() == sum(counts.values())
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        readers = [
+            threading.Thread(target=hammer_accessors)
+            for _ in range(THREADS - 2)
+        ]
+        for thread in readers:
+            thread.start()
+        try:
+            for round_index in range(30):
+                basis_id = basis_ids[round_index % len(basis_ids)]
+                shared.handle(
+                    RefineRequest(
+                        basis_id=basis_id,
+                        samples=(float(round_index), -1.0),
+                    )
+                )
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not errors, errors
+
+    def test_accessors_race_evictions(self, snapshot):
+        from repro.api import EvictRequest
+
+        shared = Session.open(snapshot)
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    for name, store in shared.stores.items():
+                        assert len(store) >= 0
+                        assert name in shared.store_names
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        readers = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for bound in range(9, 2, -1):
+                shared.handle(EvictRequest(max_bases=bound))
+                assert shared.basis_count() <= bound
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not errors, errors
+        assert shared.basis_count() <= 3
+
+
 class TestSnapshotNeverWrittenThrough:
     def test_concurrent_probes_leave_snapshot_bytes_alone(self, snapshot):
         before = snapshot_digest(snapshot)

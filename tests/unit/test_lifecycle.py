@@ -1,0 +1,590 @@
+"""Store lifecycle differential suite (the invalidation layer's invariant).
+
+A store that has lived — targeted removals, predicate invalidation,
+policy eviction, compaction — must be indistinguishable from a fresh
+store built from only its survivors: for every probe the same basis
+(modulo the rebuild's renumbering), bitwise-same mapping parameters, and
+the same per-probe ``candidates_tested`` work, across all five mapping
+families, all three index strategies, and both the columnar and scalar
+match paths.  Evicted ids must be unreachable everywhere: index buckets,
+``candidates_batch``, the columnar gather (including its single-block
+fast path), and :meth:`BasisStore.match` itself.
+
+Also pinned here: eviction-policy ranking semantics, the sustained-load
+bound (a policied store never exceeds ``max_bases``), snapshot version 2
+round-trips with the committed v1 fixture loading through the compat
+branch, the integer-tolerance codec fix, and the interactive engine's
+failed-validation invalidation.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CompactRequest,
+    EvictRequest,
+    MatchRequest,
+    RefineRequest,
+    Session,
+)
+from repro.blackbox.rng import DeterministicRng
+from repro.core import persist
+from repro.core.basis import BasisStore, EvictionPolicy
+from repro.core.fingerprint import Fingerprint
+from repro.core.index import INDEX_STRATEGIES, NormalizationIndex
+from repro.core.mapping import (
+    IdentityMappingFamily,
+    LinearMappingFamily,
+    MonotoneMappingFamily,
+    ScaleMappingFamily,
+    ShiftMappingFamily,
+)
+from repro.core.seeds import SeedBank
+from repro.errors import ApiError, LifecycleError
+from repro.interactive.heuristics import TASK_VALIDATION
+from repro.interactive.session import InteractiveSession
+from repro.scenario.parameter import RangeParameter
+from repro.scenario.space import ParameterSpace
+
+FAMILY_FACTORIES = {
+    "linear": LinearMappingFamily,
+    "identity": IdentityMappingFamily,
+    "shift": ShiftMappingFamily,
+    "scale": ScaleMappingFamily,
+    "monotone": MonotoneMappingFamily,
+}
+
+BASE = Fingerprint((0.0, 1.0, 0.5, 2.0, -1.0))
+SAMPLES = np.linspace(-1.0, 2.0, 40)
+
+V1_FIXTURE = os.path.join(
+    os.path.dirname(__file__), "data", "snapshot_v1"
+)
+
+
+def _affine(fp, alpha, beta):
+    return Fingerprint(tuple(alpha * v + beta for v in fp.values))
+
+
+def _cubic(fp):
+    return Fingerprint(tuple(v**3 for v in fp.values))
+
+
+MIXED = [
+    BASE,
+    _affine(BASE, 2.0, 3.0),
+    _cubic(BASE),
+    Fingerprint((4.0, 4.0, 4.0, 4.0, 4.0)),  # constant
+    Fingerprint((0.0, 0.0, 0.0, 0.0, 0.0)),  # zero
+    Fingerprint((1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)),  # other size
+    _affine(BASE, -1.5, 0.25),
+]
+
+PROBES = [
+    BASE,
+    _affine(BASE, 1.0, 0.0),
+    _affine(BASE, 3.0, -2.0),
+    _affine(BASE, 1.0, 4.5),  # pure shift
+    _affine(BASE, 2.5, 0.0),  # pure scale
+    _affine(BASE, -2.0, 1.0),  # decreasing affine
+    _cubic(BASE),  # monotone, not affine
+    Fingerprint(tuple(-(v**3) for v in BASE.values)),  # decreasing monotone
+    Fingerprint((4.0, 4.0, 4.0, 4.0, 4.0)),  # constant hit
+    Fingerprint((7.5, 7.5, 7.5, 7.5, 7.5)),  # constant shift image
+    Fingerprint((0.0, 0.0, 0.0, 0.0, 0.0)),  # zero
+    Fingerprint((0.3, 0.1, 0.9, 0.2, 0.8)),  # unrelated: miss
+    Fingerprint((1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)),  # other size, exact
+    Fingerprint((2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0)),  # other size, 2x
+]
+
+#: Both match paths: columnar kernels always on vs. never reached.
+MATCH_PATHS = {"columnar": 0, "scalar": 10**9}
+
+
+def build_store(family_name, strategy, fingerprints, path="columnar"):
+    store = BasisStore(
+        mapping_family=FAMILY_FACTORIES[family_name](),
+        index_strategy=strategy,
+    )
+    store.columnar_min_candidates = MATCH_PATHS[path]
+    store._verify_remaining = 0
+    for index, fingerprint in enumerate(fingerprints):
+        store.add(fingerprint, SAMPLES * (index + 1))
+    return store
+
+
+def rebuild_from_survivors(store):
+    """A fresh store holding only the survivors, plus orig-id -> new-id.
+
+    The rebuild renumbers ids from zero, so comparisons translate
+    through the returned map.  Survivors are inserted in ascending
+    original id — the relative order removal preserved in every bucket —
+    which is exactly what makes first-match-wins line up.
+    """
+    rebuild = BasisStore(
+        mapping_family=type(store.mapping_family)(),
+        index_strategy=type(store.index).strategy,
+    )
+    rebuild.columnar_min_candidates = store.columnar_min_candidates
+    rebuild._verify_remaining = 0
+    id_map = {}
+    for new_id, basis in enumerate(store.bases):
+        id_map[basis.basis_id] = new_id
+        rebuild.add(basis.fingerprint, np.asarray(basis.samples))
+    return rebuild, id_map
+
+
+def probe_with_deltas(store, probes):
+    """Match each probe, recording per-probe candidates_tested work."""
+    out = []
+    for probe in probes:
+        before = store.stats.candidates_tested
+        result = store.match(probe)
+        out.append((result, store.stats.candidates_tested - before))
+    return out
+
+
+def assert_differential(store):
+    """The lifecycle invariant: store == rebuild-from-survivors."""
+    rebuild, id_map = rebuild_from_survivors(store)
+    assert len(rebuild) == len(store)
+    lived = probe_with_deltas(store, PROBES)
+    fresh = probe_with_deltas(rebuild, PROBES)
+    for (got, got_work), (want, want_work) in zip(lived, fresh):
+        assert got_work == want_work
+        assert (got is None) == (want is None)
+        if got is None:
+            continue
+        assert id_map[got.basis.basis_id] == want.basis.basis_id
+        assert type(got.mapping) is type(want.mapping)
+        assert got.mapping == want.mapping
+    # The batch path must agree with itself and with the rebuild.
+    via_batch = store.match_batch(PROBES)
+    fresh_batch = rebuild.match_batch(PROBES)
+    for got, want in zip(via_batch, fresh_batch):
+        assert (got is None) == (want is None)
+        if got is not None:
+            assert id_map[got.basis.basis_id] == want.basis.basis_id
+            assert got.mapping == want.mapping
+
+
+def warm(store, rounds=1):
+    for _ in range(rounds):
+        for probe in PROBES:
+            store.match(probe)
+
+
+def op_remove_first(store):
+    return [store.remove(min(b.basis_id for b in store.bases)).basis_id]
+
+
+def op_remove_scattered(store):
+    ids = sorted(b.basis_id for b in store.bases)
+    doomed = [ids[1], ids[-1]]
+    for basis_id in doomed:
+        store.remove(basis_id)
+    return doomed
+
+
+def op_invalidate_odd(store):
+    return store.invalidate_where(lambda b: b.basis_id % 2 == 1)
+
+
+def op_evict_value(store):
+    warm(store)
+    return store.evict(EvictionPolicy(max_bases=3))
+
+
+def op_remove_then_compact(store):
+    ids = sorted(b.basis_id for b in store.bases)
+    doomed = ids[:2]
+    for basis_id in doomed:
+        store.remove(basis_id)
+    store.compact()
+    return doomed
+
+
+LIFECYCLE_OPS = {
+    "remove_first": op_remove_first,
+    "remove_scattered": op_remove_scattered,
+    "invalidate_odd": op_invalidate_odd,
+    "evict_value": op_evict_value,
+    "remove_then_compact": op_remove_then_compact,
+}
+
+
+class TestLifecycleDifferential:
+    @pytest.mark.parametrize("op_name", sorted(LIFECYCLE_OPS))
+    @pytest.mark.parametrize("path", sorted(MATCH_PATHS))
+    @pytest.mark.parametrize("strategy", INDEX_STRATEGIES)
+    @pytest.mark.parametrize("family_name", sorted(FAMILY_FACTORIES))
+    def test_survivors_probe_like_fresh_store(
+        self, family_name, strategy, path, op_name
+    ):
+        store = build_store(family_name, strategy, MIXED, path=path)
+        warm(store)
+        removed = LIFECYCLE_OPS[op_name](store)
+        assert removed
+        assert len(store) == len(MIXED) - len(removed)
+        assert_differential(store)
+
+    @pytest.mark.parametrize("strategy", INDEX_STRATEGIES)
+    def test_first_match_wins_shifts_to_next_duplicate(self, strategy):
+        """Removing the bucket head promotes the *next* entry, verbatim."""
+        duplicates = [BASE, Fingerprint(BASE.values), _affine(BASE, 1.0, 0.0)]
+        store = build_store("linear", strategy, duplicates)
+        assert store.match(BASE).basis.basis_id == 0
+        store.remove(0)
+        assert store.match(BASE).basis.basis_id == 1
+        assert_differential(store)
+        store.remove(1)
+        assert store.match(BASE).basis.basis_id == 2
+        assert_differential(store)
+
+    def test_remove_unknown_id_raises_keyerror(self):
+        store = build_store("linear", "array", MIXED)
+        with pytest.raises(KeyError):
+            store.remove(99)
+        store.remove(0)
+        with pytest.raises(KeyError):
+            store.remove(0)  # already gone; ids are never reissued
+
+    def test_removed_ids_are_retired_forever(self):
+        store = build_store("linear", "array", MIXED)
+        store.remove(2)
+        added = store.add(Fingerprint((5.0, 6.0, 7.0, 8.0, 9.0)), SAMPLES)
+        assert added.basis_id == len(MIXED)  # next_id grew past the hole
+        assert_differential(store)
+
+    def test_lifecycle_then_save_load_keeps_parity(self, tmp_path):
+        store = build_store("linear", "normalization", MIXED)
+        warm(store)
+        store.remove(1)
+        store.invalidate_where(lambda b: b.fingerprint.size == 7)
+        persist.save_store(store, str(tmp_path / "snap"))
+        loaded = persist.load_store(
+            str(tmp_path / "snap"),
+            like=BasisStore(index_strategy="normalization"),
+        )
+        loaded.columnar_min_candidates = 0
+        loaded._verify_remaining = 0
+        assert len(loaded) == len(store)
+        assert_differential(loaded)
+
+
+class TestUnreachability:
+    @pytest.mark.parametrize("strategy", INDEX_STRATEGIES)
+    def test_removed_ids_unreachable_everywhere(self, strategy):
+        store = build_store("linear", strategy, MIXED)
+        removed_fps = [store.get(i).fingerprint for i in (0, 3, 5)]
+        removed = [store.remove(i).basis_id for i in (0, 3, 5)]
+        probes = PROBES + removed_fps
+        # Index buckets, scalar and batch flavors.
+        for probe in probes:
+            assert not set(removed) & set(store.index.candidates(probe))
+        for candidates in store.index.candidates_batch(probes):
+            assert not set(removed) & set(candidates)
+        # Columnar layout: retired ids are filtered by the size check
+        # (their _size_of entry is zeroed) and never gathered.
+        for basis_id, fingerprint in zip(removed, removed_fps):
+            assert store.columnar._size_of[basis_id] == 0
+            positions, rows, _ = store.columnar.gather(
+                [basis_id], fingerprint.size
+            )
+            assert positions.size == 0 and rows.size == 0
+        # And the match engine itself.
+        for probe in probes:
+            result = store.match(probe)
+            assert result is None or result.basis.basis_id not in removed
+
+    def test_fast_path_disabled_after_removal_even_post_compact(self):
+        """A stale id's _row_of entry would alias row 0 on the
+        single-block fast path; the holes flag is sticky to prevent it."""
+        same_size = [fp for fp in MIXED if fp.size == BASE.size]
+        store = build_store("linear", "array", same_size)
+        assert len(store.columnar._blocks) == 1
+        assert not store.columnar._had_holes
+        store.remove(0)
+        store.compact()
+        assert store.columnar.tombstones == 0
+        assert store.columnar._had_holes  # sticky by design
+        positions, rows, _ = store.columnar.gather([0], BASE.size)
+        assert positions.size == 0
+        assert_differential(store)
+
+    def test_tombstones_auto_compact_past_threshold(self):
+        same_size = [fp for fp in MIXED if fp.size == BASE.size]
+        store = build_store("linear", "array", same_size)
+        from repro.core.columnar import COMPACT_TOMBSTONE_FRACTION
+
+        for basis_id in range(len(same_size) - 1):
+            store.remove(basis_id)
+            # The mirror never lets dead rows dominate: past the
+            # threshold it compacts itself instead of scanning them.
+            total = sum(b.count for b in store.columnar._blocks.values())
+            assert (
+                store.columnar.tombstones
+                <= COMPACT_TOMBSTONE_FRACTION * total
+            )
+        block = store.columnar._blocks[BASE.size]
+        assert block.count < len(same_size)  # compaction did run
+        assert block.count - block.dead == 1  # one live row left
+        assert_differential(store)
+
+    def test_emptied_block_is_dropped(self):
+        store = build_store("linear", "array", MIXED)
+        seven = [b.basis_id for b in store.bases if b.fingerprint.size == 7]
+        for basis_id in seven:
+            store.remove(basis_id)
+        store.compact()
+        assert 7 not in store.columnar._blocks
+        positions, rows, block = store.columnar.gather(seven, 7)
+        assert block is None
+        assert_differential(store)
+
+
+class TestEvictionPolicy:
+    def _store_with_hits(self, hits):
+        store = build_store("linear", "array", MIXED[: len(hits)])
+        for basis, count in zip(store.bases, hits):
+            basis.hits = count
+        return store
+
+    def test_value_ranking_evicts_least_hit_oldest_first(self):
+        store = self._store_with_hits([5, 0, 2, 0])
+        policy = EvictionPolicy(max_bases=2, keep="value")
+        assert policy.victims(store) == [1, 3]  # never-hit, older first
+
+    def test_recent_ranking_ignores_hits(self):
+        store = self._store_with_hits([0, 9, 9, 9])
+        policy = EvictionPolicy(max_bases=2, keep="recent")
+        assert policy.victims(store) == [0, 1]
+
+    def test_max_bytes_bound(self):
+        store = self._store_with_hits([0, 1, 2])
+        per_basis = store.get(0).nbytes()
+        policy = EvictionPolicy(max_bytes=2 * per_basis)
+        assert store.evict(policy) == [0]
+        assert sum(b.nbytes() for b in store.bases) <= 2 * per_basis
+
+    def test_hits_are_bumped_by_matching(self):
+        store = build_store("linear", "array", MIXED)
+        assert all(b.hits == 0 for b in store.bases)
+        winner = store.match(BASE).basis
+        assert winner.hits == 1
+        store.match(_affine(BASE, 2.0, -1.0))
+        assert winner.hits == 2
+        store.match(Fingerprint((0.3, 0.1, 0.9, 0.2, 0.8)))  # miss
+        assert sum(b.hits for b in store.bases) == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(LifecycleError, match="ranking"):
+            EvictionPolicy(max_bases=1, keep="lru")
+        with pytest.raises(LifecycleError, match="non-negative"):
+            EvictionPolicy(max_bases=-1)
+        with pytest.raises(LifecycleError, match="non-negative"):
+            EvictionPolicy(max_bytes=-8)
+
+    def test_no_bounds_is_a_noop(self):
+        store = build_store("linear", "array", MIXED)
+        assert EvictionPolicy().victims(store) == []
+
+    @pytest.mark.parametrize("strategy", INDEX_STRATEGIES)
+    def test_bounded_store_stays_bounded_under_sustained_load(
+        self, strategy
+    ):
+        """The acceptance bound: max_bases=N holds through any number of
+        add/probe/evict rounds, and survivors stay differential-clean."""
+        policy = EvictionPolicy(max_bases=4)
+        store = build_store("linear", strategy, [])
+        for round_index in range(20):
+            store.add(
+                _affine(BASE, 1.0 + round_index, float(round_index)),
+                SAMPLES * (round_index + 1),
+            )
+            store.match(BASE)
+            store.evict(policy)
+            assert len(store) <= 4
+        assert len(store) == 4
+        assert_differential(store)
+
+
+class TestSessionLifecycle:
+    def _session(self, bases=MIXED, **kwargs):
+        return Session(build_store("linear", "array", bases), **kwargs)
+
+    def test_standing_policy_applies_after_refine(self):
+        session = self._session(eviction=EvictionPolicy(max_bases=3))
+        assert session.basis_count() == len(MIXED)
+        survivor = len(MIXED) - 1  # newest: survives keep="value" ties
+        response = session.refine(
+            RefineRequest(basis_id=survivor, samples=(1.0, 2.0))
+        )
+        assert response.basis_id == survivor
+        assert session.basis_count() == 3
+        # The bound keeps holding, refine after refine.
+        session.refine(RefineRequest(basis_id=survivor, samples=(3.0,)))
+        assert session.basis_count() == 3
+
+    def test_evict_request_bounds_store(self):
+        session = self._session()
+        response = session.evict(EvictRequest(max_bases=2))
+        assert response.bases == {"default": 2}
+        assert len(response.evicted["default"]) == len(MIXED) - 2
+        assert session.basis_count() == 2
+
+    def test_evict_request_without_bounds_refused(self):
+        with pytest.raises(ApiError, match="max_bases"):
+            self._session().evict(EvictRequest())
+
+    def test_compact_request_reports_dropped_rows(self):
+        session = self._session()
+        session.store().remove(0)
+        session.store().remove(2)
+        response = session.compact(CompactRequest())
+        assert response.rows_dropped == {"default": 2}
+        assert response.bases == {"default": len(MIXED) - 2}
+        assert session.store().columnar.tombstones == 0
+
+    def test_admin_requests_ride_handle_batch(self):
+        """Mixed probe + admin batches answer in order, with the admin
+        request applied between the probe runs around it."""
+        session = self._session()
+        responses = session.handle_batch(
+            [
+                MatchRequest(fingerprint=BASE.values),
+                EvictRequest(max_bases=2),
+                MatchRequest(fingerprint=BASE.values),
+                CompactRequest(),
+            ]
+        )
+        assert responses[0].matched
+        assert responses[1].bases == {"default": 2}
+        assert responses[3].bases == {"default": 2}
+        # Whether the second probe still matches depends only on the
+        # survivors — exactly what a sequential replay would see.
+        replay = self._session()
+        replay.handle(MatchRequest(fingerprint=BASE.values))
+        replay.handle(EvictRequest(max_bases=2))
+        sequential = replay.handle(MatchRequest(fingerprint=BASE.values))
+        assert responses[2].matched == sequential.matched
+        assert responses[2].basis_id == sequential.basis_id
+
+
+class TestSnapshotVersion2:
+    def test_v1_fixture_loads_through_compat_branch(self):
+        assert persist.snapshot_info(V1_FIXTURE)["version"] == 1
+        loaded = persist.load_store(V1_FIXTURE, mmap=False)
+        assert len(loaded) == 5
+        # Version-1 snapshots predate reuse counters: restored cold.
+        assert [b.hits for b in loaded.bases] == [0, 0, 0, 0, 0]
+        assert loaded.stats.as_dict() == {
+            "lookups": 5,
+            "candidates_tested": 4,
+            "matches": 4,
+            "bases_created": 5,
+        }
+        result = loaded.match(BASE)
+        assert result is not None and result.basis.basis_id == 0
+
+    def test_v1_resaves_as_v2_with_hits_roundtrip(self, tmp_path):
+        loaded = persist.load_store(V1_FIXTURE, mmap=False)
+        loaded.match(BASE)  # bump one reuse counter
+        persist.save_store(loaded, str(tmp_path / "snap"))
+        assert (
+            persist.snapshot_info(str(tmp_path / "snap"))["version"]
+            == persist.SNAPSHOT_VERSION
+            == 2
+        )
+        reloaded = persist.load_store(str(tmp_path / "snap"), mmap=False)
+        assert [b.hits for b in reloaded.bases] == [1, 0, 0, 0, 0]
+
+    def test_dump_compacts_tombstones_away(self, tmp_path):
+        store = build_store("linear", "array", MIXED)
+        store.remove(1)  # below the auto-compaction threshold
+        assert store.columnar.tombstones == 1
+        persist.save_store(store, str(tmp_path / "snap"))
+        assert store.columnar.tombstones == 0  # compacted by the dump
+        loaded = persist.load_store(
+            str(tmp_path / "snap"), like=BasisStore(index_strategy="array")
+        )
+        assert loaded.columnar.tombstones == 0
+        assert not loaded.columnar._had_holes  # fast path re-enabled
+        loaded.columnar_min_candidates = 0
+        loaded._verify_remaining = 0
+        assert_differential(loaded)
+
+
+class TestIntegerToleranceCodec:
+    """Integer tolerances used to crash ``dump_state`` (int has no
+    ``.hex()``); constructors now coerce to float at the boundary."""
+
+    def test_integer_tolerances_snapshot_bitwise(self, tmp_path):
+        store = BasisStore(index_strategy="normalization", rel_tol=1,
+                           abs_tol=0)
+        store.add(BASE, SAMPLES)
+        assert store.rel_tol == 1.0 and isinstance(store.rel_tol, float)
+        persist.save_store(store, str(tmp_path / "snap"))
+        loaded = persist.load_store(
+            str(tmp_path / "snap"),
+            like=BasisStore(index_strategy="normalization", rel_tol=1,
+                            abs_tol=0),
+        )
+        assert loaded.rel_tol.hex() == float(1).hex()
+        assert loaded.abs_tol.hex() == float(0).hex()
+
+    def test_normalization_index_integer_rel_tol(self):
+        index = NormalizationIndex(rel_tol=1)
+        index.insert(BASE, 0)
+        state = index.dump_state()
+        assert state["rel_tol"] == float(1).hex()
+
+
+class TestInteractiveInvalidation:
+    def _drifting_session(self, table):
+        def simulation(params, seed):
+            rng = DeterministicRng(seed)
+            return table["scale"] * rng.normal(params["week"], 1.0)
+
+        return InteractiveSession(
+            simulation,
+            ParameterSpace([RangeParameter("week", 0.0, 10.0, 1.0)]),
+            fingerprint_size=10,
+            chunk=10,
+            seed_bank=SeedBank(5),
+        )
+
+    def test_failed_validation_invalidates_stale_basis(self):
+        table = {"scale": 1.0}
+        session = self._drifting_session(table)
+        session.focus({"week": 2.0})
+        session.run(5)
+        stale_id = session._state({"week": 2.0}).basis_id
+        table["scale"] = 50.0  # the model drifts under the session
+        rebound = []
+        for _ in range(8):
+            report = session.tick()
+            if report.task == TASK_VALIDATION:
+                rebound.append(report.rebound)
+        assert any(rebound)
+        # The stale basis is gone from the store — not just unbound.
+        with pytest.raises(KeyError):
+            session.store.get(stale_id)
+        assert session.estimate({"week": 2.0}) is not None
+
+    def test_invalidation_unbinds_every_sharing_point(self):
+        session = self._drifting_session({"scale": 1.0})
+        session.focus({"week": 2.0})
+        session.focus({"week": 7.0})
+        assert len(session.store) == 1  # linear family: one shared basis
+        state = session._state({"week": 2.0})
+        other = session._state({"week": 7.0})
+        stale_id = state.basis_id
+        assert other.basis_id == stale_id
+        session._rebind_from_scratch(state, invalidate=True)
+        with pytest.raises(KeyError):
+            session.store.get(stale_id)
+        assert other.basis_id != stale_id
+        assert other.mapping is None or other.basis_id is not None
