@@ -25,6 +25,7 @@ from typing import (
 
 import numpy as np
 
+from repro.core.backend import BackendArg, resolve_backend
 from repro.core.columnar import CandidateKeys, ColumnarStore
 from repro.errors import LifecycleError
 from repro.core.estimator import Estimator, MetricSet
@@ -205,8 +206,15 @@ class BasisStore:
         rel_tol: float = DEFAULT_REL_TOL,
         abs_tol: float = DEFAULT_ABS_TOL,
         columnar: bool = True,
+        backend: BackendArg = None,
     ):
         self.mapping_family = mapping_family or LinearMappingFamily()
+        #: The store's compute backend.  ``None`` resolves to the
+        #: process-active instance (shared: its one self-test serves every
+        #: default store); a *name* builds a fresh instance, giving this
+        #: store its own verification/degrade state — the store-scoped
+        #: analogue of the columnar ``VERIFY_LOOKUPS`` fallback below.
+        self.backend = resolve_backend(backend)
         if index is None:
             if (
                 index_strategy == "normalization"
@@ -285,7 +293,8 @@ class BasisStore:
         probes = list(fingerprints)
         results: List[Optional[MatchResult]] = []
         for probe, candidates in zip(
-            probes, self.index.candidates_batch(probes)
+            probes,
+            self.index.candidates_batch(probes, backend=self.backend),
         ):
             self.stats.lookups += 1
             result, tested = self._match_candidates(probe, candidates)
@@ -369,7 +378,8 @@ class BasisStore:
             fingerprint,
             rel_tol=self.rel_tol,
             abs_tol=self.abs_tol,
-            keys=CandidateKeys(block, rows),
+            keys=CandidateKeys(block, rows, backend=self.backend),
+            backend=self.backend,
         )
         for index in np.nonzero(plausible)[0]:
             mapping = build(int(index))

@@ -214,9 +214,32 @@ def _pending_by_size(
     return pending
 
 
+def _normal_forms_matrix(
+    matrix: np.ndarray, rel_tol: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Normal-form components for a stack of same-size fingerprints.
+
+    Returns ``(has_pair, position, forward, reflected)`` with matrix
+    arithmetic elementwise identical to the scalar computation.  This is
+    the ``normal_forms`` compute-backend kernel's numpy reference.
+    """
+    has_pair, position = rows_first_distinct(matrix, rel_tol)
+    lows = matrix.min(axis=1)
+    spans = matrix.max(axis=1) - lows
+    # Constant rows never read their (possibly zero) span.
+    safe_spans = np.where(has_pair, spans, 1.0)
+    normalized = (matrix - lows[:, None]) / safe_spans[:, None]
+    forward = np.round(normalized, NORMAL_FORM_DECIMALS)
+    forward[forward == 0] = 0.0  # collapse -0.0 and 0.0 keys
+    reflected = np.round(1.0 - forward, NORMAL_FORM_DECIMALS)
+    reflected[reflected == 0] = 0.0
+    return has_pair, position, forward, reflected
+
+
 def batch_normal_forms(
     fingerprints: Sequence[Fingerprint],
     rel_tol: float = DEFAULT_REL_TOL,
+    backend=None,
 ) -> list:
     """:meth:`Fingerprint.normal_form` for many probes in vectorized passes.
 
@@ -224,21 +247,22 @@ def batch_normal_forms(
     arithmetic that is elementwise identical to the scalar computation, so
     the resulting hash keys are bitwise the same; each key is written back
     into its fingerprint's cache (later scalar probes reuse it for free).
+    ``backend`` routes the matrix kernel through a compute backend
+    (default: the process-active one) — every backend returns the same
+    bits or degrades trying.
     """
+    from repro.core.backend import resolve_backend
+
     cache_key = ("normal_form", rel_tol)
     distinct_key = ("distinct", rel_tol)
-    for size, indices in _pending_by_size(fingerprints, cache_key).items():
+    pending = _pending_by_size(fingerprints, cache_key)
+    if pending:
+        backend = resolve_backend(backend)
+    for size, indices in pending.items():
         matrix = np.stack([fingerprints[i].array for i in indices])
-        has_pair, position = rows_first_distinct(matrix, rel_tol)
-        lows = matrix.min(axis=1)
-        spans = matrix.max(axis=1) - lows
-        # Constant rows never read their (possibly zero) span.
-        safe_spans = np.where(has_pair, spans, 1.0)
-        normalized = (matrix - lows[:, None]) / safe_spans[:, None]
-        forward = np.round(normalized, NORMAL_FORM_DECIMALS)
-        forward[forward == 0] = 0.0  # collapse -0.0 and 0.0 keys
-        reflected = np.round(1.0 - forward, NORMAL_FORM_DECIMALS)
-        reflected[reflected == 0] = 0.0
+        has_pair, position, forward, reflected = backend.normal_forms(
+            matrix, rel_tol
+        )
         for row, i in enumerate(indices):
             fingerprint = fingerprints[i]
             if distinct_key not in fingerprint._cache:
@@ -257,20 +281,29 @@ def batch_normal_forms(
 
 
 def batch_sid_orders(
-    fingerprints: Sequence[Fingerprint], descending: bool = False
+    fingerprints: Sequence[Fingerprint],
+    descending: bool = False,
+    backend=None,
 ) -> list:
     """:meth:`Fingerprint.sid_order` for many probes in vectorized passes.
 
     Stable row-wise argsort over a size-grouped matrix equals the scalar
     per-fingerprint argsort entry for entry; results land in each
     fingerprint's cache, exactly as a scalar probe would have left them.
+    ``backend`` routes the argsort kernel through a compute backend
+    (default: the process-active one).
     """
+    from repro.core.backend import resolve_backend
+
     cache_key = "sid_desc" if descending else "sid_asc"
-    for _, indices in _pending_by_size(fingerprints, cache_key).items():
+    pending = _pending_by_size(fingerprints, cache_key)
+    if pending:
+        backend = resolve_backend(backend)
+    for _, indices in pending.items():
         matrix = np.stack([fingerprints[i].array for i in indices])
         if descending:
             matrix = -matrix
-        orders = np.argsort(matrix, axis=1, kind="stable")
+        orders = backend.sid_orders(matrix)
         for row, i in enumerate(indices):
             fingerprints[i]._cache[cache_key] = tuple(
                 int(entry) for entry in orders[row]

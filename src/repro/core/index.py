@@ -108,7 +108,7 @@ class FingerprintIndex(ABC):
         )
 
     def candidates_batch(
-        self, fingerprints: Sequence[Fingerprint]
+        self, fingerprints: Sequence[Fingerprint], backend=None
     ) -> List[List[int]]:
         """Per-probe candidate lists for a whole batch of probes.
 
@@ -116,7 +116,8 @@ class FingerprintIndex(ABC):
         same ids, same order — so batched matching inherits the scalar
         path's first-match-wins tie-breaking.  Hash-keyed strategies
         override this to compute every probe's key in one vectorized
-        pass before the bucket lookups.
+        pass (routed through ``backend``, default the process-active
+        compute backend) before the bucket lookups.
         """
         return [self.candidates(fp) for fp in fingerprints]
 
@@ -173,7 +174,7 @@ class ArrayIndex(FingerprintIndex):
         return list(self._ids)
 
     def candidates_batch(
-        self, fingerprints: Sequence[Fingerprint]
+        self, fingerprints: Sequence[Fingerprint], backend=None
     ) -> List[List[int]]:
         # No keys to vectorize: every probe scans every stored basis.
         return [list(self._ids) for _ in fingerprints]
@@ -249,9 +250,11 @@ class NormalizationIndex(FingerprintIndex):
         return list(self._buckets.get(key, ()))
 
     def candidates_batch(
-        self, fingerprints: Sequence[Fingerprint]
+        self, fingerprints: Sequence[Fingerprint], backend=None
     ) -> List[List[int]]:
-        keys = batch_normal_forms(list(fingerprints), self._rel_tol)
+        keys = batch_normal_forms(
+            list(fingerprints), self._rel_tol, backend=backend
+        )
         return [list(self._buckets.get(key, ())) for key in keys]
 
     def remove(self, fingerprint: Fingerprint, basis_id: int) -> None:
@@ -324,11 +327,13 @@ class SortedSIDIndex(FingerprintIndex):
         )
 
     def candidates_batch(
-        self, fingerprints: Sequence[Fingerprint]
+        self, fingerprints: Sequence[Fingerprint], backend=None
     ) -> List[List[int]]:
         probes = list(fingerprints)
-        ascending = batch_sid_orders(probes)
-        descending = batch_sid_orders(probes, descending=True)
+        ascending = batch_sid_orders(probes, backend=backend)
+        descending = batch_sid_orders(
+            probes, descending=True, backend=backend
+        )
         return [
             self._candidates_for(asc, desc)
             for asc, desc in zip(ascending, descending)

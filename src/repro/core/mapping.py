@@ -205,6 +205,7 @@ class MappingFamily(ABC):
         rel_tol: float = DEFAULT_REL_TOL,
         abs_tol: float = DEFAULT_ABS_TOL,
         keys: Optional["object"] = None,
+        backend=None,
     ) -> MatrixFind:
         """:meth:`find` against a ``(rows, m)`` stack of source fingerprints.
 
@@ -216,6 +217,9 @@ class MappingFamily(ABC):
         ``keys``, when given, exposes precomputed per-row index-key matrices
         (``sid_asc()`` — see :class:`repro.core.columnar.CandidateKeys`) so
         monotone order checks read order statistics instead of re-sorting.
+        ``backend`` selects the compute backend for the dense validation
+        kernels (default: the process-active one); the generic
+        per-row fallback here never launches one.
         """
         sources = np.asarray(sources, dtype=float)
         plausible = np.ones(len(sources), dtype=bool)
@@ -255,18 +259,27 @@ def _rows_affine_valid(
     target: Fingerprint,
     rel_tol: float,
     abs_tol: float,
+    backend=None,
 ) -> np.ndarray:
     """Row-wise :func:`_validates` for affine candidates.
 
     Literally ``alpha * source + beta`` per row — the same IEEE multiply
     and add :meth:`AffineMapping.apply_array` performs — against the same
     per-probe tolerance, so the accept set matches the scalar loop bitwise.
+    ``backend`` routes the dense kernel through a compute backend
+    (default: the process-active one); accelerated implementations are
+    self-verified against the numpy expression.
     """
+    from repro.core.backend import resolve_backend
+
     tol = max(rel_tol * max(target.scale(), 1.0), abs_tol)
-    deviation = np.abs(
-        alpha[:, None] * sources + beta[:, None] - target.array
+    return resolve_backend(backend).affine_validate(
+        np.asarray(sources, dtype=np.float64),
+        np.asarray(alpha, dtype=np.float64),
+        np.asarray(beta, dtype=np.float64),
+        target.array,
+        tol,
     )
-    return (deviation <= tol).all(axis=1)
 
 
 class LinearMappingFamily(MappingFamily):
@@ -321,6 +334,7 @@ class LinearMappingFamily(MappingFamily):
         rel_tol: float = DEFAULT_REL_TOL,
         abs_tol: float = DEFAULT_ABS_TOL,
         keys: Optional["object"] = None,
+        backend=None,
     ) -> MatrixFind:
         """Algorithm 2 across all candidate rows in one array pass."""
         sources = np.asarray(sources, dtype=float)
@@ -349,7 +363,13 @@ class LinearMappingFamily(MappingFamily):
                 alpha[fit] = fit_alpha
                 beta[fit] = fit_beta
                 valid[fit] = _rows_affine_valid(
-                    fit_sources, fit_alpha, fit_beta, target, rel_tol, abs_tol
+                    fit_sources,
+                    fit_alpha,
+                    fit_beta,
+                    target,
+                    rel_tol,
+                    abs_tol,
+                    backend=backend,
                 )
 
         def build(row: int) -> AffineMapping:
@@ -391,6 +411,7 @@ class IdentityMappingFamily(MappingFamily):
         rel_tol: float = DEFAULT_REL_TOL,
         abs_tol: float = DEFAULT_ABS_TOL,
         keys: Optional["object"] = None,
+        backend=None,
     ) -> MatrixFind:
         sources = np.asarray(sources, dtype=float)
         rows = len(sources)
@@ -402,6 +423,7 @@ class IdentityMappingFamily(MappingFamily):
                 target,
                 rel_tol,
                 abs_tol,
+                backend=backend,
             )
             if rows
             else np.zeros(0, dtype=bool)
@@ -454,6 +476,7 @@ class ShiftMappingFamily(MappingFamily):
         rel_tol: float = DEFAULT_REL_TOL,
         abs_tol: float = DEFAULT_ABS_TOL,
         keys: Optional["object"] = None,
+        backend=None,
     ) -> MatrixFind:
         sources = np.asarray(sources, dtype=float)
         rows = len(sources)
@@ -462,7 +485,13 @@ class ShiftMappingFamily(MappingFamily):
         if rows:
             beta = target.array[0] - sources[:, 0]
             valid = _rows_affine_valid(
-                sources, np.ones(rows), beta, target, rel_tol, abs_tol
+                sources,
+                np.ones(rows),
+                beta,
+                target,
+                rel_tol,
+                abs_tol,
+                backend=backend,
             )
         return valid, lambda row: AffineMapping(1.0, float(beta[row]))
 
@@ -505,6 +534,7 @@ class ScaleMappingFamily(MappingFamily):
         rel_tol: float = DEFAULT_REL_TOL,
         abs_tol: float = DEFAULT_ABS_TOL,
         keys: Optional["object"] = None,
+        backend=None,
     ) -> MatrixFind:
         sources = np.asarray(sources, dtype=float)
         rows = len(sources)
@@ -534,6 +564,7 @@ class ScaleMappingFamily(MappingFamily):
                     target,
                     rel_tol,
                     abs_tol,
+                    backend=backend,
                 )
 
         def build(row: int) -> AffineMapping:
@@ -582,6 +613,7 @@ class MonotoneMappingFamily(MappingFamily):
         rel_tol: float = DEFAULT_REL_TOL,
         abs_tol: float = DEFAULT_ABS_TOL,
         keys: Optional["object"] = None,
+        backend=None,
     ) -> MatrixFind:
         """Order-statistics screen over all rows, exact build per survivor.
 
@@ -600,7 +632,9 @@ class MonotoneMappingFamily(MappingFamily):
             if keys is not None:
                 source_orders = keys.sid_asc()
             else:
-                source_orders = np.argsort(sources, axis=1, kind="stable")
+                from repro.core.backend import resolve_backend
+
+                source_orders = resolve_backend(backend).sid_orders(sources)
             target_asc = np.asarray(target.sid_order(), dtype=np.int64)
             target_desc = np.asarray(
                 target.sid_order(descending=True), dtype=np.int64

@@ -6,6 +6,7 @@ metrics obtained via reuse equal metrics computed directly.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -73,6 +74,27 @@ class TestReuseCorrectness:
         scale = max(abs(direct.expectation), 1.0)
         assert abs(reused.expectation - direct.expectation) <= 1e-6 * scale
         assert abs(reused.stddev - direct.stddev) <= 1e-6 * scale
+
+
+@pytest.mark.xfail(
+    strict=True,
+    reason=(
+        "Known quantization-boundary false negative (ROADMAP item 6): "
+        "normal-form bucket keys round to 6 decimals, and this fingerprint's "
+        "normalized coordinate 4.75/800 sits exactly on the 0.0059375 "
+        "rounding boundary — float noise puts the stored basis and its "
+        "affine-equivalent probe in different buckets, so the index returns "
+        "no candidates.  Fixing it means probing adjacent buckets near "
+        "boundaries, which changes the candidates_tested counter contract; "
+        "remove this marker when that lands."
+    ),
+)
+def test_normal_form_rounding_boundary_false_negative():
+    fp = Fingerprint((0, 2, -798, -2.75))
+    store = BasisStore()
+    store.add(fp, np.asarray(fp.values, dtype=float))
+    probe = Fingerprint(tuple(0.102 * v for v in fp.values))
+    assert store.match(probe) is not None
 
 
 class TestIndexSupersetInvariant:

@@ -1,0 +1,369 @@
+"""Backend seam parity and self-verification degrade semantics.
+
+Three contracts are enforced here:
+
+* **Parity** — every available compute backend produces *bitwise* the
+  same draws, mapping parameters, match decisions, and
+  ``candidates_tested`` counters as the numpy reference, across all
+  five mapping families and all three index strategies.  On the default
+  CI matrix only ``numpy`` is available (the parametrization then pins
+  the plumbing); the optional-deps job installs numba and runs the same
+  tests against the JIT kernels.
+* **Degrade** — a lying backend is caught by the first-N cross-check,
+  warns exactly once, and answers through the reference from then on;
+  the degrade is scoped to the instance (one bad store never poisons
+  the process), visible via ``describe()``/``fast_path_status()``, and
+  re-armable only through the test-only reset hooks.
+* **Refusal** — unknown or unavailable backend names raise a typed
+  :class:`~repro.errors.BackendError` (CLI exit code 2); selection
+  never falls back silently.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.blackbox import fastrng
+from repro.core.backend import (
+    VERIFY_CALLS,
+    ComputeBackend,
+    NumpyBackend,
+    active_backend,
+    backend_available,
+    backend_names,
+    create_backend,
+    resolve_backend,
+    use_backend,
+)
+from repro.core.basis import BasisStore
+from repro.core.fingerprint import Fingerprint
+from repro.core.mapping import (
+    IdentityMappingFamily,
+    LinearMappingFamily,
+    MonotoneMappingFamily,
+    ScaleMappingFamily,
+    ShiftMappingFamily,
+)
+from repro.errors import BackendError, JigsawError
+
+AVAILABLE = tuple(
+    name for name in backend_names() if backend_available(name)
+)
+
+needs_numba = pytest.mark.skipif(
+    not backend_available("numba"), reason="numba is not installed"
+)
+
+#: (family factory, per-probe transform builder): the transform maps a
+#: stored base row to a probe the family must match.  All transforms are
+#: strictly increasing, so the monotone family accepts them too.
+FAMILIES = {
+    "linear": (LinearMappingFamily, lambda i, row: 1.5 * row + float(i % 3)),
+    "identity": (IdentityMappingFamily, lambda i, row: row.copy()),
+    "shift": (ShiftMappingFamily, lambda i, row: row + float(i % 5) - 2.0),
+    "scale": (ScaleMappingFamily, lambda i, row: (1.0 + 0.5 * (i % 3)) * row),
+    "monotone": (
+        MonotoneMappingFamily,
+        lambda i, row: 2.0 * row + float(i % 2),
+    ),
+}
+
+STRATEGIES = ("array", "normalization", "sorted_sid")
+
+KINDS = (
+    fastrng.KIND_NORMAL,
+    fastrng.KIND_UNIFORM,
+    fastrng.KIND_EXPONENTIAL,
+    fastrng.KIND_NORMAL,
+)
+
+
+def _probe_mix(family_key, bases):
+    """Deterministic probes: matching images plus guaranteed misses."""
+    transform = FAMILIES[family_key][1]
+    probes = []
+    for i, row in enumerate(bases):
+        values = transform(i, row)
+        if i % 4 == 3:
+            values = values.copy()
+            values[i % len(values)] += 0.37  # break the relation: a miss
+        probes.append(Fingerprint(values))
+    return probes
+
+
+def _match_digest(store, probes):
+    """Everything parity pins: decisions, params, and work counters."""
+    digest = []
+    for probe in probes:
+        before = store.stats.candidates_tested
+        result = store.match(probe)
+        work = store.stats.candidates_tested - before
+        if result is None:
+            digest.append((None, None, work))
+        else:
+            digest.append((result.basis.basis_id, result.mapping, work))
+    return digest
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("name", AVAILABLE)
+    def test_draw_matrix_bitwise_matches_scalar(self, name):
+        backend = create_backend(name)
+        # Enough seeds for ziggurat-rejection lanes (~1.5% per draw).
+        seeds = np.arange(3000, dtype=np.uint64)
+        matrix = fastrng.draw_matrix(seeds, KINDS, backend=backend)
+        scalar = fastrng._draw_matrix_scalar(seeds, KINDS)
+        assert np.array_equal(matrix, scalar)
+        assert backend.degraded_kernels() == ()
+
+    @pytest.mark.parametrize("name", AVAILABLE)
+    @pytest.mark.parametrize("family_key", sorted(FAMILIES))
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_match_parity_with_reference(self, name, family_key, strategy):
+        factory = FAMILIES[family_key][0]
+        rng = np.random.default_rng(20110614)
+        bases = rng.standard_normal((24, 10))
+        probes = _probe_mix(family_key, bases)
+
+        reference = BasisStore(
+            mapping_family=factory(), index_strategy=strategy,
+            backend=NumpyBackend(),
+        )
+        under_test = BasisStore(
+            mapping_family=factory(), index_strategy=strategy, backend=name
+        )
+        # Force the columnar engine so the backend kernels actually run
+        # (small candidate sets would otherwise scalar-match).
+        reference.columnar_min_candidates = 0
+        under_test.columnar_min_candidates = 0
+        for row in bases:
+            reference.add(Fingerprint(row), row)
+            under_test.add(Fingerprint(row), row)
+
+        assert _match_digest(under_test, probes) == _match_digest(
+            reference, probes
+        )
+        assert under_test.backend.degraded_kernels() == ()
+
+    @pytest.mark.parametrize("name", AVAILABLE)
+    def test_backend_kernels_bitwise_match_reference(self, name):
+        backend = create_backend(name)
+        reference = NumpyBackend()
+        rng = np.random.default_rng(7)
+        seeds = np.arange(64, dtype=np.uint64)
+        for _ in range(VERIFY_CALLS + 2):  # beyond the verification window
+            ours = backend.draw_block(seeds, KINDS)
+            theirs = reference.draw_block(seeds, KINDS)
+            assert np.array_equal(ours[0], theirs[0])
+            assert np.array_equal(ours[1], theirs[1])
+            sources = rng.standard_normal((32, 10))
+            alpha = 1.0 + 0.25 * (np.arange(32, dtype=np.float64) % 7)
+            beta = np.arange(32, dtype=np.float64) % 5 - 2.0
+            target = alpha[3] * sources[3] + beta[3]
+            assert np.array_equal(
+                backend.affine_validate(sources, alpha, beta, target, 1e-8),
+                reference.affine_validate(sources, alpha, beta, target, 1e-8),
+            )
+        assert backend.degraded_kernels() == ()
+
+    @needs_numba
+    def test_numba_backend_actually_overrides_kernels(self):
+        backend = create_backend("numba")
+        assert backend._verify_remaining["draw_block"] == VERIFY_CALLS
+        assert backend._verify_remaining["affine_validate"] == VERIFY_CALLS
+        # Key kernels inherit the reference: numpy-internal semantics
+        # (stable argsort, decimal rounding) are not JIT-delegated.
+        assert backend._verify_remaining["sid_orders"] == 0
+        assert backend._verify_remaining["normal_forms"] == 0
+
+
+class _LyingAffineBackend(ComputeBackend):
+    """Self-identifies as accelerated, flips one validation bit."""
+
+    name = "lying-affine"
+
+    def _affine_validate(self, sources, alpha, beta, target, tol):
+        valid = super()._affine_validate(sources, alpha, beta, target, tol)
+        valid = valid.copy()
+        valid[0] = not valid[0]
+        return valid
+
+
+class _LyingDrawBackend(ComputeBackend):
+    name = "lying-draw"
+
+    def _draw_block(self, seeds, kinds):
+        out, ok = super()._draw_block(seeds, kinds)
+        out = out.copy()
+        out[0, 0] += 1.0
+        return out, ok
+
+
+class _StreamLyingBackend(ComputeBackend):
+    """Corrupts draws *and* opts out of kernel-level verification, so the
+    lie can only be caught by the fastrng whole-pipeline self-test."""
+
+    name = "stream-liar"
+    is_reference = True
+
+    def _draw_block(self, seeds, kinds):
+        out, ok = super()._draw_block(seeds, kinds)
+        out = out.copy()
+        out += 1.0
+        return out, ok
+
+
+class TestDegradeSemantics:
+    def test_lying_kernel_warns_once_and_answers_via_reference(self):
+        backend = _LyingDrawBackend()
+        seeds = np.arange(16, dtype=np.uint64)
+        expected = NumpyBackend().draw_block(seeds, KINDS)
+        with pytest.warns(RuntimeWarning, match="lying-draw"):
+            first = backend.draw_block(seeds, KINDS)
+        assert np.array_equal(first[0], expected[0])
+        assert backend.degraded_kernels() == ("draw_block",)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            again = backend.draw_block(seeds, KINDS)
+        assert np.array_equal(again[0], expected[0])
+
+    def test_degrade_is_store_scoped_not_process_wide(self):
+        liar = _LyingAffineBackend()
+        store = BasisStore(backend=liar)
+        # Route every probe through the columnar engine (the backend's
+        # affine kernel); tiny candidate sets would scalar-match instead.
+        store.columnar_min_candidates = 0
+        rng = np.random.default_rng(3)
+        bases = rng.standard_normal((8, 10))
+        for row in bases:
+            store.add(Fingerprint(row), row)
+        clean = BasisStore(backend=NumpyBackend())
+        clean.columnar_min_candidates = 0
+        for row in bases:
+            clean.add(Fingerprint(row), row)
+        probes = [Fingerprint(2.0 * row + 1.0) for row in bases]
+        with pytest.warns(RuntimeWarning, match="lying-affine"):
+            lied = _match_digest(store, probes)
+        assert lied == _match_digest(clean, probes)
+        assert store.backend.degraded_kernels() == ("affine_validate",)
+        assert "degraded:affine_validate" in store.backend.describe()
+        # The process-active backend never saw the liar.
+        assert active_backend().degraded_kernels() == ()
+
+    def test_stream_lie_degrades_fast_path_per_instance(self):
+        backend = _StreamLyingBackend()
+        seeds = np.arange(12, dtype=np.uint64)
+        with pytest.warns(RuntimeWarning, match="scalar draw path"):
+            assert not fastrng.fast_path_available(backend)
+        # Degraded instances answer through the scalar path: bitwise
+        # equal to the reference stream regardless of the lie.
+        matrix = fastrng.draw_matrix(seeds, KINDS, backend=backend)
+        assert np.array_equal(
+            matrix, fastrng._draw_matrix_scalar(seeds, KINDS)
+        )
+        status = fastrng.fast_path_status(backend)
+        assert status["fast_path"] == "degraded"
+        assert "scalar-draws" in status["backend"]
+        # Instance-scoped: the process-active backend is untouched.
+        assert fastrng.fast_path_status()["fast_path"] in ("ok", "untested")
+
+        # warn-once: re-probing a degraded instance stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not fastrng.fast_path_available(backend)
+
+        # The test-only reset re-arms both the probe and the warning.
+        fastrng.reset_fast_path(backend)
+        assert fastrng.fast_path_status(backend)["fast_path"] == "untested"
+        with pytest.warns(RuntimeWarning, match="scalar draw path"):
+            assert not fastrng.fast_path_available(backend)
+
+    def test_fast_path_status_reports_clean_backend(self):
+        backend = NumpyBackend()
+        assert fastrng.fast_path_status(backend) == {
+            "backend": "numpy",
+            "fast_path": "untested",
+            "degraded_kernels": (),
+        }
+        assert fastrng.fast_path_available(backend)
+        assert fastrng.fast_path_status(backend)["fast_path"] == "ok"
+
+    def test_reset_verification_rearms_kernel_checks(self):
+        backend = _LyingDrawBackend()
+        seeds = np.arange(8, dtype=np.uint64)
+        with pytest.warns(RuntimeWarning):
+            backend.draw_block(seeds, KINDS)
+        assert backend.degraded_kernels() == ("draw_block",)
+        backend.reset_verification()
+        assert backend.degraded_kernels() == ()
+        assert backend._verify_remaining["draw_block"] == VERIFY_CALLS
+        with pytest.warns(RuntimeWarning):
+            backend.draw_block(seeds, KINDS)
+
+
+class TestSelectionAndRefusal:
+    def test_unknown_name_refused_with_typed_error(self):
+        with pytest.raises(BackendError, match="unknown compute backend"):
+            create_backend("nope")
+        assert issubclass(BackendError, JigsawError)
+
+    def test_unavailable_name_refused_not_defaulted(self):
+        if backend_available("numba"):
+            pytest.skip("numba installed: unavailability not testable")
+        with pytest.raises(BackendError, match="not available on this host"):
+            create_backend("numba")
+
+    def test_registry_lists_numpy_and_numba(self):
+        assert "numpy" in backend_names()
+        assert "numba" in backend_names()
+        assert backend_available("numpy")
+
+    def test_use_backend_rejects_non_backends(self):
+        with pytest.raises(BackendError, match="ComputeBackend"):
+            use_backend(42)
+
+    def test_resolve_semantics(self):
+        assert resolve_backend(None) is active_backend()
+        instance = NumpyBackend()
+        assert resolve_backend(instance) is instance
+        fresh = resolve_backend("numpy")
+        assert fresh is not active_backend()
+        assert fresh.name == "numpy"
+
+    def test_cli_refuses_unknown_backend_with_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["store", "info", "ignored", "--backend", "nope"]) == 2
+        assert "unknown compute backend" in capsys.readouterr().err
+
+    @pytest.mark.skipif(
+        backend_available("numba"),
+        reason="numba installed: unavailability not testable",
+    )
+    def test_cli_refuses_unavailable_backend_with_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["store", "info", "ignored", "--backend", "numba"]) == 2
+        assert "not available on this host" in capsys.readouterr().err
+
+
+class TestBackendReporting:
+    def test_session_stats_report_serving_backend(self, tmp_path):
+        from repro.api.messages import decode_response, encode_response
+        from repro.serve import build_fixture_session
+
+        session = build_fixture_session(bases=4, seed=11)
+        response = session.stats()
+        assert response.backend == {"default": "numpy"}
+        roundtrip = decode_response(encode_response(response))
+        assert roundtrip.backend == response.backend
+
+    def test_stats_decoding_tolerates_streams_without_backend(self):
+        from repro.api.messages import decode_response, encode_response
+        from repro.api.messages import StatsResponse
+
+        encoded = encode_response(StatsResponse(counters={}, bases={}))
+        encoded.pop("backend")  # a pre-backend peer's wire document
+        decoded = decode_response(encoded)
+        assert decoded.backend == {}

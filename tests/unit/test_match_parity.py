@@ -228,9 +228,9 @@ class TestSelfVerification:
         """Claims no candidate ever matches (a broken vectorized kernel)."""
 
         def find_matrix(self, sources, target, rel_tol=1e-9, abs_tol=1e-12,
-                        keys=None):
+                        keys=None, backend=None):
             plausible, build = super().find_matrix(
-                sources, target, rel_tol, abs_tol, keys
+                sources, target, rel_tol, abs_tol, keys, backend
             )
             return np.zeros_like(plausible), build
 

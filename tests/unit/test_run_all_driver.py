@@ -24,7 +24,9 @@ _RUN_ALL_PATH = os.path.join(
     "run_all.py",
 )
 
-ALL_FIGURES = ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "match")
+ALL_FIGURES = (
+    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "match", "crossover"
+)
 
 
 @pytest.fixture()
@@ -55,6 +57,11 @@ def _install_stubs(monkeypatch, run_all, counter=1.0):
     monkeypatch.setattr(run_all, "run_fig7", lambda scale: "Figure 7 stub")
     monkeypatch.setattr(
         run_all, "run_match", lambda scale: _stub_result("match", counter)
+    )
+    monkeypatch.setattr(
+        run_all,
+        "run_crossover",
+        lambda scale: _stub_result("crossover", counter),
     )
     for name in ALL_FIGURES[1:]:
         if not name.startswith("fig"):
